@@ -1,0 +1,31 @@
+# Convenience targets for the REALM reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench experiments examples quick clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# full 2^24 reproduction run; rewrites EXPERIMENTS.md (minutes)
+experiments:
+	$(PYTHON) tools/generate_experiments_md.py
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+quick:
+	$(PYTHON) -m repro table1 --quick
+
+clean:
+	rm -rf build *.egg-info .pytest_cache benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,56 @@
+"""Ablation: error accumulation — the paper's design consideration (b).
+
+"Low error bias facilitates cancellation of errors in successive
+computations."  Measured: dot-product output error vs. chain length for a
+biased design (cALM), a bias-corrected one (MBM), and REALM.  The random
+component of the error averages out as 1/sqrt(n); the bias does not, so
+every chain converges to the multiplier's bias floor — which is the whole
+reason Table I's bias column matters.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.accumulation import accumulation_profile, predicted_floor
+from repro.experiments import format_table
+from repro.multipliers.registry import build
+
+DESIGNS = ("calm", "mbm-t0", "realm4-t0", "realm16-t0", "drum-k6", "ssm-m9")
+LENGTHS = (1, 16, 256, 4096)
+
+
+def test_ablation_accumulation(benchmark, record_result):
+    def run():
+        out = {}
+        for name in DESIGNS:
+            multiplier = build(name)
+            out[name] = (
+                accumulation_profile(multiplier, lengths=LENGTHS, trials=128),
+                predicted_floor(multiplier, samples=1 << 19),
+            )
+        return out
+
+    results = run_once(benchmark, run)
+    rows = []
+    for name, (profile, floor) in results.items():
+        rows.append(
+            [build(name).name, f"{floor:+.2f}"]
+            + [f"{p.mean_error:+.2f}±{p.spread:.2f}" for p in profile]
+        )
+    record_result(
+        "ablation_accumulation",
+        format_table(
+            ["design", "bias floor"] + [f"n={n}" for n in LENGTHS], rows
+        ),
+    )
+
+    for name, (profile, floor) in results.items():
+        final = profile[-1]
+        # noise is gone at n=4096 ...
+        assert final.spread < profile[0].spread / 5, name
+        # ... and what remains is the bias floor
+        assert abs(final.mean_error - floor) < 0.5, name
+    # the ordering the paper's consideration (b) predicts
+    assert abs(results["realm16-t0"][0][-1].mean_error) < 0.1
+    assert abs(results["calm"][0][-1].mean_error) > 3.0

@@ -1,0 +1,59 @@
+"""Method extension: REALM's segment correction applied to division.
+
+Mitchell's 1962 paper covers division by binary logarithms too; the
+paper corrects only the multiplier.  This bench carries the Eq. 8-11
+recipe to the divider (signed corrections, weight (1+y)/(1+x)) and shows
+the same structure emerge: the one-sided +4% error of the classical log
+divider collapses to near-zero bias and sub-1% mean error, improving
+with M exactly like the multiplier's Table I column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import format_table
+from repro.extensions.divider import MitchellDivider, RealmDivider
+
+
+def test_ablation_divider(benchmark, record_result):
+    def run():
+        rng = np.random.default_rng(2020)
+        a = rng.integers(32768, 65536, 1 << 19)
+        b = rng.integers(1, 64, 1 << 19)
+        reference = a / b
+        out = {}
+        for divider in (
+            MitchellDivider(),
+            RealmDivider(m=4),
+            RealmDivider(m=8),
+            RealmDivider(m=16),
+        ):
+            errors = (divider.divide(a, b) - reference) / reference
+            out[divider.name] = (
+                errors.mean() * 100,
+                np.abs(errors).mean() * 100,
+                errors.min() * 100,
+                errors.max() * 100,
+            )
+        return out
+
+    results = run_once(benchmark, run)
+    rows = [
+        (name, f"{bias:+.2f}", f"{me:.2f}", f"{lo:.2f}", f"{hi:.2f}")
+        for name, (bias, me, lo, hi) in results.items()
+    ]
+    record_result(
+        "ablation_divider",
+        format_table(["divider", "bias%", "ME%", "min%", "max%"], rows),
+    )
+
+    assert results["cALM-div16"][0] > 3.0  # one-sided overestimate
+    assert abs(results["REALM-div8"][0]) < 0.5  # bias collapsed
+    assert (
+        results["REALM-div16"][1]
+        < results["REALM-div8"][1]
+        < results["REALM-div4"][1]
+        < results["cALM-div16"][1]
+    )

@@ -1,0 +1,83 @@
+"""Ablation: hardware fault sensitivity of accurate vs. approximate cores.
+
+Approximate-computing folklore holds that error-tolerant datapaths also
+degrade gracefully under silicon faults.  Measured here: for a random
+sample of single stuck-at faults, the mean relative output error each
+fault induces on the accurate Wallace multiplier vs. REALM (both at 8-bit
+scale so the full fault simulation stays fast), plus the single-stuck-at
+test coverage of random vectors — the ATPG-style sanity check that the
+library's equivalence vectors genuinely exercise the datapaths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.circuits.realm_rtl import realm_netlist
+from repro.circuits.wallace import wallace_netlist
+from repro.experiments import format_table
+from repro.logic.faults import fault_coverage, fault_impact, fault_sites
+
+
+def _designs():
+    wallace = wallace_netlist(8)
+    wallace.prune()
+    return {"accurate8": wallace, "realm8(M=4)": realm_netlist(8, m=4, t=0)}
+
+
+def test_ablation_fault_sensitivity(benchmark, record_result):
+    def run():
+        rng = np.random.default_rng(2020)
+        a = rng.integers(1, 256, 192)
+        b = rng.integers(1, 256, 192)
+        out = {}
+        for name, netlist in _designs().items():
+            buses = [netlist.inputs[:8], netlist.inputs[8:]]
+            sites = fault_sites(netlist)
+            sample = [sites[i] for i in rng.choice(len(sites), 160, replace=False)]
+            impacts = [
+                fault_impact(netlist, buses, [a, b], fault) for fault in sample
+            ]
+            errors = np.array([i.mean_relative_error for i in impacts])
+            detection = np.array([i.detection_rate for i in impacts])
+            coverage = fault_coverage(netlist, buses, [a, b], faults=sample)
+            out[name] = (
+                float(np.median(errors)),
+                float(errors.mean()),
+                float(detection.mean()),
+                coverage,
+            )
+        return out
+
+    results = run_once(benchmark, run)
+    rows = [
+        (
+            name,
+            f"{median * 100:.2f}",
+            f"{mean * 100:.2f}",
+            f"{detect * 100:.1f}",
+            f"{coverage * 100:.1f}",
+        )
+        for name, (median, mean, detect, coverage) in results.items()
+    ]
+    record_result(
+        "ablation_faults",
+        format_table(
+            [
+                "design",
+                "median fault err%",
+                "mean fault err%",
+                "mean detect%",
+                "coverage%",
+            ],
+            rows,
+        ),
+    )
+
+    for name, (_, _, _, coverage) in results.items():
+        # random vectors exercise the datapaths thoroughly
+        assert coverage > 0.80, name
+    # both designs see nonzero fault damage; the comparison table is the
+    # deliverable (graceful-degradation claims vary with fault location)
+    assert all(mean > 0 for _, mean, _, _ in results.values())

@@ -1,0 +1,49 @@
+"""Ablation: LUT precision ``q`` (the paper fixes q=6 without a sweep).
+
+DESIGN.md calls out the quantization of the s_ij factors as a design
+choice; this bench sweeps q to show (a) why q=6 is enough — the error
+saturates at the unquantized optimum — and (b) how fast accuracy decays
+below it, which is the evidence behind the paper's "little overhead"
+claim for the q-2-bit hardwired LUT.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SAMPLES, run_once
+
+from repro.analysis.montecarlo import characterize
+from repro.core.realm import RealmMultiplier
+from repro.experiments import format_table
+
+Q_SWEEP = (4, 5, 6, 7, 8, 10)
+
+
+def test_ablation_lut_precision(benchmark, record_result):
+    def sweep():
+        results = {}
+        for q in Q_SWEEP:
+            realm = RealmMultiplier(m=16, t=0, q=q)
+            results[q] = characterize(realm, samples=BENCH_SAMPLES)
+        return results
+
+    results = run_once(benchmark, sweep)
+    rows = [
+        (
+            f"q={q}",
+            f"{metrics.bias:+.3f}",
+            f"{metrics.mean_error:.3f}",
+            f"{metrics.peak_min:.2f}",
+            f"{metrics.peak_max:.2f}",
+        )
+        for q, metrics in results.items()
+    ]
+    record_result(
+        "ablation_lut_precision",
+        format_table(["config", "bias%", "ME%", "min%", "max%"], rows),
+    )
+
+    # q=6 is the knee: within ~15% of the unquantized optimum, while each
+    # step below it costs ~25% ME and doubles again at q=4
+    assert results[6].mean_error < results[10].mean_error * 1.15
+    assert results[5].mean_error > results[6].mean_error * 1.15
+    assert results[4].mean_error > results[5].mean_error * 1.3

@@ -1,0 +1,84 @@
+"""Ablations: bitwidth scaling and the (M, t) knob surface.
+
+Neither appears in the paper (it is 16-bit only, and reports the knob
+space as Table I rows); both back its claims quantitatively:
+
+* REALM's relative error is essentially width-independent above ~12 bits
+  — the log-fraction statistics don't change with N — so the 16-bit
+  characterization generalizes;
+* the (M, t) grid is dense: 50 configurations whose mean error spans
+  0.4%-4% with no gaps larger than a factor ~1.6 between neighbors, the
+  substance of the paper's "wide and dense design space".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis.scaling import bitwidth_scaling, knob_surface
+from repro.core.realm import RealmMultiplier
+from repro.experiments import format_table
+
+SAMPLES = 1 << 19
+
+
+def test_ablation_bitwidth_scaling(benchmark, record_result):
+    def run():
+        return bitwidth_scaling(
+            lambda n: RealmMultiplier(bitwidth=n, m=8, t=0),
+            bitwidths=(8, 10, 12, 16, 20, 24),
+            samples=SAMPLES,
+        )
+
+    results = run_once(benchmark, run)
+    rows = [
+        (
+            f"N={n}",
+            f"{metrics.bias:+.3f}",
+            f"{metrics.mean_error:.3f}",
+            f"{metrics.peak_min:.2f}",
+            f"{metrics.peak_max:.2f}",
+        )
+        for n, metrics in results.items()
+    ]
+    record_result(
+        "ablation_bitwidth_scaling",
+        format_table(["width", "bias%", "ME%", "min%", "max%"], rows),
+    )
+
+    # relative error stabilizes once the fraction outresolves the factors
+    assert abs(results[16].mean_error - results[24].mean_error) < 0.05
+    assert abs(results[12].mean_error - results[16].mean_error) < 0.12
+    # the forced-LSB bias floor shows at 8 bits and vanishes by 16
+    assert abs(results[8].bias) > abs(results[16].bias)
+
+
+def test_ablation_knob_surface(benchmark, record_result):
+    def run():
+        return knob_surface(samples=SAMPLES)
+
+    results = run_once(benchmark, run)
+    m_values = sorted({m for m, _ in results})
+    t_values = sorted({t for _, t in results})
+    rows = [
+        [f"M={m}"] + [f"{results[(m, t)].mean_error:.2f}" for t in t_values]
+        for m in m_values
+    ]
+    record_result(
+        "ablation_knob_surface",
+        "mean error % over the (M, t) grid:\n"
+        + format_table(["", *(f"t={t}" for t in t_values)], rows),
+    )
+
+    # monotone in M at every t
+    for t in t_values:
+        columns = [results[(m, t)].mean_error for m in m_values]
+        assert all(a >= b - 1e-6 for a, b in zip(columns, columns[1:]))
+    # dense: sorted distinct MEs never jump by more than ~1.8x
+    errors = sorted(metrics.mean_error for metrics in results.values())
+    ratios = [b / a for a, b in zip(errors, errors[1:]) if a > 0]
+    assert max(ratios) < 1.8
+    # wide: the grid spans 0.42% (REALM16 t=0) up past MBM-class 2.6%
+    # (the M=1 degenerate row)
+    assert errors[0] < 0.45 and errors[-1] > 2.5

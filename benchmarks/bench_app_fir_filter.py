@@ -1,0 +1,58 @@
+"""Application extension: FIR low-pass filtering SNR per multiplier.
+
+The second workload class the approximate-multiplier literature targets
+(SSM/ESSM's own evaluation domain).  A 63-tap Q15 low-pass runs over a
+multitone test signal with every multiplier; the output SNR against the
+accurate fixed-point datapath ranks the designs — and the ranking follows
+Table I's mean error, with REALM16 ~20 dB above cALM.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.dsp.fir import (
+    fir_filter,
+    lowpass_taps,
+    multitone_signal,
+    output_snr_db,
+    quantize_q15,
+)
+from repro.experiments import format_table
+from repro.multipliers.registry import build
+
+DESIGNS = (
+    "realm16-t0",
+    "realm8-t8",
+    "realm4-t9",
+    "mbm-t0",
+    "calm",
+    "implm-ea",
+    "alm-soa-m11",
+    "drum-k8",
+    "drum-k4",
+    "ssm-m8",
+    "essm8",
+)
+
+
+def test_app_fir_filter(benchmark, record_result):
+    def run():
+        taps = quantize_q15(lowpass_taps(63, 0.2))
+        signal = quantize_q15(multitone_signal(4096))
+        reference = fir_filter(build("accurate"), signal, taps)
+        return {
+            name: output_snr_db(reference, fir_filter(build(name), signal, taps))
+            for name in DESIGNS
+        }
+
+    snrs = run_once(benchmark, run)
+    rows = [
+        (build(name).name, f"{snrs[name]:.1f}")
+        for name in sorted(DESIGNS, key=lambda n: -snrs[n])
+    ]
+    record_result("app_fir_filter", format_table(["multiplier", "SNR dB"], rows))
+
+    assert snrs["realm16-t0"] > 45.0
+    assert snrs["realm16-t0"] > snrs["mbm-t0"] > snrs["calm"]
+    assert snrs["realm4-t9"] > snrs["calm"]

@@ -1,0 +1,62 @@
+"""Application extension: MLP inference accuracy and logit distortion.
+
+The paper evaluates one application (JPEG, Table II) and motivates the
+work with machine learning; this bench adds the ML datapoint: a quantized
+MLP on the glyph task, inference through every multiplier family.  The
+reproduction-relevant expectations mirror Table II's structure — REALM
+indistinguishable from accurate, distortion ordered like Table I's mean
+error.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import format_table
+from repro.multipliers.registry import build
+from repro.nn import evaluate_multipliers, float_accuracy, logit_distortion, trained_setup
+
+DESIGNS = (
+    "accurate",
+    "realm16-t0",
+    "realm8-t8",
+    "realm4-t9",
+    "mbm-t0",
+    "calm",
+    "implm-ea",
+    "alm-soa-m11",
+    "drum-k8",
+    "drum-k4",
+    "ssm-m8",
+    "essm8",
+)
+
+
+def test_app_neural_network(benchmark, record_result):
+    def run():
+        data, params = trained_setup()
+        return (
+            float_accuracy(data, params),
+            evaluate_multipliers(DESIGNS),
+            logit_distortion(DESIGNS),
+        )
+
+    reference, accuracy, distortion = run_once(benchmark, run)
+
+    rows = [
+        (build(name).name, f"{accuracy[name]:.3f}", f"{distortion[name]:.2f}")
+        for name in DESIGNS
+    ]
+    record_result(
+        "app_neural_network",
+        f"float reference accuracy: {reference:.3f}\n\n"
+        + format_table(["multiplier", "accuracy", "logit distortion %"], rows),
+    )
+
+    # REALM: no measurable accuracy cost
+    assert accuracy["realm16-t0"] >= accuracy["accurate"] - 0.02
+    # distortion ordering mirrors Table I's mean-error ordering
+    assert distortion["realm16-t0"] < distortion["realm4-t9"] < distortion["mbm-t0"]
+    assert distortion["mbm-t0"] < distortion["calm"]
+    # every design stays usable (the error-resilience premise)
+    assert min(accuracy.values()) > 0.85

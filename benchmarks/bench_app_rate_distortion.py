@@ -1,0 +1,68 @@
+"""Application extension: JPEG rate-distortion curves per multiplier.
+
+Table II fixes quality 50; this sweep varies it, which exposes a finding
+single-point PSNR cannot: with an accurate (or REALM) multiplier, paying
+more bits keeps buying quality, while cALM's arithmetic noise floor caps
+the curve — past moderate quality the extra bitrate is wasted.  SSIM is
+reported alongside PSNR (the perceptual metric reacts differently to the
+multiplicative DCT error).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import format_table
+from repro.jpeg.codec import compress, decompress
+from repro.jpeg.images import test_image as make_image
+from repro.jpeg.psnr import psnr
+from repro.jpeg.ssim import ssim
+from repro.multipliers.registry import build
+
+QUALITIES = (10, 30, 50, 70, 90)
+DESIGNS = ("accurate", "realm16-t8", "calm")
+
+
+def test_app_rate_distortion(benchmark, record_result):
+    def run():
+        image = make_image("cameraman")
+        out = {}
+        for name in DESIGNS:
+            multiplier = build(name)
+            for quality in QUALITIES:
+                compressed = compress(multiplier, image, quality)
+                decoded = decompress(multiplier, compressed)
+                out[(name, quality)] = (
+                    psnr(image, decoded),
+                    ssim(image, decoded),
+                    compressed.bits_per_pixel,
+                )
+        return out
+
+    results = run_once(benchmark, run)
+    rows = [
+        (
+            f"{name} q={quality}",
+            f"{p:.1f}",
+            f"{s:.3f}",
+            f"{bpp:.2f}",
+        )
+        for (name, quality), (p, s, bpp) in results.items()
+    ]
+    record_result(
+        "app_rate_distortion",
+        format_table(["design @ quality", "PSNR dB", "SSIM", "bits/px"], rows),
+    )
+
+    # accurate & REALM keep buying quality with bitrate
+    for name in ("accurate", "realm16-t8"):
+        curve = [results[(name, quality)][0] for quality in QUALITIES]
+        assert all(a < b for a, b in zip(curve, curve[1:])), name
+    # REALM tracks accurate within ~1.5 dB at every operating point
+    for quality in QUALITIES:
+        gap = results[("accurate", quality)][0] - results[("realm16-t8", quality)][0]
+        assert abs(gap) < 1.5, quality
+    # cALM's arithmetic noise floor: quality 90 buys < 2 dB over quality 50
+    calm_gain = results[("calm", 90)][0] - results[("calm", 50)][0]
+    accurate_gain = results[("accurate", 90)][0] - results[("accurate", 50)][0]
+    assert calm_gain < accurate_gain - 2.0

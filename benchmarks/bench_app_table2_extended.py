@@ -1,0 +1,49 @@
+"""Robustness check of the Table II substitution: held-out scenes.
+
+Table II's reproduction argument (DESIGN.md) is that the PSNR *gap*
+structure between multipliers is a property of the DCT arithmetic, not of
+the specific photograph.  This bench tests that claim on two stand-in
+scenes that were never used to tune anything ("peppers", "bridge"): the
+same gap structure must hold — REALM within ~1 dB of accurate, every
+other log design >2 dB worse.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import format_table
+from repro.jpeg.codec import roundtrip_psnr
+from repro.jpeg.images import test_image as make_image
+from repro.multipliers.registry import build
+
+HELD_OUT = ("peppers", "bridge")
+DESIGNS = ("accurate", "realm16-t8", "realm8-t8", "mbm-t0", "calm", "alm-soa-m11")
+
+
+def test_app_table2_extended(benchmark, record_result):
+    def run():
+        out = {}
+        for image_name in HELD_OUT:
+            image = make_image(image_name)
+            out[image_name] = {
+                name: roundtrip_psnr(build(name), image)[0] for name in DESIGNS
+            }
+        return out
+
+    results = run_once(benchmark, run)
+    rows = [
+        [image_name] + [f"{results[image_name][n]:.1f}" for n in DESIGNS]
+        for image_name in HELD_OUT
+    ]
+    record_result(
+        "app_table2_extended", format_table(["image"] + list(DESIGNS), rows)
+    )
+
+    for image_name in HELD_OUT:
+        scores = results[image_name]
+        accurate = scores["accurate"]
+        assert abs(accurate - scores["realm16-t8"]) < 1.2, image_name
+        assert abs(accurate - scores["realm8-t8"]) < 1.5, image_name
+        for name in ("mbm-t0", "calm", "alm-soa-m11"):
+            assert accurate - scores[name] > 2.0, (image_name, name)

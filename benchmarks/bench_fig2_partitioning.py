@@ -1,0 +1,56 @@
+"""Fig. 2: M x M partitioning of the power-of-two intervals (M=4).
+
+Regenerates the figure's substance quantitatively: the mean signed
+relative error of each of the 4x4 segments for cALM (the hills the figure
+shades) and for REALM4 (collapsed toward zero by the per-segment
+factors), over the figure's operand range ``{64..255}``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis.render import render_heatmap
+from repro.experiments import fig2_segments, format_table
+
+
+def test_fig2_partitioning(benchmark, record_result, results_dir):
+    data = run_once(benchmark, lambda: fig2_segments(m=4))
+
+    calm = data["calm_segment_means"] * 100
+    realm = data["realm_segment_means"] * 100
+    text = [
+        "cALM per-segment mean relative error (%):",
+        np.array2string(calm, precision=2, suppress_small=True),
+        "\nREALM4 per-segment mean relative error (%):",
+        np.array2string(realm, precision=2, suppress_small=True),
+        "\nerror-reduction factors s_ij:",
+        np.array2string(data["factors"], precision=4),
+        "\nhardwired LUT codes (q=6):",
+        np.array2string(data["lut_codes"]),
+    ]
+    reduction_rows = [
+        (
+            f"({i},{j})",
+            f"{calm[i, j]:+.2f}",
+            f"{realm[i, j]:+.2f}",
+            f"{abs(calm[i, j]) / max(abs(realm[i, j]), 1e-3):.0f}x",
+        )
+        for i in range(4)
+        for j in range(4)
+    ]
+    text.append("\nper-segment reduction:")
+    text.append(
+        format_table(["segment", "cALM mean%", "REALM mean%", "shrink"], reduction_rows)
+    )
+    record_result("fig2_partitioning", "\n".join(text))
+
+    np.savetxt(results_dir / "fig2_calm_segments.csv", calm, delimiter=",")
+    np.savetxt(results_dir / "fig2_realm_segments.csv", realm, delimiter=",")
+    render_heatmap(calm, results_dir / "fig2_calm_segments.pgm", scale=24)
+    render_heatmap(realm, results_dir / "fig2_realm_segments.pgm", scale=24)
+
+    # the figure's claim: error reduced in *every* segment
+    assert np.abs(realm).max() < np.abs(calm).max() / 5
+    assert (np.abs(realm) <= np.abs(calm) + 0.05).all()

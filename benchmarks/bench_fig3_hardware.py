@@ -1,0 +1,69 @@
+"""Fig. 3: the REALM hardware design, reproduced structurally.
+
+Builds the full Fig. 3 datapath (LODs, normalizing shifters, truncation
+wiring, fraction adder, hardwired LUT mux with its c_of-controlled
+halving mux, exponent adder, output scaling shifter, zero gating) for all
+three M values and reports the block inventory the figure depicts, plus
+the paper's Section III-C observations checked structurally:
+
+* the LUT stores exactly M^2 entries of q-2 bits;
+* the output is 2N+1 bits (special case 1);
+* raising t strictly removes logic (the truncation knob's area lever).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import fig3_hardware, format_table
+
+
+def test_fig3_hardware_inventory(benchmark, record_result):
+    def build_all():
+        return {m: fig3_hardware(m=m, t=0) for m in (16, 8, 4)}
+
+    inventories = run_once(benchmark, build_all)
+
+    headers = ["block", "REALM16", "REALM8", "REALM4"]
+    keys = (
+        "gate_count", "depth", "area_um2", "power_uw",
+        "lut_entries", "lut_width_bits", "output_bits",
+    )
+    rows = []
+    for key in keys:
+        rows.append(
+            [key]
+            + [
+                f"{inventories[m][key]:.1f}"
+                if isinstance(inventories[m][key], float)
+                else str(inventories[m][key])
+                for m in (16, 8, 4)
+            ]
+        )
+    for cell in sorted(inventories[16]["cells"]):
+        rows.append(
+            [f"cell {cell}"]
+            + [str(inventories[m]["cells"].get(cell, 0)) for m in (16, 8, 4)]
+        )
+    record_result("fig3_hardware", format_table(headers, rows))
+
+    for m in (16, 8, 4):
+        assert inventories[m]["lut_entries"] == m * m
+        assert inventories[m]["lut_width_bits"] == 4
+        assert inventories[m]["output_bits"] == 33
+
+
+def test_fig3_truncation_removes_logic(benchmark, record_result):
+    def sweep_t():
+        return [fig3_hardware(m=8, t=t) for t in range(10)]
+
+    inventories = run_once(benchmark, sweep_t)
+    rows = [
+        (f"t={t}", str(inv["gate_count"]), f"{inv['area_um2']:.1f}")
+        for t, inv in enumerate(inventories)
+    ]
+    record_result(
+        "fig3_truncation_sweep", format_table(["config", "gates", "area um2"], rows)
+    )
+    gates = [inv["gate_count"] for inv in inventories]
+    assert all(a >= b for a, b in zip(gates, gates[1:]))

@@ -1,0 +1,58 @@
+"""Fig. 5: REALM's relative-error distributions across (M, t).
+
+Regenerates the nine histogram panels and verifies the figure's
+qualitative statements: double-sided distributions nearly centered on
+zero; narrower and more symmetric as M grows; t=6 indistinguishable from
+t=0; t=9 visibly wider and displaced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import BENCH_SAMPLES, run_once
+
+from repro.analysis.distribution import ascii_histogram
+from repro.analysis.render import render_histogram
+from repro.experiments import fig5_histograms, format_table
+
+
+def test_fig5_distributions(benchmark, record_result, results_dir):
+    histograms = run_once(
+        benchmark, lambda: fig5_histograms(samples=BENCH_SAMPLES)
+    )
+
+    rows = [
+        (h.name, f"{h.spread():.2f}", f"{h.mode_center():+.2f}")
+        for h in histograms
+    ]
+    text = [format_table(["panel", "spread%", "mode%"], rows), ""]
+    for h in histograms:
+        text.append(f"[{h.name}]")
+        text.append(ascii_histogram(h))
+        stem = h.name.replace(" ", "").replace("=", "")
+        np.savetxt(
+            results_dir / f"fig5_{stem}.csv",
+            np.column_stack([h.centers, h.density]),
+            delimiter=",",
+            header="center_percent,density",
+        )
+        render_histogram(h.density, results_dir / f"fig5_{stem}.pgm")
+    record_result("fig5_distributions", "\n".join(text))
+
+    by_name = {h.name: h for h in histograms}
+    # narrower with M (every t)
+    for t in (0, 6, 9):
+        assert (
+            by_name[f"REALM16 (t={t})"].spread()
+            < by_name[f"REALM8 (t={t})"].spread()
+            < by_name[f"REALM4 (t={t})"].spread()
+        )
+    # t=6 ~ t=0; t=9 wider (every M)
+    for m in (16, 8, 4):
+        t0 = by_name[f"REALM{m} (t=0)"].spread()
+        t6 = by_name[f"REALM{m} (t=6)"].spread()
+        t9 = by_name[f"REALM{m} (t=9)"].spread()
+        assert abs(t6 - t0) < 0.25
+        assert t9 > t6
+    # centered near zero
+    assert all(abs(h.mode_center()) < 1.0 for h in histograms)

@@ -1,0 +1,69 @@
+"""Throughput benchmarks of the substrate itself.
+
+The other benches time one-shot regenerations; these measure the
+steady-state rates a user plans around: functional-model multiplication
+throughput (what bounds a 2^24 characterization), gate-level simulation
+throughput, netlist construction, and factor computation.  pytest-
+benchmark's statistics (multiple rounds) apply here, unlike the
+deterministic one-shot benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.catalog import netlist_for
+from repro.core.factors import _factors_cached, compute_factors
+from repro.core.realm import RealmMultiplier
+from repro.logic.sim import evaluate_words
+from repro.multipliers.mitchell import MitchellMultiplier
+
+VECTOR_BATCH = 1 << 18
+
+
+def test_perf_realm_functional_throughput(benchmark):
+    realm = RealmMultiplier(m=16, t=0)
+    rng = np.random.default_rng(1)
+    a = rng.integers(0, 1 << 16, VECTOR_BATCH)
+    b = rng.integers(0, 1 << 16, VECTOR_BATCH)
+    result = benchmark(realm.multiply, a, b)
+    assert len(result) == VECTOR_BATCH
+    # the paper's 2^24 characterization must stay minutes-scale: require
+    # at least 2M products/s from the functional model
+    assert benchmark.stats["mean"] < VECTOR_BATCH / 2e6
+
+
+def test_perf_mitchell_functional_throughput(benchmark):
+    calm = MitchellMultiplier()
+    rng = np.random.default_rng(2)
+    a = rng.integers(0, 1 << 16, VECTOR_BATCH)
+    b = rng.integers(0, 1 << 16, VECTOR_BATCH)
+    result = benchmark(calm.multiply, a, b)
+    assert len(result) == VECTOR_BATCH
+
+
+def test_perf_gate_level_simulation(benchmark):
+    netlist = netlist_for("realm16-t0")
+    rng = np.random.default_rng(3)
+    a = rng.integers(0, 1 << 16, 4096)
+    b = rng.integers(0, 1 << 16, 4096)
+    buses = [netlist.inputs[:16], netlist.inputs[16:]]
+    result = benchmark(evaluate_words, netlist, buses, [a, b])
+    assert len(result) == 4096
+
+
+def test_perf_netlist_construction(benchmark):
+    def build():
+        return netlist_for("realm16-t0")
+
+    netlist = benchmark(build)
+    assert netlist.gate_count > 500
+
+
+def test_perf_factor_computation(benchmark):
+    def compute():
+        _factors_cached.cache_clear()
+        return compute_factors(16)
+
+    factors = benchmark(compute)
+    assert factors.shape == (16, 16)

@@ -1,0 +1,63 @@
+"""Theory vs. Monte Carlo: the analytical limit of Table I's error columns.
+
+Evaluates the paper's error integrals (Eq. 5-11 composed) numerically per
+segment and prints them next to the MC measurement — three independent
+sources now agree on REALM's error columns: the published table, this
+library's 2^24-sample MC, and the closed-form integrals.  Also reports
+the ideal-factor (unquantized) limit, i.e. what the q knob is costing.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SAMPLES, run_once
+
+from repro.analysis.montecarlo import characterize
+from repro.core.realm import RealmMultiplier
+from repro.core.theory import predict_metrics
+from repro.experiments import format_table
+
+
+def test_theory_vs_measured(benchmark, record_result):
+    def run():
+        rows = {}
+        for m in (4, 8, 16):
+            theory = predict_metrics(m, q=6)
+            ideal = predict_metrics(m, q=None)
+            measured = characterize(
+                RealmMultiplier(m=m, t=0), samples=BENCH_SAMPLES
+            )
+            rows[m] = (theory, ideal, measured)
+        return rows
+
+    results = run_once(benchmark, run)
+
+    table = []
+    for m, (theory, ideal, measured) in results.items():
+        table.append(
+            (
+                f"REALM{m}",
+                f"{measured.mean_error:.3f}",
+                f"{theory.mean_error:.3f}",
+                f"{ideal.mean_error:.3f}",
+                f"{measured.bias:+.3f}",
+                f"{theory.bias:+.3f}",
+                f"{measured.variance:.3f}",
+                f"{theory.variance:.3f}",
+            )
+        )
+    record_result(
+        "theory_vs_measured",
+        format_table(
+            [
+                "design",
+                "ME mc", "ME theory", "ME ideal-q",
+                "bias mc", "bias theory",
+                "var mc", "var theory",
+            ],
+            table,
+        ),
+    )
+
+    for m, (theory, _, measured) in results.items():
+        assert abs(measured.mean_error - theory.mean_error) < 0.02, m
+        assert abs(measured.variance - theory.variance) < 0.03, m

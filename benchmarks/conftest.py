@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper, prints the rows
+(paper value next to measured value) and saves the text to
+``benchmarks/results/``.  pytest-benchmark times the regeneration; each
+bench runs its workload once per benchmark round (``pedantic`` with one
+round) since the workloads are seconds-scale and deterministic.
+
+Monte-Carlo depth: benches default to 2^20 samples so the whole harness
+runs in minutes; the EXPERIMENTS.md numbers come from the same drivers at
+the paper's 2^24 (see the file header there).  Override with
+``REPRO_BENCH_SAMPLES``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Monte-Carlo depth used by the benches (paper: 2^24)
+BENCH_SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES", 1 << 20))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Print a result block and persist it under benchmarks/results/."""
+
+    def _record(name: str, text: str) -> None:
+        print(f"\n=== {name} ===\n{text}")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Time a deterministic seconds-scale workload exactly once per round."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

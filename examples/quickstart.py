@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: build a REALM multiplier, use it, and characterize it.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import RealmMultiplier, build, characterize, compute_factors
+
+# ----------------------------------------------------------------------
+# 1. A REALM multiplier is a drop-in unsigned integer multiplier.
+# ----------------------------------------------------------------------
+realm = RealmMultiplier(bitwidth=16, m=16, t=0)
+
+a, b = 40000, 50000
+approx = int(realm.multiply(a, b))
+exact = a * b
+print(f"{realm.name}: {a} x {b} = {approx}")
+print(f"exact product     = {exact}")
+print(f"relative error    = {(approx - exact) / exact * 100:+.4f}%")
+
+# vectorized over arrays — this is what makes 2^24-sample studies cheap
+rng = np.random.default_rng(0)
+xs = rng.integers(1, 1 << 16, 5)
+ys = rng.integers(1, 1 << 16, 5)
+print("\nvectorized products:", realm.multiply(xs, ys))
+
+# ----------------------------------------------------------------------
+# 2. The error-reduction factors behind it (paper Eq. 11).
+# ----------------------------------------------------------------------
+factors = compute_factors(4)
+print("\ns_ij factors for M=4 (interval-independent, stored as a 16-entry LUT):")
+print(np.array2string(factors, precision=4))
+
+# ----------------------------------------------------------------------
+# 3. Error characterization, the paper's Section IV-B methodology.
+# ----------------------------------------------------------------------
+print("\nMonte-Carlo error characterization (2^20 samples):")
+for name in ("realm16-t0", "realm4-t9", "calm", "drum-k8"):
+    multiplier = build(name)
+    print(f"  {multiplier.name:16s} {characterize(multiplier, samples=1 << 20)}")
+
+# ----------------------------------------------------------------------
+# 4. The two error-configuration knobs: M (segments) and t (truncation).
+# ----------------------------------------------------------------------
+print("\nknob sweep (mean error %):")
+for m in (4, 8, 16):
+    row = []
+    for t in (0, 4, 8):
+        metrics = characterize(RealmMultiplier(m=m, t=t), samples=1 << 18)
+        row.append(f"t={t}: {metrics.mean_error:.2f}")
+    print(f"  M={m:2d}  " + "   ".join(row))

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Signed arithmetic and DSP kernels on top of REALM (paper Section III-C).
+
+The paper notes that extending REALM to signed operands is the standard
+sign-magnitude wrap of [3].  This example uses that wrapper for the two
+kernels approximate multipliers actually serve — dot products (neural-net
+layers) and 2-D convolution (image filtering) — and shows the error
+REALM's low bias buys: long accumulations cancel individual product
+errors, so a 4096-term dot product lands within hundredths of a percent.
+
+Run:  python examples/signed_dot_product.py
+"""
+
+import numpy as np
+
+from repro import RealmMultiplier, SignedMultiplier, convolve2d, dot_product
+from repro.multipliers.mitchell import MitchellMultiplier
+
+rng = np.random.default_rng(42)
+
+# ----------------------------------------------------------------------
+# 1. Signed products.
+# ----------------------------------------------------------------------
+signed_realm = SignedMultiplier(lambda n: RealmMultiplier(bitwidth=n, m=16), 16)
+print(f"{signed_realm.name}:")
+for a, b in ((-300, 41), (300, -41), (-300, -41)):
+    print(f"  {a} x {b} = {int(signed_realm.multiply(a, b))}  (exact {a * b})")
+
+# ----------------------------------------------------------------------
+# 2. Dot products: bias cancellation over long accumulations.
+# ----------------------------------------------------------------------
+signed_calm = SignedMultiplier(lambda n: MitchellMultiplier(bitwidth=n), 16)
+print("\ndot-product relative error vs accumulation length:")
+print("  (REALM's near-zero bias cancels; cALM's -3.85% bias accumulates)")
+for length in (16, 256, 4096):
+    x = rng.integers(-2000, 2000, length)
+    w = rng.integers(-2000, 2000, length)
+    exact = int(np.dot(x, w))
+    realm_out = int(dot_product(signed_realm, x, w))
+    calm_out = int(dot_product(signed_calm, x, w))
+    print(
+        f"  n={length:5d}   REALM {abs(realm_out - exact) / abs(exact) * 100:6.3f}%"
+        f"   cALM {abs(calm_out - exact) / abs(exact) * 100:6.3f}%"
+    )
+
+# ----------------------------------------------------------------------
+# 3. Sobel edge detection through the approximate multiplier.
+# ----------------------------------------------------------------------
+from repro.jpeg.images import test_image
+
+image = test_image("cameraman").astype(np.int64)
+sobel_x = np.array([[1, 0, -1], [2, 0, -2], [1, 0, -1]])
+
+exact_edges = convolve2d(SignedMultiplier(lambda n: RealmMultiplier(bitwidth=n, m=16, t=0), 16), image, sobel_x)
+# reference with exact arithmetic
+reference = np.zeros_like(exact_edges)
+for dy in range(3):
+    for dx in range(3):
+        reference += image[dy : dy + 254, dx : dx + 254] * sobel_x[dy, dx]
+
+difference = np.abs(exact_edges - reference)
+print("\nSobel filter through REALM16:")
+print(f"  max |pixel difference|  = {difference.max()}")
+print(f"  mean |pixel difference| = {difference.mean():.3f}")
+print(f"  gradient dynamic range  = {np.abs(reference).max()}")
+print("  (kernel taps 1/2 are exact powers of two under REALM, hence the tiny error)")

@@ -1,0 +1,11 @@
+"""``python -m repro`` entry point."""
+
+import sys
+
+from .cli import main
+
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # output piped into a pager/head that closed early; not an error
+    sys.exit(0)

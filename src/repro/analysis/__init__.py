@@ -1,0 +1,54 @@
+"""Error characterization, design-space and distribution analyses."""
+
+from .accumulation import AccumulationPoint, accumulation_profile, predicted_floor
+
+from .designspace import DesignPoint, fig4_front, fig4_points, sweep
+from .scaling import bitwidth_scaling, knob_surface
+from .distribution import Histogram, ascii_histogram, error_histogram
+from .exhaustive import error_grid, exhaustive_metrics
+from .metrics import ErrorMetrics, compute_metrics, merge_metrics, relative_errors
+from .montecarlo import (
+    characterize,
+    characterize_many,
+    characterize_workload,
+    gaussian_sampler,
+    lognormal_sampler,
+)
+from .pareto import is_dominated, pareto_front
+from .profiles import ProfileSummary, ascii_heatmap, profile, segment_mean_errors
+from .render import render_heatmap, render_histogram, save_pgm
+
+__all__ = [
+    "AccumulationPoint",
+    "DesignPoint",
+    "ErrorMetrics",
+    "Histogram",
+    "ProfileSummary",
+    "ascii_heatmap",
+    "ascii_histogram",
+    "accumulation_profile",
+    "bitwidth_scaling",
+    "characterize",
+    "characterize_many",
+    "characterize_workload",
+    "gaussian_sampler",
+    "lognormal_sampler",
+    "compute_metrics",
+    "error_grid",
+    "error_histogram",
+    "exhaustive_metrics",
+    "fig4_front",
+    "fig4_points",
+    "is_dominated",
+    "merge_metrics",
+    "knob_surface",
+    "pareto_front",
+    "predicted_floor",
+    "profile",
+    "render_heatmap",
+    "render_histogram",
+    "save_pgm",
+    "relative_errors",
+    "segment_mean_errors",
+    "sweep",
+]

@@ -1,0 +1,81 @@
+"""Relative-error distributions (paper Fig. 5).
+
+Fig. 5 shows histograms of REALM's signed relative error for the three
+``M`` values and ``t = {0, 6, 9}``: double-sided, near-centered on zero,
+narrowing as ``M`` grows, and only widening/displacing at ``t = 9``.
+:func:`error_histogram` produces the same series; an ASCII sparkline
+renderer is included for terminal output.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..multipliers.base import Multiplier
+from .metrics import relative_errors
+
+__all__ = ["Histogram", "error_histogram", "ascii_histogram"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Histogram:
+    """Normalized histogram of signed relative error (percent bins)."""
+
+    name: str
+    edges: np.ndarray  # bin edges in percent, len bins+1
+    density: np.ndarray  # fraction of samples per bin, sums to ~1
+
+    @property
+    def centers(self) -> np.ndarray:
+        return (self.edges[:-1] + self.edges[1:]) / 2.0
+
+    def mode_center(self) -> float:
+        """Center of the most populated bin, percent."""
+        return float(self.centers[int(np.argmax(self.density))])
+
+    def spread(self) -> float:
+        """Standard deviation of the binned distribution, percent."""
+        mean = float(np.sum(self.centers * self.density))
+        return float(np.sqrt(np.sum((self.centers - mean) ** 2 * self.density)))
+
+
+def error_histogram(
+    multiplier: Multiplier,
+    samples: int = 1 << 22,
+    seed: int = 2020,
+    bins: int = 81,
+    span: float = 8.0,
+) -> Histogram:
+    """Monte-Carlo histogram of the signed relative error.
+
+    ``span`` sets the symmetric range in percent (Fig. 5 uses about ±8%);
+    samples beyond it land in the edge bins so nothing is silently lost.
+    """
+    rng = np.random.default_rng(seed)
+    high = 1 << multiplier.bitwidth
+    a = rng.integers(0, high, samples)
+    b = rng.integers(0, high, samples)
+    errors, _ = relative_errors(multiplier.multiply(a, b), a.astype(np.int64) * b)
+    percent = np.clip(errors * 100.0, -span, span)
+    counts, edges = np.histogram(percent, bins=bins, range=(-span, span))
+    return Histogram(multiplier.name, edges, counts / counts.sum())
+
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def ascii_histogram(hist: Histogram, width: int = 81) -> str:
+    """One-line sparkline of a histogram for terminal display."""
+    density = hist.density
+    if len(density) > width:
+        step = len(density) // width
+        density = density[: step * width].reshape(width, step).sum(axis=1)
+    peak = density.max()
+    if peak == 0:
+        return " " * len(density)
+    levels = np.minimum(
+        (density / peak * (len(_BARS) - 1)).astype(int), len(_BARS) - 1
+    )
+    return "".join(_BARS[v] for v in levels)

@@ -1,0 +1,56 @@
+"""Exhaustive sweeps over small operand ranges.
+
+Figures 1 and 2 of the paper plot the relative-error surface over every
+operand pair in a small range (``{32..255}`` and ``{64..255}``), which is
+cheap to enumerate exactly.  Exhaustive evaluation is also the gold
+standard the test suite uses for 8-bit designs, where the full
+``2^16``-pair cross product fits easily in memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..multipliers.base import Multiplier
+from .metrics import ErrorMetrics, compute_metrics
+
+__all__ = ["error_grid", "exhaustive_metrics"]
+
+
+def error_grid(
+    multiplier: Multiplier, lo: int, hi: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Relative-error surface over ``a, b in [lo, hi]`` (inclusive).
+
+    Returns ``(values, grid, errors)`` where ``values`` is the operand
+    axis, ``grid`` the approximate products and ``errors`` the signed
+    relative errors, both shaped ``(hi-lo+1, hi-lo+1)`` and indexed
+    ``[a - lo, b - lo]``.  ``lo`` must be positive so every relative error
+    is defined.
+    """
+    if lo < 1:
+        raise ValueError(f"lo must be >= 1 for relative errors, got {lo}")
+    if hi < lo:
+        raise ValueError(f"empty range [{lo}, {hi}]")
+    values = np.arange(lo, hi + 1, dtype=np.int64)
+    a, b = np.meshgrid(values, values, indexing="ij")
+    approx = multiplier.multiply(a.ravel(), b.ravel()).reshape(a.shape)
+    exact = a * b
+    errors = (approx - exact) / exact
+    return values, approx, errors
+
+
+def exhaustive_metrics(multiplier: Multiplier, lo: int = 0, hi: int | None = None) -> ErrorMetrics:
+    """Exact error statistics over every pair in ``[lo, hi]^2``.
+
+    Defaults to the multiplier's full operand range — use only for small
+    bitwidths (the pair count is quadratic).
+    """
+    if hi is None:
+        hi = multiplier.max_operand
+    values = np.arange(lo, hi + 1, dtype=np.int64)
+    a, b = np.meshgrid(values, values, indexing="ij")
+    a = a.ravel()
+    b = b.ravel()
+    approx = multiplier.multiply(a, b)
+    return compute_metrics(approx, a * b, max_product=multiplier.max_operand**2)

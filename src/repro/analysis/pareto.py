@@ -1,0 +1,52 @@
+"""Pareto-front extraction for the design space of Fig. 4.
+
+A design point is Pareto optimal when no other point is at least as good
+in both objectives and strictly better in one.  Fig. 4 plots accuracy
+(mean or peak error, lower is better) against resource efficiency (area or
+power *reduction*, higher is better); :func:`pareto_front` handles any
+such min/max objective pair.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["pareto_front", "is_dominated"]
+
+
+def is_dominated(
+    point: tuple[float, float],
+    others: Sequence[tuple[float, float]],
+    maximize_x: bool = True,
+) -> bool:
+    """True if some other point dominates ``point``.
+
+    ``x`` is the efficiency axis (maximized when ``maximize_x``), ``y`` the
+    error axis (always minimized).
+    """
+    px, py = point
+    for ox, oy in others:
+        if (ox, oy) == (px, py):
+            continue
+        x_no_worse = ox >= px if maximize_x else ox <= px
+        x_better = ox > px if maximize_x else ox < px
+        if x_no_worse and oy <= py and (x_better or oy < py):
+            return True
+    return False
+
+
+def pareto_front(
+    points: dict[str, tuple[float, float]], maximize_x: bool = True
+) -> list[str]:
+    """Names of the Pareto-optimal points, sorted along the x axis.
+
+    ``points`` maps a design name to ``(efficiency, error)``.  Duplicated
+    coordinates are all kept (they tie on the front).
+    """
+    values = list(points.values())
+    front = [
+        name
+        for name, point in points.items()
+        if not is_dominated(point, values, maximize_x)
+    ]
+    return sorted(front, key=lambda name: points[name][0], reverse=not maximize_x)

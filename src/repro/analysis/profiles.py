@@ -1,0 +1,117 @@
+"""Error-profile surfaces (paper Fig. 1) and segment analysis (Fig. 2).
+
+Fig. 1 plots the signed relative error of each log-based multiplier over
+the exhaustive operand grid ``A, B in {32..255}``; Fig. 2 overlays the
+``M x M`` segmentation of each power-of-two interval and shows how REALM
+zeroes the per-segment average error.  Without a plotting stack the
+benches export the same data as CSV series plus an ASCII heatmap for the
+terminal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..core.factors import segment_index
+from ..core.bitops import floor_log2, log_fraction
+from ..multipliers.base import Multiplier
+from .exhaustive import error_grid
+
+__all__ = [
+    "ProfileSummary",
+    "profile",
+    "ascii_heatmap",
+    "segment_mean_errors",
+]
+
+#: Fig. 1 operand range
+FIG1_RANGE = (32, 255)
+#: Fig. 2 operand range
+FIG2_RANGE = (64, 255)
+
+
+@dataclasses.dataclass(frozen=True)
+class ProfileSummary:
+    """One Fig. 1 panel: the error surface plus its headline statistics."""
+
+    name: str
+    values: np.ndarray
+    errors: np.ndarray  # signed relative errors, shape (n, n)
+
+    @property
+    def mean_error(self) -> float:
+        """Mean absolute relative error over the grid, percent."""
+        return float(np.abs(self.errors).mean() * 100.0)
+
+    @property
+    def peak_error(self) -> float:
+        """Peak absolute relative error over the grid, percent."""
+        return float(np.abs(self.errors).max() * 100.0)
+
+    @property
+    def bias(self) -> float:
+        """Mean signed relative error over the grid, percent."""
+        return float(self.errors.mean() * 100.0)
+
+
+def profile(
+    multiplier: Multiplier, lo: int = FIG1_RANGE[0], hi: int = FIG1_RANGE[1]
+) -> ProfileSummary:
+    """Exhaustive error profile of one design (one Fig. 1 panel)."""
+    values, _, errors = error_grid(multiplier, lo, hi)
+    return ProfileSummary(multiplier.name, values, errors)
+
+
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_heatmap(errors: np.ndarray, width: int = 64) -> str:
+    """Render an error surface as an ASCII heatmap (|error| magnitude).
+
+    Rows are the first operand (top = small), columns the second.  Useful
+    for eyeballing Fig. 1/2 structure in a terminal; the benches also dump
+    the raw CSV for real plotting.
+    """
+    mag = np.abs(np.asarray(errors, dtype=float))
+    n = mag.shape[0]
+    step = max(1, n // width)
+    # block-average downsample to the display resolution
+    trimmed = mag[: (n // step) * step, : (n // step) * step]
+    blocks = trimmed.reshape(n // step, step, n // step, step).mean(axis=(1, 3))
+    peak = blocks.max()
+    if peak == 0:
+        levels = np.zeros_like(blocks, dtype=int)
+    else:
+        levels = np.minimum(
+            (blocks / peak * (len(_SHADES) - 1)).astype(int), len(_SHADES) - 1
+        )
+    return "\n".join("".join(_SHADES[v] for v in row) for row in levels)
+
+
+def segment_mean_errors(
+    multiplier: Multiplier,
+    m: int,
+    lo: int = FIG2_RANGE[0],
+    hi: int = FIG2_RANGE[1],
+) -> np.ndarray:
+    """Per-segment mean signed relative error (the substance of Fig. 2).
+
+    Buckets every operand pair of the exhaustive grid into its ``(i, j)``
+    log-fraction segment and averages the signed error per bucket.  For
+    cALM the buckets show the characteristic error hills; for REALM each
+    bucket's mean collapses toward zero — the paper's per-segment
+    error-reduction claim, made quantitative.
+    """
+    values, _, errors = error_grid(multiplier, lo, hi)
+    width = multiplier.bitwidth - 1
+    k = floor_log2(values)
+    fractions = log_fraction(values, k, multiplier.bitwidth)
+    segments = segment_index(fractions, width, m)
+    means = np.zeros((m, m))
+    for i in range(m):
+        for j in range(m):
+            cell = errors[np.ix_(segments == i, segments == j)]
+            means[i, j] = cell.mean() if cell.size else np.nan
+    return means

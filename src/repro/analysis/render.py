@@ -1,0 +1,86 @@
+"""Dependency-free figure rendering: PGM images for the paper's plots.
+
+No plotting stack is assumed, so the figure benches export raw CSV plus
+ASCII art; this module adds real *images* — binary PGM (portable graymap),
+the simplest standard raster format, viewable everywhere — for the three
+visual figures:
+
+* :func:`render_heatmap` — an error surface (Fig. 1/2 panels) as a
+  grayscale map, optional signed mode (negative dark / positive bright
+  around mid-gray);
+* :func:`render_histogram` — a Fig. 5 panel as a bar raster;
+* :func:`save_pgm` — the underlying writer.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+__all__ = ["save_pgm", "render_heatmap", "render_histogram"]
+
+
+def save_pgm(pixels: np.ndarray, path) -> pathlib.Path:
+    """Write an 8-bit grayscale image as binary PGM (P5)."""
+    pixels = np.asarray(pixels)
+    if pixels.ndim != 2:
+        raise ValueError(f"expected a 2-D image, got shape {pixels.shape}")
+    if pixels.dtype != np.uint8:
+        if pixels.min() < 0 or pixels.max() > 255:
+            raise ValueError("pixel values outside [0, 255]")
+        pixels = pixels.astype(np.uint8)
+    path = pathlib.Path(path)
+    height, width = pixels.shape
+    with open(path, "wb") as handle:
+        handle.write(f"P5\n{width} {height}\n255\n".encode("ascii"))
+        handle.write(pixels.tobytes())
+    return path
+
+
+def render_heatmap(
+    errors: np.ndarray,
+    path,
+    signed: bool = True,
+    scale: int = 2,
+) -> pathlib.Path:
+    """Render an error surface to PGM.
+
+    ``signed=True`` maps zero error to mid-gray (128), the most negative
+    value to black and the most positive to white — the reading of the
+    paper's Fig. 1 colormaps.  ``signed=False`` maps |error| to
+    brightness.  ``scale`` integer-upsamples for visibility.
+    """
+    surface = np.asarray(errors, dtype=np.float64)
+    if signed:
+        peak = np.abs(surface).max() or 1.0
+        pixels = 128.0 + surface / peak * 127.0
+    else:
+        magnitude = np.abs(surface)
+        peak = magnitude.max() or 1.0
+        pixels = magnitude / peak * 255.0
+    pixels = np.clip(np.rint(pixels), 0, 255).astype(np.uint8)
+    if scale > 1:
+        pixels = np.kron(pixels, np.ones((scale, scale), dtype=np.uint8))
+    return save_pgm(pixels, path)
+
+
+def render_histogram(
+    density: np.ndarray,
+    path,
+    height: int = 120,
+    bar_width: int = 3,
+) -> pathlib.Path:
+    """Render a histogram (Fig. 5 panel) as a white-bars-on-black PGM."""
+    density = np.asarray(density, dtype=np.float64)
+    if density.ndim != 1:
+        raise ValueError(f"expected a 1-D density, got shape {density.shape}")
+    peak = density.max() or 1.0
+    heights = np.rint(density / peak * height).astype(int)  # full bar = top
+    width = len(density) * bar_width
+    pixels = np.zeros((height, width), dtype=np.uint8)
+    for index, bar in enumerate(heights):
+        if bar > 0:
+            x0 = index * bar_width
+            pixels[height - bar :, x0 : x0 + bar_width] = 255
+    return save_pgm(pixels, path)

@@ -1,0 +1,56 @@
+"""Scaling studies: operand width and the (M, t) knob surface.
+
+The paper evaluates at 16 bits only.  Two natural questions a user of the
+library asks next:
+
+* **Does the error scale with bitwidth?**  For log-based designs it
+  should barely move — the relative error is a function of the log
+  fractions, whose distribution is (nearly) width-independent — while the
+  forced rounding LSB's 2^-(N-1) bias floor grows as N shrinks.
+  :func:`bitwidth_scaling` measures that.
+* **How dense is the design space the two knobs span?**
+  :func:`knob_surface` evaluates the full (M, t) grid, the quantitative
+  backing for the paper's "wide and dense design space" claim.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from ..core.realm import RealmMultiplier
+from ..multipliers.base import Multiplier
+from .metrics import ErrorMetrics
+from .montecarlo import characterize
+
+__all__ = ["bitwidth_scaling", "knob_surface"]
+
+
+def bitwidth_scaling(
+    factory: Callable[[int], Multiplier],
+    bitwidths: Sequence[int] = (8, 10, 12, 16, 20, 24),
+    samples: int = 1 << 20,
+    seed: int = 2020,
+) -> dict[int, ErrorMetrics]:
+    """Error metrics of ``factory(bitwidth)`` across operand widths."""
+    results = {}
+    for bitwidth in bitwidths:
+        results[bitwidth] = characterize(
+            factory(bitwidth), samples=samples, seed=seed
+        )
+    return results
+
+
+def knob_surface(
+    m_values: Sequence[int] = (1, 2, 4, 8, 16),
+    t_values: Sequence[int] = tuple(range(10)),
+    bitwidth: int = 16,
+    samples: int = 1 << 20,
+    seed: int = 2020,
+) -> dict[tuple[int, int], ErrorMetrics]:
+    """Error metrics over the full REALM (M, t) configuration grid."""
+    results = {}
+    for m in m_values:
+        for t in t_values:
+            realm = RealmMultiplier(bitwidth=bitwidth, m=m, t=t)
+            results[(m, t)] = characterize(realm, samples=samples, seed=seed)
+    return results

@@ -1,0 +1,79 @@
+"""Structural AM1/AM2 [15]: OR-tree accumulation with error recovery.
+
+The partial products are accumulated by a binary tree of OR "adders"; each
+node also produces its error vector (the AND of its inputs — the amount
+the OR dropped).  AM1 recovers by ORing all error vectors, masking to the
+``nb`` MSBs and adding once; AM2 sums the error vectors exactly (a
+carry-save compressor tree) before masking and adding, which is why AM2's
+area reduction in Table I is much smaller than AM1's at equal ``nb``.
+"""
+
+from __future__ import annotations
+
+from ..logic.netlist import CONST0, Netlist
+from .adders import ripple_adder
+from .wallace import reduce_columns
+
+__all__ = ["am_netlist"]
+
+Net = int
+Bus = list[Net]
+
+
+def _or_bus(nl: Netlist, a: Bus, b: Bus) -> Bus:
+    return [nl.add("OR2", x, y) for x, y in zip(a, b)]
+
+
+def _and_bus(nl: Netlist, a: Bus, b: Bus) -> Bus:
+    return [nl.add("AND2", x, y) for x, y in zip(a, b)]
+
+
+def am_netlist(bitwidth: int = 16, nb: int = 13, variant: str = "AM1") -> Netlist:
+    """AM1 (OR recovery) or AM2 (exact-sum recovery), masked to ``nb`` MSBs."""
+    if variant not in ("AM1", "AM2"):
+        raise ValueError(f"variant must be 'AM1' or 'AM2', got {variant!r}")
+    if not 0 <= nb <= 2 * bitwidth:
+        raise ValueError(f"recovery width nb must be in [0, {2 * bitwidth}]")
+    nl = Netlist(f"{variant.lower()}{bitwidth}-nb{nb}")
+    a = nl.input_bus("a", bitwidth)
+    b = nl.input_bus("b", bitwidth)
+    width = 2 * bitwidth
+
+    def padded_pp(i: int) -> Bus:
+        gated = [nl.add("AND2", bit, b[i]) for bit in a]
+        return [CONST0] * i + gated + [CONST0] * (width - bitwidth - i)
+
+    terms: list[Bus] = [padded_pp(i) for i in range(bitwidth)]
+    errors: list[Bus] = []
+    while len(terms) > 1:
+        next_terms: list[Bus] = []
+        for first, second in zip(terms[0::2], terms[1::2]):
+            next_terms.append(_or_bus(nl, first, second))
+            errors.append(_and_bus(nl, first, second))
+        if len(terms) % 2 == 1:
+            next_terms.append(terms[-1])
+        terms = next_terms
+    approx = terms[0]
+
+    low_cut = width - nb
+    if variant == "AM1":
+        combined = errors[0]
+        for error in errors[1:]:
+            combined = _or_bus(nl, combined, error)
+        recovery = [CONST0] * low_cut + combined[low_cut:]
+    else:
+        # exact multi-operand sum via carry-save compression, then mask:
+        # bits above 2**width fall outside the mask and are dropped.
+        columns: list[list[Net]] = [[] for _ in range(width)]
+        for error in errors:
+            for weight, bit in enumerate(error):
+                if bit is not CONST0:
+                    columns[weight].append(bit)
+        row_a, row_b = reduce_columns(nl, [col or [CONST0] for col in columns])
+        total, _ = ripple_adder(nl, row_a[:width], row_b[:width])
+        recovery = [CONST0] * low_cut + total[low_cut:width]
+
+    product, _ = ripple_adder(nl, approx, recovery)
+    nl.set_outputs(product[:width])
+    nl.prune()
+    return nl

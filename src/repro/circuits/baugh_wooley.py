@@ -1,0 +1,77 @@
+"""Baugh-Wooley signed multiplier — the structural side of Section III-C.
+
+The paper handles signed numbers by wrapping an unsigned core in
+sign-magnitude logic (implemented functionally in
+:mod:`repro.multipliers.signed`).  The other classical option — and what a
+library would ship for exact signed multiplication — is the Baugh-Wooley
+array: two's complement operands multiplied directly by complementing the
+cross partial products of the sign bits and adding two correction
+constants, reducing with the same carry-save machinery as the unsigned
+Wallace tree.
+
+For ``N``-bit two's complement ``A = -a_{N-1} 2^{N-1} + Σ a_i 2^i`` (and
+likewise ``B``), the product is
+
+```
+A*B = Σ_{i,j<N-1} a_i b_j 2^{i+j}
+    + 2^{N-1} Σ_{j<N-1} NOT(a_{N-1} b_j) 2^j     (complemented cross terms)
+    + 2^{N-1} Σ_{i<N-1} NOT(a_i b_{N-1}) 2^i
+    + a_{N-1} b_{N-1} 2^{2N-2}
+    + 2^N + 2^{2N-1}                              (correction constants)
+```
+
+taken modulo ``2^{2N}`` — exactly what the exhaustive tests check.
+"""
+
+from __future__ import annotations
+
+from ..logic.netlist import CONST1, Netlist
+from .adders import ripple_adder
+from .wallace import reduce_columns
+
+__all__ = ["baugh_wooley_multiplier", "baugh_wooley_netlist"]
+
+Net = int
+Bus = list[Net]
+
+
+def baugh_wooley_multiplier(nl: Netlist, a: Bus, b: Bus) -> Bus:
+    """Exact two's complement product, ``2N`` bits (mod ``2^2N``)."""
+    n = len(a)
+    if len(b) != n:
+        raise ValueError(
+            f"Baugh-Wooley needs equal operand widths, got {n} and {len(b)}"
+        )
+    if n < 2:
+        raise ValueError("signed multiplication needs at least 2 bits")
+    out_width = 2 * n
+    columns: list[list[Net]] = [[] for _ in range(out_width)]
+
+    sign_a, sign_b = a[n - 1], b[n - 1]
+    # magnitude-by-magnitude terms
+    for i in range(n - 1):
+        for j in range(n - 1):
+            columns[i + j].append(nl.add("AND2", a[i], b[j]))
+    # complemented cross terms with each sign bit
+    for j in range(n - 1):
+        columns[n - 1 + j].append(nl.add("NAND2", sign_a, b[j]))
+    for i in range(n - 1):
+        columns[n - 1 + i].append(nl.add("NAND2", a[i], sign_b))
+    # sign-by-sign term and the two correction ones
+    columns[2 * n - 2].append(nl.add("AND2", sign_a, sign_b))
+    columns[n].append(CONST1)
+    columns[2 * n - 1].append(CONST1)
+
+    row_a, row_b = reduce_columns(nl, columns)
+    total, _ = ripple_adder(nl, row_a[:out_width], row_b[:out_width])
+    return total[:out_width]
+
+
+def baugh_wooley_netlist(bitwidth: int = 16) -> Netlist:
+    """Standalone signed ``N x N -> 2N`` multiplier netlist."""
+    nl = Netlist(f"baugh-wooley{bitwidth}")
+    a = nl.input_bus("a", bitwidth)
+    b = nl.input_bus("b", bitwidth)
+    nl.set_outputs(baugh_wooley_multiplier(nl, a, b))
+    nl.prune()
+    return nl

@@ -1,0 +1,73 @@
+"""Netlist builders for every registry configuration.
+
+Mirror of :mod:`repro.multipliers.registry` on the structural side: the
+same identifier (e.g. ``"realm16-t3"``) resolves to the gate-level netlist
+of that design.  The test suite checks functional-vs-structural
+equivalence through this mapping, and the synthesis benches derive the
+Table I area/power columns from it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..logic.netlist import Netlist
+from .am_rtl import am_netlist
+from .drum_rtl import drum_netlist
+from .implm_rtl import implm_netlist
+from .intalp_rtl import intalp_netlist
+from .mitchell_rtl import alm_netlist, mitchell_netlist
+from .realm_rtl import mbm_netlist, realm_netlist
+from .ssm_rtl import essm_netlist, ssm_netlist
+from .wallace import wallace_netlist
+
+__all__ = ["NETLISTS", "netlist_for"]
+
+NetlistFactory = Callable[[int], Netlist]
+
+
+def _build_catalog() -> dict[str, NetlistFactory]:
+    catalog: dict[str, NetlistFactory] = {"accurate": wallace_netlist}
+    for m in (16, 8, 4):
+        for t in range(10):
+            catalog[f"realm{m}-t{t}"] = (
+                lambda n, m=m, t=t: realm_netlist(n, m=m, t=t)
+            )
+    catalog["calm"] = mitchell_netlist
+    catalog["implm-ea"] = implm_netlist
+    for t in (0, 2, 4, 6, 8, 9):
+        catalog[f"mbm-t{t}"] = lambda n, t=t: mbm_netlist(n, t=t)
+    for m in (3, 6, 9, 11, 12):
+        catalog[f"alm-maa-m{m}"] = lambda n, m=m: alm_netlist(n, m=m, adder="MAA")
+        catalog[f"alm-soa-m{m}"] = lambda n, m=m: alm_netlist(n, m=m, adder="SOA")
+    for level in (2, 1):
+        catalog[f"intalp-l{level}"] = (
+            lambda n, level=level: intalp_netlist(n, level=level)
+        )
+    for nb in (13, 9, 5):
+        catalog[f"am1-nb{nb}"] = lambda n, nb=nb: am_netlist(n, nb=nb, variant="AM1")
+        catalog[f"am2-nb{nb}"] = lambda n, nb=nb: am_netlist(n, nb=nb, variant="AM2")
+    for k in (8, 7, 6, 5, 4):
+        catalog[f"drum-k{k}"] = lambda n, k=k: drum_netlist(n, k=k)
+    for m in (10, 9, 8):
+        catalog[f"ssm-m{m}"] = lambda n, m=m: ssm_netlist(n, m=m)
+    catalog["essm8"] = lambda n: essm_netlist(n, m=8)
+    return catalog
+
+
+#: identifier -> netlist factory(bitwidth), aligned with the registry
+NETLISTS: dict[str, NetlistFactory] = _build_catalog()
+
+
+def netlist_for(name: str, bitwidth: int = 16) -> Netlist:
+    """Build (and prune) the structural netlist of a named configuration."""
+    try:
+        factory = NETLISTS[name]
+    except KeyError:
+        raise KeyError(
+            f"no netlist for {name!r}; known: {', '.join(NETLISTS)}"
+        ) from None
+    netlist = factory(bitwidth)
+    if netlist.outputs and netlist.gate_count:
+        netlist.prune()
+    return netlist

@@ -1,0 +1,114 @@
+"""Structural netlists for the log dividers (the method extension).
+
+Same Fig. 3 vocabulary as the multiplier datapaths: LOD + normalizing
+shifter front ends, a fraction *subtractor* instead of the adder, a
+hardwired LUT of (negative) per-segment corrections whose magnitude is
+doubled in the borrow branch (the mirror image of the multiplier's
+``s_ij >> 1`` mux — the borrow mantissa lives one binade lower, so the
+correction scales up), a signed exponent subtract, and a bidirectional
+output scaler.
+
+Division by zero is a datapath don't-care (a real design flags it from
+the divisor's zero-detect); the equivalence tests drive ``b >= 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..logic.netlist import CONST0, CONST1, Netlist
+from .adders import ripple_adder, ripple_subtractor
+from .logdatapath import log_front_end
+from .mux import constant_lut
+from .shifter import barrel_left
+
+__all__ = ["mitchell_divider_netlist", "realm_divider_netlist"]
+
+Net = int
+Bus = list[Net]
+
+
+def _divider_datapath(nl: Netlist, bitwidth: int, correction_magnitude) -> None:
+    """Shared structure; ``correction_magnitude(nl, xa, xb) -> (bus, q)``
+    returns the LUT magnitude output (non-negative codes of ``q-2`` bits)
+    or ``None`` for the uncorrected Mitchell divider."""
+    n = bitwidth
+    width = n - 1
+    a = nl.input_bus("a", n)
+    b = nl.input_bus("b", n)
+    op_a = log_front_end(nl, a)
+    op_b = log_front_end(nl, b)
+
+    # fraction difference: diff_tc = (xa - xb) mod 2^width; no_borrow
+    # doubles as the branch select.  Both branches share the mantissa
+    # 2^width + diff_tc — only the exponent differs.
+    diff, no_borrow = ripple_subtractor(nl, op_a.fraction, op_b.fraction)
+    borrow = nl.add("INV", no_borrow)
+    mantissa: Bus = diff + [CONST1]
+
+    lut = correction_magnitude(nl, op_a.fraction, op_b.fraction)
+    if lut is not None:
+        codes, q = lut
+        # magnitude on the fraction grid; doubled in the borrow branch
+        base = [CONST0] * (width - q) + codes
+        doubled = ([CONST0] * (width - q + 1) + codes)[: len(mantissa)]
+        base = (base + [CONST0] * len(mantissa))[: len(mantissa)]
+        selected = [
+            nl.add("MUX2", lo, hi, borrow) for lo, hi in zip(base, doubled)
+        ]
+        mantissa, _ = ripple_subtractor(nl, mantissa, selected)
+
+    # exponent = ka - kb - borrow over 6-bit two's complement:
+    # a + ~b + 1 - borrow = a + ~b + no_borrow
+    ka = op_a.characteristic + [CONST0, CONST0]
+    kb_inverted = [nl.add("INV", bit) for bit in op_b.characteristic] + [
+        CONST1,
+        CONST1,
+    ]
+    exponent, _ = ripple_adder(nl, ka, kb_inverted, carry_in=no_borrow)
+
+    # quotient = floor(mantissa * 2^(e - width)) with e in [-16, 15]:
+    # shift the mantissa left by (e + 16) inside a wide window, then drop
+    # the width + 16 fraction bits.  Over 5 bits, (e + 16) mod 32 is just
+    # e mod 32 with bit 4 inverted (adding half the modulus).
+    shift_amount = list(exponent[:4]) + [nl.add("INV", exponent[4])]
+    window = barrel_left(nl, mantissa, shift_amount, width + 16 + n)
+    quotient = window[width + 16 : width + 16 + n]
+
+    gated = [nl.add("AND2", bit, op_a.nonzero) for bit in quotient]
+    nl.set_outputs(gated)
+    nl.prune()
+
+
+def mitchell_divider_netlist(bitwidth: int = 16) -> Netlist:
+    """Structural classical log divider."""
+    nl = Netlist(f"calm-div{bitwidth}")
+    _divider_datapath(nl, bitwidth, lambda *_: None)
+    return nl
+
+
+def realm_divider_netlist(bitwidth: int = 16, m: int = 8, q: int = 6) -> Netlist:
+    """Structural REALM-style divider; bit-exact vs.
+    ``RealmDivider(bitwidth, m, q)`` for nonzero divisors."""
+    from ..extensions.divider import RealmDivider
+
+    model = RealmDivider(bitwidth=bitwidth, m=m, q=q)
+    magnitudes = (-model.codes).astype(np.int64)  # non-negative, < 2^(q-2)
+    logm = m.bit_length() - 1
+
+    def lut(nl: Netlist, xa: Bus, xb: Bus):
+        if logm == 0:
+            value = int(magnitudes[0, 0])
+            bus = [
+                CONST1 if (value >> bit) & 1 else CONST0 for bit in range(q - 2)
+            ]
+            return bus, q
+        i_bits = xa[bitwidth - 1 - logm :]
+        j_bits = xb[bitwidth - 1 - logm :]
+        select = j_bits + i_bits
+        flat = [int(magnitudes[i, j]) for i in range(m) for j in range(m)]
+        return constant_lut(nl, flat, q - 2, select), q
+
+    nl = Netlist(f"realm-div{m}-{bitwidth}b")
+    _divider_datapath(nl, bitwidth, lut)
+    return nl

@@ -1,0 +1,70 @@
+"""Structural DRUM [3]: dynamic-range fragment extraction around a small
+exact multiplier.
+
+Per operand: an LOD finds the leading one; a right barrel shifter aligns
+the top ``k`` bits down to the LSBs (shift amount ``pos - (k-1)``,
+saturated at 0); the fragment LSB is forced to 1 whenever truncation
+happened.  The two ``k``-bit fragments feed an exact Wallace multiplier
+and a left barrel shifter restores the magnitude using the sum of the two
+shift amounts.
+"""
+
+from __future__ import annotations
+
+from ..logic.netlist import Netlist
+from .adders import ripple_adder, ripple_subtractor
+from .lod import leading_one
+from .logdatapath import gate_output
+from .shifter import barrel_left, barrel_right
+from .wallace import wallace_multiplier
+
+__all__ = ["drum_netlist"]
+
+Net = int
+Bus = list[Net]
+
+
+def _fragment(nl: Netlist, operand: Bus, k: int) -> tuple[Bus, Bus]:
+    """Returns ``(fragment, shift_amount)`` for one operand."""
+    _, position, _ = leading_one(nl, operand)
+    # shift = max(position - (k-1), 0); no_borrow = (position >= k-1)
+    difference, no_borrow = ripple_subtractor(nl, position, _const_bus(nl, k - 1, len(position)))
+    shift = [nl.add("AND2", bit, no_borrow) for bit in difference[: len(position)]]
+    fragment = barrel_right(nl, operand, shift, width=k)
+    # force the fragment LSB to 1 whenever bits were shifted out (shift>0),
+    # i.e. when position > k-1: no_borrow AND (difference != 0)
+    from .lod import or_tree
+
+    truncated = nl.add("AND2", no_borrow, or_tree(nl, shift))
+    fragment[0] = nl.add("OR2", fragment[0], truncated)
+    return fragment, shift
+
+
+def _const_bus(nl: Netlist, value: int, width: int) -> Bus:
+    from ..logic.netlist import CONST0, CONST1
+
+    return [CONST1 if (value >> i) & 1 else CONST0 for i in range(width)]
+
+
+def drum_netlist(bitwidth: int = 16, k: int = 6) -> Netlist:
+    """DRUM with fragment width ``k``; bit-exact vs. the functional model."""
+    if not 3 <= k <= bitwidth:
+        raise ValueError(f"fragment width k must be in [3, {bitwidth}], got {k}")
+    nl = Netlist(f"drum{bitwidth}-k{k}")
+    a = nl.input_bus("a", bitwidth)
+    b = nl.input_bus("b", bitwidth)
+
+    frag_a, shift_a = _fragment(nl, a, k)
+    frag_b, shift_b = _fragment(nl, b, k)
+    core = wallace_multiplier(nl, frag_a, frag_b)
+
+    total_shift, carry = ripple_adder(nl, shift_a, shift_b)
+    product = barrel_left(nl, core, total_shift + [carry], 2 * bitwidth)
+
+    from .lod import or_tree
+
+    nonzero_a = or_tree(nl, a)
+    nonzero_b = or_tree(nl, b)
+    nl.set_outputs(gate_output(nl, product, nonzero_a, nonzero_b))
+    nl.prune()
+    return nl

@@ -1,0 +1,84 @@
+"""Structural ImpLM [10]: nearest-one log multiplier with exact adder.
+
+ImpLM's rounding to the *nearest* power of two makes its datapath wider
+and busier than cALM's: a nearest-one detector (LOD + round-up incrementer)
+per operand, a signed 17-bit fraction path in two's complement (negative
+fractions appear whenever an operand rounds up), an 18-bit signed adder,
+and a denormal-capable output stage.  That extra hardware is exactly why
+Table I reports only an 11.9% area reduction for ImpLM — the least of all
+log-based designs — and the structural model reproduces the ordering.
+
+Fraction encoding (on the ``2**-N`` grid, two's complement, 17 bits):
+
+* no round-up:  ``F = x * 2**(N-1) * 2 = {0, x, 0}``  (positive)
+* round-up:     ``F = (x - 1) / 2 * 2**N = x*2**(N-1) - 2**(N-1) - 2**(N-1)
+  ... = {x bits, 1, 1}`` (negative two's complement, see module tests)
+
+and the product is ``floor((2**N + Fa + Fb) * 2**(ka+kb-N))`` — the linear
+antilog applied to a possibly sub-unity mantissa.
+"""
+
+from __future__ import annotations
+
+from ..logic.netlist import CONST0, CONST1, Netlist
+from .adders import ripple_adder
+from .lod import nearest_one
+from .logdatapath import gate_output
+from .shifter import normalize_fraction, scaling_shifter
+
+__all__ = ["implm_netlist"]
+
+Net = int
+Bus = list[Net]
+
+
+def implm_netlist(bitwidth: int = 16) -> Netlist:
+    """ImpLM with the exact adder ("EA"); bit-exact vs. the model."""
+    n = bitwidth
+    nl = Netlist(f"implm{n}-ea")
+    a = nl.input_bus("a", n)
+    b = nl.input_bus("b", n)
+
+    def front_end(operand: Bus) -> tuple[Bus, Bus, Net]:
+        """Returns ``(k_near, F_signed_17b, nonzero)``."""
+        onehot, k_near, round_up, nonzero = nearest_one(nl, operand)
+        # normalize with the *true* leading-one position: k = k_near when
+        # not rounding up, else k_near - 1.  Recover k from the onehot.
+        from .lod import or_tree
+
+        bits = max((n - 1).bit_length(), 1)
+        k_true = [
+            or_tree(nl, [onehot[i] for i in range(n) if (i >> bit) & 1])
+            for bit in range(bits)
+        ]
+        x = normalize_fraction(nl, operand, k_true)  # n-1 bits, value x
+        # positive form {0, x, 0}: F = 2*x*2**(n-1)
+        positive = [CONST0] + x + [CONST0]
+        # negative form {x, 1, 1}: F = x*2**(n-1) - 3*2**(n-1) mod 2**(n+1)
+        negative = x + [CONST1, CONST1]
+        fraction = [
+            nl.add("MUX2", p, m, round_up) for p, m in zip(positive, negative)
+        ]
+        return k_near, fraction, nonzero
+
+    ka, fa, nonzero_a = front_end(a)
+    kb, fb, nonzero_b = front_end(b)
+
+    # signed fraction sum: sign-extend both 17-bit values to 18 bits
+    fa_ext = fa + [fa[-1]]
+    fb_ext = fb + [fb[-1]]
+    f_sum, _ = ripple_adder(nl, fa_ext, fb_ext)  # 18-bit two's complement
+
+    # mantissa = 2**n + F on the 2**-n grid: add 1 at weight n (bits 16..17)
+    from .adders import incrementer
+
+    high = incrementer(nl, f_sum[n:], CONST1)  # 3 bits, carry beyond drops
+    mantissa = f_sum[:n] + high[:2]  # 18 bits, value in (2**(n-1), 2**(n+1))
+
+    exponent, exp_carry = ripple_adder(nl, ka, kb)
+    product = scaling_shifter(
+        nl, mantissa, exponent + [exp_carry], n, 2 * bitwidth
+    )
+    nl.set_outputs(gate_output(nl, product, nonzero_a, nonzero_b))
+    nl.prune()
+    return nl

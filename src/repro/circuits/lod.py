@@ -1,0 +1,80 @@
+"""Leading-one and nearest-one detectors (the front end of Fig. 3).
+
+The LOD finds the position of an operand's most significant 1; the
+priority encoder turns the one-hot into the binary characteristic ``k``.
+ImpLM's nearest-one detector additionally rounds ``k`` up when the bit
+below the leading one is set (operand closer to the next power of two).
+
+Reductions are built as balanced trees (what a synthesis tool makes of a
+behavioral priority ``case``), keeping both the gate count and the logic
+depth representative.
+"""
+
+from __future__ import annotations
+
+from ..logic.netlist import CONST0, Netlist
+from .adders import incrementer
+
+__all__ = ["or_tree", "leading_one", "nearest_one"]
+
+Net = int
+Bus = list[Net]
+
+
+def or_tree(nl: Netlist, terms: Bus) -> Net:
+    """Balanced OR reduction of a list of nets."""
+    if not terms:
+        return CONST0
+    level = list(terms)
+    while len(level) > 1:
+        level = [
+            nl.add("OR2", a, b) for a, b in zip(level[0::2], level[1::2])
+        ] + ([level[-1]] if len(level) % 2 else [])
+    return level[0]
+
+
+def leading_one(nl: Netlist, operand: Bus) -> tuple[Bus, Bus, Net]:
+    """Returns ``(onehot, k, nonzero)``.
+
+    ``onehot[i]`` flags the leading one at position ``i``; ``k`` is its
+    binary position (``ceil(log2(N))`` bits, value 0 when the operand is
+    zero); ``nonzero`` is the operand's OR-reduction.  Callers that only
+    use ``k`` rely on netlist pruning to drop the unused one-hot gates.
+    """
+    n = len(operand)
+    # any_above[i] = OR of operand[i+1:], built as a suffix chain (shared
+    # heavily via structural hashing with the or_tree below)
+    any_above: Bus = [CONST0] * n
+    for i in range(n - 2, -1, -1):
+        any_above[i] = (
+            operand[i + 1]
+            if i == n - 2
+            else nl.add("OR2", operand[i + 1], any_above[i + 1])
+        )
+    onehot = [
+        operand[i] if i == n - 1 else nl.add("ANDN2", operand[i], any_above[i])
+        for i in range(n)
+    ]
+    nonzero = or_tree(nl, operand)
+
+    bits = max((n - 1).bit_length(), 1)
+    k: Bus = []
+    for b in range(bits):
+        k.append(or_tree(nl, [onehot[i] for i in range(n) if (i >> b) & 1]))
+    return onehot, k, nonzero
+
+
+def nearest_one(nl: Netlist, operand: Bus) -> tuple[Bus, Bus, Net, Net]:
+    """ImpLM front end: returns ``(onehot, k_near, round_up, nonzero)``.
+
+    ``round_up`` is 1 when the bit below the leading one is set, in which
+    case ``k_near = k + 1`` (the operand is nearer to the next power of
+    two); ``onehot`` still marks the true leading one.
+    """
+    onehot, k, nonzero = leading_one(nl, operand)
+    below = [
+        nl.add("AND2", onehot[i], operand[i - 1]) for i in range(1, len(operand))
+    ]
+    round_up = or_tree(nl, below)
+    k_near = incrementer(nl, k, round_up)
+    return onehot, k_near, round_up, nonzero

@@ -1,0 +1,61 @@
+"""Mux trees and the hardwired constant LUT of REALM (Fig. 3).
+
+REALM stores its ``M**2`` quantized error-reduction factors as read-only
+hardwired constants behind an ``M**2 x 1`` multiplexer whose select lines
+are the fraction MSBs.  :func:`constant_lut` builds exactly that: a mux
+tree over constant leaves.  The builder's constant folding and structural
+hashing collapse identical sub-trees and constant pairs, so the LUT costs
+what a synthesized case-statement costs — the paper's "little overhead"
+claim, reproduced structurally.
+"""
+
+from __future__ import annotations
+
+from ..logic.netlist import CONST0, CONST1, Netlist
+
+__all__ = ["mux_tree", "constant_lut"]
+
+Net = int
+Bus = list[Net]
+
+
+def mux_tree(nl: Netlist, options: list[Bus], select: Bus) -> Bus:
+    """Select one of ``2**len(select)`` buses; option index = select value.
+
+    Missing trailing options are treated as all-zero buses.
+    """
+    count = 1 << len(select)
+    if len(options) > count:
+        raise ValueError(
+            f"{len(options)} options need {len(options).bit_length()} select "
+            f"bits, got {len(select)}"
+        )
+    width = max(len(bus) for bus in options)
+    padded = [list(bus) + [CONST0] * (width - len(bus)) for bus in options]
+    padded += [[CONST0] * width] * (count - len(padded))
+
+    level = padded
+    for sel in select:
+        level = [
+            [nl.add("MUX2", d0, d1, sel) for d0, d1 in zip(low, high)]
+            for low, high in zip(level[0::2], level[1::2])
+        ]
+    return level[0]
+
+
+def constant_lut(nl: Netlist, values: list[int], width: int, select: Bus) -> Bus:
+    """Hardwired read-only LUT: ``out = values[select]`` as a mux tree.
+
+    ``values`` are unsigned constants of ``width`` bits; the tree is built
+    over constant leaves so folding eliminates every mux whose subtree is
+    uniform — e.g. REALM's always-zero factor MSBs cost nothing, matching
+    the paper's observation that only ``q-2`` bits need storing.
+    """
+    for value in values:
+        if value < 0 or value >= (1 << width):
+            raise ValueError(f"constant {value} does not fit in {width} bits")
+    leaves = [
+        [(CONST1 if (value >> bit) & 1 else CONST0) for bit in range(width)]
+        for value in values
+    ]
+    return mux_tree(nl, leaves, select)

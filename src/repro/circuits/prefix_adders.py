@@ -1,0 +1,206 @@
+"""Parallel-prefix and carry-select adders.
+
+The ripple adders used throughout the multiplier datapaths are the
+smallest possible carry-propagate structure — and the slowest.  A real
+synthesis run at the paper's 1 GHz constraint restructures wide carry
+chains into parallel-prefix networks, trading area for logarithmic depth.
+This module provides the classical family so that trade-off can be
+studied quantitatively (see ``bench_ablation_adders``):
+
+* **Sklansky** — minimal depth (log2 N), divide-and-conquer fanout tree;
+* **Kogge-Stone** — minimal depth *and* unit fanout, at maximal wiring
+  (the most prefix cells of the classical networks);
+* **Brent-Kung** — ~2 log2 N depth with the fewest prefix cells;
+* **carry-select** — block-level duplication with mux selection, the
+  classic mid-point between ripple and prefix.
+
+All return ``(sum_bus, carry_out)`` like
+:func:`repro.circuits.adders.ripple_adder`, are bit-exact (tested
+exhaustively at small widths), and compose with every generator in
+:mod:`repro.circuits`.
+
+Prefix formulation: with generate ``g_i = a_i b_i`` and propagate
+``p_i = a_i ^ b_i``, the prefix operator is
+``(g, p) o (g', p') = (g + p g', p p')`` and carry ``c_i`` into bit ``i``
+is the group generate of bits ``i-1 .. 0`` (with the carry-in folded into
+bit 0's generate); ``sum_i = p_i ^ c_i``.
+"""
+
+from __future__ import annotations
+
+from ..logic.netlist import CONST0, Netlist
+
+__all__ = [
+    "sklansky_adder",
+    "kogge_stone_adder",
+    "brent_kung_adder",
+    "carry_select_adder",
+    "ADDER_STYLES",
+]
+
+Net = int
+Bus = list[Net]
+
+
+def _extend(bus: Bus, width: int) -> Bus:
+    return bus + [CONST0] * (width - len(bus))
+
+
+def _preprocess(
+    nl: Netlist, a: Bus, b: Bus, carry_in: Net
+) -> tuple[list[Net], list[Net]]:
+    """Bitwise generate/propagate, with the carry-in folded into bit 0."""
+    generate = [nl.add("AND2", x, y) for x, y in zip(a, b)]
+    propagate = [nl.add("XOR2", x, y) for x, y in zip(a, b)]
+    if carry_in is not CONST0:
+        # g0' = g0 + p0*cin
+        with_cin = nl.add("AND2", propagate[0], carry_in)
+        generate[0] = nl.add("OR2", generate[0], with_cin)
+    return generate, propagate
+
+
+def _combine(
+    nl: Netlist, high: tuple[Net, Net], low: tuple[Net, Net]
+) -> tuple[Net, Net]:
+    """The prefix operator: ``(g, p) o (g', p')``."""
+    g_high, p_high = high
+    g_low, p_low = low
+    g = nl.add("OR2", g_high, nl.add("AND2", p_high, g_low))
+    p = nl.add("AND2", p_high, p_low)
+    return g, p
+
+
+def _postprocess(
+    nl: Netlist, propagate: list[Net], carries: list[Net], group_g: Net
+) -> tuple[Bus, Net]:
+    total = [
+        propagate[i] if carry is CONST0 else nl.add("XOR2", propagate[i], carry)
+        for i, carry in enumerate(carries)
+    ]
+    return total, group_g
+
+
+def _prefix_adder(nl, a, b, carry_in, schedule) -> tuple[Bus, Net]:
+    """Shared skeleton: ``schedule`` computes all group (g, p) spans."""
+    width = max(len(a), len(b))
+    a = _extend(a, width)
+    b = _extend(b, width)
+    generate, propagate = _preprocess(nl, a, b, carry_in)
+    # prefix[i] = (G, P) over bits i..0 — filled in by the schedule.  The
+    # carry-in is folded into g0 (so every group generate sees it), but
+    # bit 0's own sum still XORs the raw carry-in.
+    prefix = schedule(nl, list(zip(generate, propagate)))
+    carries = [carry_in] + [prefix[i][0] for i in range(width - 1)]
+    return _postprocess(nl, propagate, carries, prefix[width - 1][0])
+
+
+def _sklansky_schedule(nl: Netlist, terms):
+    width = len(terms)
+    prefix = list(terms)
+    distance = 1
+    while distance < width:
+        updated = list(prefix)
+        for i in range(width):
+            if (i // distance) % 2 == 1:
+                anchor = (i // distance) * distance - 1
+                updated[i] = _combine(nl, prefix[i], prefix[anchor])
+        prefix = updated
+        distance *= 2
+    return prefix
+
+
+def _kogge_stone_schedule(nl: Netlist, terms):
+    width = len(terms)
+    prefix = list(terms)
+    distance = 1
+    while distance < width:
+        updated = list(prefix)
+        for i in range(distance, width):
+            updated[i] = _combine(nl, prefix[i], prefix[i - distance])
+        prefix = updated
+        distance *= 2
+    return prefix
+
+
+def _brent_kung_schedule(nl: Netlist, terms):
+    width = len(terms)
+    prefix = list(terms)
+    # up-sweep: power-of-two spans
+    distance = 1
+    while distance < width:
+        for i in range(2 * distance - 1, width, 2 * distance):
+            prefix[i] = _combine(nl, prefix[i], prefix[i - distance])
+        distance *= 2
+    # down-sweep: fill the intermediate positions
+    distance //= 2
+    while distance >= 1:
+        for i in range(3 * distance - 1, width, 2 * distance):
+            prefix[i] = _combine(nl, prefix[i], prefix[i - distance])
+        distance //= 2
+    return prefix
+
+
+def sklansky_adder(nl: Netlist, a: Bus, b: Bus, carry_in: Net = CONST0):
+    """Sklansky (divide-and-conquer) parallel-prefix adder."""
+    return _prefix_adder(nl, a, b, carry_in, _sklansky_schedule)
+
+
+def kogge_stone_adder(nl: Netlist, a: Bus, b: Bus, carry_in: Net = CONST0):
+    """Kogge-Stone parallel-prefix adder (min depth, unit fanout)."""
+    return _prefix_adder(nl, a, b, carry_in, _kogge_stone_schedule)
+
+
+def brent_kung_adder(nl: Netlist, a: Bus, b: Bus, carry_in: Net = CONST0):
+    """Brent-Kung parallel-prefix adder (fewest prefix cells)."""
+    return _prefix_adder(nl, a, b, carry_in, _brent_kung_schedule)
+
+
+def carry_select_adder(
+    nl: Netlist, a: Bus, b: Bus, carry_in: Net = CONST0, block: int = 4
+):
+    """Carry-select adder: per-block ripple pairs muxed by the real carry."""
+    from .adders import ripple_adder
+
+    if block < 1:
+        raise ValueError(f"block size must be >= 1, got {block}")
+    width = max(len(a), len(b))
+    a = _extend(a, width)
+    b = _extend(b, width)
+
+    total: Bus = []
+    carry = carry_in
+    for start in range(0, width, block):
+        stop = min(start + block, width)
+        slice_a, slice_b = a[start:stop], b[start:stop]
+        if start == 0:
+            chunk, carry = ripple_adder(nl, slice_a, slice_b, carry_in=carry)
+            total.extend(chunk)
+            continue
+        from ..logic.netlist import CONST1
+
+        sum0, carry0 = ripple_adder(nl, slice_a, slice_b, carry_in=CONST0)
+        sum1, carry1 = ripple_adder(nl, slice_a, slice_b, carry_in=CONST1)
+        total.extend(
+            nl.add("MUX2", s0, s1, carry) for s0, s1 in zip(sum0, sum1)
+        )
+        carry = nl.add("MUX2", carry0, carry1, carry)
+    return total, carry
+
+
+#: name -> builder, for parameterized sweeps
+ADDER_STYLES = {
+    "ripple": None,  # filled below to avoid a circular import at top level
+    "sklansky": sklansky_adder,
+    "kogge-stone": kogge_stone_adder,
+    "brent-kung": brent_kung_adder,
+    "carry-select": carry_select_adder,
+}
+
+
+def _install_ripple():
+    from .adders import ripple_adder
+
+    ADDER_STYLES["ripple"] = ripple_adder
+
+
+_install_ripple()

@@ -1,0 +1,142 @@
+"""Structural REALM (the paper's Fig. 3) and MBM datapaths.
+
+The REALM netlist instantiates, exactly as the block diagram shows:
+
+* two LOD + priority-encoder + normalizing-barrel-shifter front ends;
+* the ``t``-bit fraction truncation with the hardwired rounding 1
+  (pure rewiring — the dropped bits never exist downstream, which is
+  where the ``t`` knob's area reduction comes from);
+* the fraction adder producing the carry ``c_of``;
+* the ``M^2 x 1`` hardwired-constant LUT mux addressed by the fraction
+  MSBs, and the ``2x1`` mux selecting ``s_ij`` or ``s_ij >> 1`` by
+  ``c_of`` (realized here as a mux between the two alignments of the LUT
+  output on the fraction grid);
+* the correction adder, exponent adder and output scaling shifter.
+
+The output is ``2N + 1`` bits wide: the paper's first special case (the
+corrected product of near-maximal operands overflows ``2N`` bits) is
+handled by that extra bit.  MBM [4] is the same datapath with a single
+hardwired correction constant instead of the LUT.
+
+Both netlists are bit-exact against their functional models
+(:class:`repro.core.realm.RealmMultiplier`,
+:class:`repro.multipliers.mbm.MbmMultiplier`) — enforced by the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..logic.netlist import CONST0, Netlist
+from .adders import ripple_adder
+from .logdatapath import gate_output, log_front_end, truncate_bus
+from .mux import constant_lut
+from .shifter import scaling_shifter
+
+__all__ = ["realm_netlist", "mbm_netlist"]
+
+Net = int
+Bus = list[Net]
+
+
+def _aligned_code(nl: Netlist, code: Bus, width: int, q: int, shift: int) -> Bus:
+    """LUT code placed on the ``2**-width`` fraction grid.
+
+    The code's LSB has weight ``2**-q``; ``shift=-1`` realizes ``s >> 1``.
+    Bits falling below the grid are dropped (floored), exactly like the
+    adder wiring of the real datapath.
+    """
+    bus = [CONST0] * width
+    for b, net in enumerate(code):
+        position = width - q + b + shift
+        if 0 <= position < width:
+            bus[position] = net
+    return bus
+
+
+def _corrected_log_product(
+    nl: Netlist,
+    bitwidth: int,
+    t: int,
+    q: int,
+    code_for_segments,
+) -> None:
+    """Shared REALM/MBM structure; ``code_for_segments(nl, xa, xb)`` returns
+    the ``q-2``-bit correction code bus (LUT output or constant)."""
+    width = bitwidth - 1 - t
+    a = nl.input_bus("a", bitwidth)
+    b = nl.input_bus("b", bitwidth)
+    op_a = log_front_end(nl, a)
+    op_b = log_front_end(nl, b)
+
+    code = code_for_segments(nl, op_a.fraction, op_b.fraction)
+
+    xa_t = truncate_bus(op_a.fraction, t)
+    xb_t = truncate_bus(op_b.fraction, t)
+    fraction_sum, c_of = ripple_adder(nl, xa_t, xb_t)
+
+    s_full = _aligned_code(nl, code, width, q, 0)
+    s_half = _aligned_code(nl, code, width, q, -1)
+    s_sel = [nl.add("MUX2", f, h, c_of) for f, h in zip(s_full, s_half)]
+
+    corrected, carry2 = ripple_adder(nl, fraction_sum, s_sel)
+    mantissa = corrected + [nl.add("INV", carry2), carry2]
+
+    exponent_base, exp_carry = ripple_adder(
+        nl, op_a.characteristic, op_b.characteristic, carry_in=c_of
+    )
+    exponent = exponent_base + [exp_carry]
+
+    product = scaling_shifter(nl, mantissa, exponent, width, 2 * bitwidth + 1)
+    nl.set_outputs(gate_output(nl, product, op_a.nonzero, op_b.nonzero))
+    nl.prune()
+
+
+def realm_netlist(
+    bitwidth: int = 16, m: int = 16, t: int = 0, q: int = 6
+) -> Netlist:
+    """Full REALM hardware (Fig. 3), LUT codes computed like the paper's
+    offline MATLAB step."""
+    from ..core.config import RealmConfig
+    from ..core.factors import compute_factors, quantize_factors
+
+    config = RealmConfig(bitwidth=bitwidth, m=m, t=t, q=q)
+    codes = quantize_factors(compute_factors(m), q)
+    logm = m.bit_length() - 1
+
+    def lut(nl: Netlist, xa: Bus, xb: Bus) -> Bus:
+        if logm == 0:
+            from ..logic.netlist import CONST1
+
+            value = int(codes[0, 0])
+            return [
+                CONST1 if (value >> bit) & 1 else CONST0 for bit in range(q - 2)
+            ]
+        i_bits = xa[bitwidth - 1 - logm :]
+        j_bits = xb[bitwidth - 1 - logm :]
+        select = j_bits + i_bits  # value = i * M + j, row-major like the LUT
+        flat = [int(codes[i, j]) for i in range(m) for j in range(m)]
+        return constant_lut(nl, flat, q - 2, select)
+
+    nl = Netlist(f"realm{m}-{bitwidth}b-t{t}")
+    _corrected_log_product(nl, bitwidth, t, q, lut)
+    nl.name = config.name
+    return nl
+
+
+def mbm_netlist(bitwidth: int = 16, t: int = 0, q: int = 6) -> Netlist:
+    """Structural MBM [4]: REALM's datapath with one hardwired constant."""
+    from ..logic.netlist import CONST1
+
+    from ..multipliers.mbm import MbmMultiplier
+
+    code_value = MbmMultiplier(bitwidth, t=t, q=q).correction_code
+
+    def constant_code(nl: Netlist, xa: Bus, xb: Bus) -> Bus:
+        return [
+            CONST1 if (code_value >> bit) & 1 else CONST0 for bit in range(q - 2)
+        ]
+
+    nl = Netlist(f"mbm{bitwidth}-t{t}")
+    _corrected_log_product(nl, bitwidth, t, q, constant_code)
+    return nl

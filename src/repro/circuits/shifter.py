@@ -1,0 +1,85 @@
+"""Barrel shifters: the normalizing input shifters and the output scaler.
+
+All shifters are log-stage mux networks.  The builder's constant folding
+prunes mux stages whose data are constants, which mirrors how a synthesis
+tool shrinks shifters at reduced widths (REALM/MBM's ``t`` truncation
+relies on exactly that effect for its area savings).
+"""
+
+from __future__ import annotations
+
+from ..logic.netlist import CONST0, Netlist
+
+__all__ = ["barrel_left", "barrel_right", "normalize_fraction", "scaling_shifter"]
+
+Net = int
+Bus = list[Net]
+
+
+def _mux_bus(nl: Netlist, d0: Bus, d1: Bus, sel: Net) -> Bus:
+    return [nl.add("MUX2", a, b, sel) for a, b in zip(d0, d1)]
+
+
+def barrel_left(nl: Netlist, data: Bus, amount: Bus, width: int) -> Bus:
+    """``data << amount`` truncated to ``width`` bits."""
+    current = list(data[:width]) + [CONST0] * max(0, width - len(data))
+    for stage, sel in enumerate(amount):
+        shift = 1 << stage
+        shifted = [CONST0] * min(shift, width) + current[: width - shift]
+        current = _mux_bus(nl, current, shifted, sel)
+    return current
+
+
+def barrel_right(nl: Netlist, data: Bus, amount: Bus, width: int | None = None) -> Bus:
+    """``data >> amount`` (logical), truncated to ``width`` bits."""
+    width = width if width is not None else len(data)
+    current = list(data)
+    for stage, sel in enumerate(amount):
+        shift = 1 << stage
+        shifted = current[shift:] + [CONST0] * min(shift, len(current))
+        current = _mux_bus(nl, current, shifted, sel)
+    return current[:width]
+
+
+def normalize_fraction(nl: Netlist, operand: Bus, k: Bus) -> Bus:
+    """Input barrel shifter of Fig. 3: left-align the bits below the
+    leading one into an ``N-1``-bit fraction.
+
+    ``fraction = (operand << (N-1-k)) mod 2**(N-1)``.  When ``N`` is a
+    power of two the shift amount ``N-1-k`` is simply the bitwise
+    complement of ``k``, so the barrel stages are driven by inverted
+    characteristic bits — no subtractor needed (and the inverters fold
+    into the mux selects during technology mapping; they are counted
+    here, erring on the expensive side).  Other widths synthesize a
+    constant subtractor for the amount.
+    """
+    from ..logic.netlist import CONST1
+
+    from .adders import ripple_adder
+
+    n = len(operand)
+    if n & (n - 1) == 0:
+        amount = [nl.add("INV", bit) for bit in k]
+    else:
+        # (n-1) - k = (n-1) + ~k + 1 in two's complement over len(k) bits
+        inverted = [nl.add("INV", bit) for bit in k]
+        constant = [
+            (CONST1 if ((n - 1) >> bit) & 1 else CONST0) for bit in range(len(k))
+        ]
+        amount, _ = ripple_adder(nl, constant, inverted, carry_in=CONST1)
+    return barrel_left(nl, operand[: n - 1], amount, n - 1)
+
+
+def scaling_shifter(
+    nl: Netlist, mantissa: Bus, exponent: Bus, fraction_width: int, out_width: int
+) -> Bus:
+    """Output barrel shifter of Fig. 3: ``(mantissa << exponent) >> W``.
+
+    ``mantissa`` is the fixed-point value ``1.f`` on the ``2**-W`` grid
+    (``W = fraction_width``); the result is the integer product, floor of
+    ``mantissa * 2**exponent / 2**W``, truncated to ``out_width`` bits.
+    Realized as a funnel: left-shift into a ``W + out_width``-wide window
+    and drop the ``W`` fraction bits.
+    """
+    window = barrel_left(nl, mantissa, exponent, fraction_width + out_width)
+    return window[fraction_width:]

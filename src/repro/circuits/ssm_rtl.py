@@ -1,0 +1,118 @@
+"""Structural SSM and ESSM [14]: static segment selection around a small
+exact multiplier.
+
+SSM needs only a zero-detect on the upper bits and a 2:1 segment mux per
+operand; ESSM adds a third (middle) segment and a 3-way priority select.
+Because the segment positions are static, the output scaler is a mux over
+a handful of fixed placements rather than a general barrel shifter —
+which is why these designs are cheap, matching their strong area numbers
+in Table I.
+"""
+
+from __future__ import annotations
+
+from ..logic.netlist import CONST0, Netlist
+from .lod import or_tree
+from .shifter import barrel_left
+from .wallace import wallace_multiplier
+
+__all__ = ["ssm_netlist", "essm_netlist"]
+
+Net = int
+Bus = list[Net]
+
+
+def ssm_netlist(bitwidth: int = 16, m: int = 8) -> Netlist:
+    """SSM(m): high/low static segments, exact ``m x m`` core."""
+    if not 2 <= m < bitwidth:
+        raise ValueError(f"segment width m must be in [2, {bitwidth - 1}], got {m}")
+    nl = Netlist(f"ssm{bitwidth}-m{m}")
+    a = nl.input_bus("a", bitwidth)
+    b = nl.input_bus("b", bitwidth)
+
+    def segment(operand: Bus) -> tuple[Bus, Net]:
+        """Returns ``(segment_bits, use_high)``."""
+        use_high = or_tree(nl, operand[m:])
+        low = operand[:m]
+        high = operand[bitwidth - m :]
+        seg = [nl.add("MUX2", lo, hi, use_high) for lo, hi in zip(low, high)]
+        return seg, use_high
+
+    seg_a, high_a = segment(a)
+    seg_b, high_b = segment(b)
+    core = wallace_multiplier(nl, seg_a, seg_b)
+
+    # output placement: core << (N-m) per high segment -> three fixed
+    # placements selected by (high_a, high_b)
+    shift = bitwidth - m
+    placed_0 = core
+    placed_1 = [CONST0] * shift + core
+    placed_2 = [CONST0] * (2 * shift) + core
+    width = 2 * bitwidth
+
+    def pad(bus: Bus) -> Bus:
+        return (bus + [CONST0] * width)[:width]
+
+    one_high = [
+        nl.add("MUX2", p0, p1, high_a)
+        for p0, p1 in zip(pad(placed_0), pad(placed_1))
+    ]
+    both = [
+        nl.add("MUX2", p1, p2, high_a)
+        for p1, p2 in zip(pad(placed_1), pad(placed_2))
+    ]
+    product = [nl.add("MUX2", lo, hi, high_b) for lo, hi in zip(one_high, both)]
+    nl.set_outputs(product)
+    nl.prune()
+    return nl
+
+
+def essm_netlist(bitwidth: int = 16, m: int = 8) -> Netlist:
+    """ESSM(m): three static segments selected by the leading-one region."""
+    if not 2 <= m < bitwidth:
+        raise ValueError(f"segment width m must be in [2, {bitwidth - 1}], got {m}")
+    if (bitwidth - m) % 2 != 0:
+        raise ValueError(f"ESSM needs even N-m, got N={bitwidth}, m={m}")
+    nl = Netlist(f"essm{bitwidth}-m{m}")
+    a = nl.input_bus("a", bitwidth)
+    b = nl.input_bus("b", bitwidth)
+    high_offset = bitwidth - m
+    mid_offset = high_offset // 2
+
+    def segment(operand: Bus) -> tuple[Bus, Bus]:
+        """Returns ``(segment_bits, shift_amount_bus)``."""
+        use_high = or_tree(nl, operand[m + mid_offset :])
+        use_mid_or_high = or_tree(nl, operand[m:])
+        low = operand[:m]
+        mid = operand[mid_offset : mid_offset + m]
+        high = operand[high_offset:]
+        low_or_mid = [
+            nl.add("MUX2", lo, mi, use_mid_or_high) for lo, mi in zip(low, mid)
+        ]
+        seg = [nl.add("MUX2", lm, hi, use_high) for lm, hi in zip(low_or_mid, high)]
+        # shift amount in {0, mid_offset, high_offset}: encode directly as
+        # a binary bus for the output barrel shifter
+        shift_bits: Bus = []
+        for bit in range(high_offset.bit_length()):
+            mid_bit = (mid_offset >> bit) & 1
+            high_bit = (high_offset >> bit) & 1
+            options = {
+                (0, 0): CONST0,
+                (0, 1): nl.add("ANDN2", use_high, CONST0),
+                (1, 0): nl.add("ANDN2", use_mid_or_high, use_high),
+                (1, 1): use_mid_or_high,
+            }
+            shift_bits.append(options[(mid_bit, high_bit)])
+        return seg, shift_bits
+
+    seg_a, shift_a = segment(a)
+    seg_b, shift_b = segment(b)
+    core = wallace_multiplier(nl, seg_a, seg_b)
+
+    from .adders import ripple_adder
+
+    total_shift, carry = ripple_adder(nl, shift_a, shift_b)
+    product = barrel_left(nl, core, total_shift + [carry], 2 * bitwidth)
+    nl.set_outputs(product)
+    nl.prune()
+    return nl

@@ -1,0 +1,424 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+::
+
+    repro-realm list                      # all named configurations
+    repro-realm multiply realm16-t0 40000 50000
+    repro-realm factors --m 8             # the s_ij table + LUT codes
+    repro-realm table1 [--quick]          # errors + synthesis columns
+    repro-realm table2                    # JPEG PSNR study
+    repro-realm fig1 | fig2 | fig3 | fig4 | fig5
+    repro-realm characterize realm8-t4    # one design's error metrics
+
+``--quick`` shrinks the Monte-Carlo depth for fast smoke runs; the
+defaults match the reproduction used in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import experiments, paper
+from .analysis.distribution import ascii_histogram
+from .analysis.montecarlo import characterize
+from .analysis.profiles import ascii_heatmap
+from .multipliers.registry import build, names
+
+QUICK_SAMPLES = 1 << 18
+
+
+def _samples(args) -> int:
+    return QUICK_SAMPLES if args.quick else args.samples
+
+
+def cmd_list(args) -> int:
+    for name in names():
+        print(f"{name:14s} {build(name).name}")
+    return 0
+
+
+def cmd_multiply(args) -> int:
+    multiplier = build(args.design)
+    product = int(multiplier.multiply(args.a, args.b))
+    exact = args.a * args.b
+    print(f"{multiplier.name}: {args.a} * {args.b} = {product}")
+    if exact:
+        print(f"exact {exact}, relative error {(product - exact) / exact * 100:+.4f}%")
+    return 0
+
+
+def cmd_factors(args) -> int:
+    from .core.factors import compute_factors, compute_factors_mse, quantize_factors
+
+    factors = (
+        compute_factors(args.m) if args.objective == "mean" else compute_factors_mse(args.m)
+    )
+    codes = quantize_factors(factors, args.q)
+    print(f"s_ij factors for M={args.m} (objective={args.objective}):")
+    print(np.array2string(factors, precision=5, suppress_small=True))
+    print(f"\nquantized LUT codes (q={args.q}, value = code / {1 << args.q}):")
+    print(np.array2string(codes))
+    return 0
+
+
+def cmd_characterize(args) -> int:
+    multiplier = build(args.design)
+    metrics = characterize(multiplier, samples=_samples(args))
+    print(f"{multiplier.name}: {metrics}")
+    reference = paper.TABLE1.get(args.design)
+    if reference is not None:
+        print(
+            "paper:  bias "
+            f"{reference.bias}%  ME {reference.mean_error}%  "
+            f"peak [{reference.peak_min}%, {reference.peak_max}%]  "
+            f"var {reference.variance}"
+        )
+    return 0
+
+
+def cmd_table1(args) -> int:
+    print(experiments.table1_text(samples=_samples(args)))
+    return 0
+
+
+def cmd_table2(args) -> int:
+    print(experiments.table2_text())
+    print(
+        "\nNote: images are procedural stand-ins (DESIGN.md); compare the"
+        " accurate-vs-approximate PSNR gaps, not the absolute values."
+    )
+    return 0
+
+
+def cmd_fig1(args) -> int:
+    for name, summary in experiments.fig1_profiles().items():
+        print(
+            f"\n{summary.name}  (A,B in {{32..255}}):  "
+            f"ME {summary.mean_error:.2f}%  peak {summary.peak_error:.2f}%  "
+            f"bias {summary.bias:+.2f}%"
+        )
+        print(ascii_heatmap(summary.errors, width=56))
+    return 0
+
+
+def cmd_fig2(args) -> int:
+    data = experiments.fig2_segments(m=args.m)
+    print(f"cALM per-segment mean relative error (%%), M={args.m}:")
+    print(np.array2string(data["calm_segment_means"] * 100, precision=2))
+    print("\nREALM per-segment mean relative error (%):")
+    print(np.array2string(data["realm_segment_means"] * 100, precision=2))
+    print("\nerror-reduction factors s_ij:")
+    print(np.array2string(data["factors"], precision=4))
+    return 0
+
+
+def cmd_fig3(args) -> int:
+    info = experiments.fig3_hardware(m=args.m, t=args.t)
+    print(f"REALM{args.m} (t={args.t}) datapath:")
+    for key in ("gate_count", "depth", "area_um2", "power_uw", "lut_entries",
+                "lut_width_bits", "output_bits"):
+        print(f"  {key:15s} {info[key]}")
+    print("  cells:", ", ".join(f"{k}x{v}" for k, v in sorted(info["cells"].items())))
+    return 0
+
+
+def cmd_fig4(args) -> int:
+    data = experiments.fig4_designspace(source=args.source, samples=_samples(args))
+    print(f"design space ({args.source} synthesis numbers):")
+    rows = [
+        (
+            p.display,
+            f"{p.area_reduction:.1f}",
+            f"{p.power_reduction:.1f}",
+            f"{p.mean_error:.2f}",
+            f"{p.peak_error:.2f}",
+        )
+        for p in data["plotted"]
+    ]
+    print(
+        experiments.format_table(
+            ["design", "areaR%", "powR%", "ME%", "PE%"], rows
+        )
+    )
+    for panel, front in data["fronts"].items():
+        realm = sum(1 for n in front if n.startswith("realm"))
+        print(f"\nPareto front ({panel}): {realm}/{len(front)} REALM points")
+        print("  " + " -> ".join(front))
+    return 0
+
+
+def cmd_fig5(args) -> int:
+    for histogram in experiments.fig5_histograms(samples=_samples(args)):
+        print(f"\n{histogram.name}: spread {histogram.spread():.2f}%  "
+              f"mode {histogram.mode_center():+.2f}%")
+        print(ascii_histogram(histogram))
+    return 0
+
+
+def cmd_verilog(args) -> int:
+    import numpy as np
+
+    from .circuits.catalog import netlist_for
+    from .logic.sim import evaluate_words
+    from .logic.verilog import testbench, to_verilog
+
+    netlist = netlist_for(args.design)
+    text = to_verilog(netlist)
+    if args.testbench:
+        rng = np.random.default_rng(0)
+        width = len(netlist.inputs) // 2
+        a = rng.integers(0, 1 << width, args.vectors)
+        b = rng.integers(0, 1 << width, args.vectors)
+        buses = [netlist.inputs[:width], netlist.inputs[width:]]
+        golden = evaluate_words(netlist, buses, [a, b])
+        text += "\n\n" + testbench(netlist, buses, [a, b], golden)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {len(text.splitlines())} lines to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .circuits.catalog import netlist_for
+    from .synth.report import design_report
+
+    print(design_report(netlist_for(args.design)))
+    return 0
+
+
+def cmd_theory(args) -> int:
+    from .core.theory import predict_metrics
+
+    for m in (4, 8, 16):
+        theory = predict_metrics(m, q=args.q)
+        print(
+            f"REALM{m:2d} (q={args.q}): bias {theory.bias:+.3f}%  "
+            f"ME {theory.mean_error:.3f}%  var {theory.variance:.3f}  "
+            f"peaks [{theory.peak_min:.2f}%, {theory.peak_max:.2f}%]"
+        )
+    return 0
+
+
+def cmd_nn(args) -> int:
+    from .experiments import format_table
+    from .nn import evaluate_multipliers, float_accuracy, logit_distortion, trained_setup
+
+    designs = args.designs or [
+        "accurate", "realm16-t0", "realm4-t9", "mbm-t0", "calm", "drum-k8",
+    ]
+    data, params = trained_setup()
+    print(f"float reference accuracy: {float_accuracy(data, params):.3f}\n")
+    accuracy = evaluate_multipliers(designs)
+    distortion = logit_distortion(designs)
+    rows = [
+        (build(name).name, f"{accuracy[name]:.3f}", f"{distortion[name]:.2f}")
+        for name in designs
+    ]
+    print(format_table(["multiplier", "accuracy", "logit distortion %"], rows))
+    return 0
+
+
+def cmd_fir(args) -> int:
+    from .dsp import fir_filter, lowpass_taps, multitone_signal, output_snr_db, quantize_q15
+    from .experiments import format_table
+
+    designs = args.designs or [
+        "realm16-t0", "realm8-t8", "realm4-t9", "mbm-t0", "calm", "drum-k8",
+    ]
+    taps = quantize_q15(lowpass_taps(63, 0.2))
+    signal = quantize_q15(multitone_signal(4096))
+    reference = fir_filter(build("accurate"), signal, taps)
+    rows = [
+        (
+            build(name).name,
+            f"{output_snr_db(reference, fir_filter(build(name), signal, taps)):.1f}",
+        )
+        for name in designs
+    ]
+    print(format_table(["multiplier", "SNR dB"], rows))
+    return 0
+
+
+def cmd_divide(args) -> int:
+    from .extensions.divider import MitchellDivider, RealmDivider
+
+    divider = (
+        MitchellDivider()
+        if args.m is None
+        else RealmDivider(m=args.m, q=args.q)
+    )
+    quotient = int(divider.divide(args.a, args.b))
+    print(f"{divider.name}: {args.a} / {args.b} = {quotient}")
+    if args.b:
+        exact = args.a / args.b
+        if exact:
+            print(
+                f"exact {exact:.3f}, relative error "
+                f"{(quotient - exact) / exact * 100:+.3f}%"
+            )
+    return 0
+
+
+def cmd_explore(args) -> int:
+    from .experiments import format_table
+    from .explore import Constraints, explore
+
+    constraints = Constraints(
+        max_mean_error=args.max_me,
+        max_peak_error=args.max_pe,
+        max_bias=args.max_bias,
+        min_area_reduction=args.min_area,
+        min_power_reduction=args.min_power,
+    )
+    results = explore(
+        constraints,
+        objective=args.objective,
+        include_realm_grid=args.grid,
+        samples=QUICK_SAMPLES if args.quick else 1 << 19,
+        top=args.top,
+    )
+    if not results:
+        print("no feasible configuration under these constraints")
+        return 1
+    rows = [
+        (
+            c.display,
+            f"{c.metrics.mean_error:.2f}",
+            f"{c.peak_error:.2f}",
+            f"{c.metrics.bias:+.2f}",
+            f"{c.area_reduction:.1f}",
+            f"{c.power_reduction:.1f}",
+        )
+        for c in results
+    ]
+    print(
+        format_table(
+            ["design", "ME%", "PE%", "bias%", "areaR%", "powR%"], rows
+        )
+    )
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-realm",
+        description="Reproduce the REALM paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--samples", type=int, default=experiments.DEFAULT_SAMPLES)
+        p.add_argument("--quick", action="store_true", help="small Monte-Carlo run")
+
+    sub.add_parser("list").set_defaults(func=cmd_list)
+
+    p = sub.add_parser("multiply")
+    p.add_argument("design")
+    p.add_argument("a", type=int)
+    p.add_argument("b", type=int)
+    p.set_defaults(func=cmd_multiply)
+
+    p = sub.add_parser("factors")
+    p.add_argument("--m", type=int, default=8)
+    p.add_argument("--q", type=int, default=6)
+    p.add_argument("--objective", choices=("mean", "mse"), default="mean")
+    p.set_defaults(func=cmd_factors)
+
+    p = sub.add_parser("characterize")
+    p.add_argument("design")
+    common(p)
+    p.set_defaults(func=cmd_characterize)
+
+    p = sub.add_parser("table1")
+    common(p)
+    p.set_defaults(func=cmd_table1)
+
+    sub.add_parser("table2").set_defaults(func=cmd_table2)
+    sub.add_parser("fig1").set_defaults(func=cmd_fig1)
+
+    p = sub.add_parser("fig2")
+    p.add_argument("--m", type=int, default=4)
+    p.set_defaults(func=cmd_fig2)
+
+    p = sub.add_parser("fig3")
+    p.add_argument("--m", type=int, default=16)
+    p.add_argument("--t", type=int, default=0)
+    p.set_defaults(func=cmd_fig3)
+
+    p = sub.add_parser("fig4")
+    p.add_argument("--source", choices=("paper", "model"), default="paper")
+    common(p)
+    p.set_defaults(func=cmd_fig4)
+
+    p = sub.add_parser("fig5")
+    common(p)
+    p.set_defaults(func=cmd_fig5)
+
+    p = sub.add_parser("verilog", help="export a design as structural Verilog")
+    p.add_argument("design")
+    p.add_argument("-o", "--output", help="write to a file instead of stdout")
+    p.add_argument(
+        "--testbench",
+        action="store_true",
+        help="append a self-checking testbench with golden vectors",
+    )
+    p.add_argument("--vectors", type=int, default=64)
+    p.set_defaults(func=cmd_verilog)
+
+    p = sub.add_parser("report", help="area/power/timing report for a design")
+    p.add_argument("design")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("theory", help="closed-form REALM error predictions")
+    p.add_argument("--q", type=int, default=6)
+    p.set_defaults(func=cmd_theory)
+
+    p = sub.add_parser("nn", help="quantized-MLP accuracy per multiplier")
+    p.add_argument("designs", nargs="*")
+    p.set_defaults(func=cmd_nn)
+
+    p = sub.add_parser("fir", help="FIR filtering SNR per multiplier")
+    p.add_argument("designs", nargs="*")
+    p.set_defaults(func=cmd_fir)
+
+    p = sub.add_parser("divide", help="approximate division (extension)")
+    p.add_argument("a", type=int)
+    p.add_argument("b", type=int)
+    p.add_argument("--m", type=int, help="REALM-style correction segments")
+    p.add_argument("--q", type=int, default=None, help="correction precision")
+    p.set_defaults(func=cmd_divide)
+
+    p = sub.add_parser(
+        "explore", help="search the design space under error/cost budgets"
+    )
+    p.add_argument("--max-me", type=float, help="max mean error %%")
+    p.add_argument("--max-pe", type=float, help="max peak error %%")
+    p.add_argument("--max-bias", type=float, help="max |bias| %%")
+    p.add_argument("--min-area", type=float, help="min area reduction %%")
+    p.add_argument("--min-power", type=float, help="min power reduction %%")
+    p.add_argument(
+        "--objective", choices=("power", "area", "error"), default="power"
+    )
+    p.add_argument(
+        "--grid", action="store_true", help="include the extended REALM grid"
+    )
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--quick", action="store_true")
+    p.set_defaults(func=cmd_explore)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = make_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""The paper's primary contribution: REALM and its factor mathematics."""
+
+from .bitops import floor_log2, log_fraction, mask, shift_value, truncate_fraction
+from .config import RealmConfig
+from .factors import (
+    compute_factors,
+    compute_factors_mse,
+    dequantize_factors,
+    mitchell_relative_error,
+    quantize_factors,
+    segment_denominator,
+    segment_index,
+    segment_numerator,
+)
+from .realm import RealmMultiplier
+from .theory import TheoreticalMetrics, mitchell_bias, predict_metrics
+
+__all__ = [
+    "RealmConfig",
+    "RealmMultiplier",
+    "TheoreticalMetrics",
+    "mitchell_bias",
+    "predict_metrics",
+    "compute_factors",
+    "compute_factors_mse",
+    "dequantize_factors",
+    "floor_log2",
+    "log_fraction",
+    "mask",
+    "mitchell_relative_error",
+    "quantize_factors",
+    "segment_denominator",
+    "segment_index",
+    "segment_numerator",
+    "shift_value",
+    "truncate_fraction",
+]

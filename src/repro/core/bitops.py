@@ -1,0 +1,81 @@
+"""Bit-level helpers shared by the functional multiplier models.
+
+All functions are vectorized over NumPy integer arrays and exact: they
+mirror what the corresponding hardware blocks (leading-one detectors,
+barrel shifters, truncation wiring) compute, bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "floor_log2",
+    "log_fraction",
+    "truncate_fraction",
+    "shift_value",
+    "mask",
+]
+
+
+def floor_log2(values: np.ndarray) -> np.ndarray:
+    """Position of the leading one of each value (``floor(log2(v))``).
+
+    This is what the leading-one detector (LOD) plus priority encoder of a
+    log-based multiplier computes.  Inputs must be positive integers below
+    ``2**53`` (so the float64 trick below is exact).  Vectorized.
+    """
+    values = np.asarray(values)
+    if np.any(values <= 0):
+        raise ValueError("floor_log2 requires positive inputs")
+    # frexp is exact for integers representable in float64: v = m * 2**e
+    # with 0.5 <= m < 1, hence floor(log2(v)) == e - 1.
+    _, exponents = np.frexp(values.astype(np.float64))
+    return (exponents - 1).astype(np.int64)
+
+
+def log_fraction(values: np.ndarray, k: np.ndarray, bitwidth: int) -> np.ndarray:
+    """Fractional part of the linear-log, as a ``bitwidth-1``-bit integer.
+
+    For ``v = 2**k * (1 + x)`` the fraction ``x`` is the bits of ``v`` below
+    the leading one, left-aligned into ``bitwidth - 1`` bits by the input
+    barrel shifter:  returned integer ``X`` satisfies ``x = X / 2**(N-1)``.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    k = np.asarray(k, dtype=np.int64)
+    return (values - (np.int64(1) << k)) << (bitwidth - 1 - k)
+
+
+def truncate_fraction(fraction: np.ndarray, t: int, width: int) -> np.ndarray:
+    """Truncate ``t`` LSBs and force the new LSB to 1 (paper Section III-C).
+
+    ``fraction`` is a ``width``-bit integer.  The result is a
+    ``width - t``-bit integer whose LSB is the constant 1, so effectively
+    ``t + 1`` of the original bits are dropped from the datapath.  The
+    forced 1 is the round-to-mid compensation DRUM/MBM/REALM all use: it
+    replaces the truncated tail (expected value half an LSB) by half an LSB.
+    """
+    if not 0 <= t < width:
+        raise ValueError(f"truncation t={t} out of range for width {width}")
+    fraction = np.asarray(fraction, dtype=np.int64)
+    return (fraction >> t) | np.int64(1)
+
+
+def shift_value(value: np.ndarray, shift: np.ndarray) -> np.ndarray:
+    """Arithmetic scaling by ``2**shift`` with floor semantics.
+
+    ``shift`` may be negative (right shift): the final barrel shifter of a
+    log multiplier floors away fraction bits that fall below the integer
+    LSB (the paper's second "special case").  Vectorized over both args.
+    """
+    value = np.asarray(value, dtype=np.int64)
+    shift = np.asarray(shift, dtype=np.int64)
+    left = value << np.maximum(shift, 0)
+    return left >> np.maximum(-shift, 0)
+
+
+def mask(nbits: int) -> np.int64:
+    """All-ones mask of ``nbits`` bits."""
+    if nbits < 0:
+        raise ValueError(f"mask width must be non-negative, got {nbits}")
+    return np.int64((1 << nbits) - 1)

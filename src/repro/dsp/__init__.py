@@ -1,0 +1,17 @@
+"""DSP application substrate: fixed-point FIR filtering."""
+
+from .fir import (
+    fir_filter,
+    lowpass_taps,
+    multitone_signal,
+    output_snr_db,
+    quantize_q15,
+)
+
+__all__ = [
+    "fir_filter",
+    "lowpass_taps",
+    "multitone_signal",
+    "output_snr_db",
+    "quantize_q15",
+]

@@ -1,0 +1,274 @@
+"""Experiment drivers: one function per table/figure of the paper.
+
+Both the CLI (``python -m repro``) and the benchmark harness
+(``benchmarks/``) call these, so every reproduction artifact comes from a
+single code path.  Each driver returns plain data (lists of row dicts or
+analysis objects) plus there are small text-table formatting helpers; the
+benches add timing, the CLI adds argument handling.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from . import paper
+from .analysis.designspace import DesignPoint, fig4_front, fig4_points, sweep
+from .analysis.distribution import Histogram, error_histogram
+from .analysis.montecarlo import characterize
+from .analysis.profiles import (
+    FIG1_RANGE,
+    FIG2_RANGE,
+    ProfileSummary,
+    profile,
+    segment_mean_errors,
+)
+from .core.factors import compute_factors, quantize_factors
+from .core.realm import RealmMultiplier
+from .multipliers.registry import TABLE1_IDS, build
+
+__all__ = [
+    "DEFAULT_SAMPLES",
+    "FIG1_DESIGNS",
+    "FIG5_CONFIGS",
+    "table1_errors",
+    "table1_synthesis",
+    "table2_jpeg",
+    "fig1_profiles",
+    "fig2_segments",
+    "fig3_hardware",
+    "fig4_designspace",
+    "fig5_histograms",
+    "format_table",
+]
+
+#: default Monte-Carlo depth for the reproduction runs; the paper uses
+#: 2^24 — pass that for the final numbers, this for quick iterations
+DEFAULT_SAMPLES = 1 << 22
+
+#: the six panels of Fig. 1, in the paper's order
+FIG1_DESIGNS = ("calm", "alm-soa-m9", "mbm-t0", "implm-ea", "intalp-l2", "realm16-t0")
+
+#: the nine panels of Fig. 5: (M, t) pairs
+FIG5_CONFIGS = tuple(
+    (m, t) for t in (0, 6, 9) for m in (16, 8, 4)
+)
+
+
+def _fmt(value, precision=2, width=8):
+    if value is None:
+        return " " * (width - 2) + "--"
+    return f"{value:{width}.{precision}f}"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    columns = [len(h) for h in headers]
+    text_rows = []
+    for row in rows:
+        text_row = [str(cell) for cell in row]
+        columns = [max(w, len(c)) for w, c in zip(columns, text_row)]
+        text_rows.append(text_row)
+    line = "  ".join(h.rjust(w) for h, w in zip(headers, columns))
+    rule = "-" * len(line)
+    body = [
+        "  ".join(c.rjust(w) for c, w in zip(row, columns)) for row in text_rows
+    ]
+    return "\n".join([line, rule, *body])
+
+
+# ----------------------------------------------------------------------
+# Table I
+# ----------------------------------------------------------------------
+
+
+def table1_errors(
+    samples: int = DEFAULT_SAMPLES,
+    ids: Sequence[str] = TABLE1_IDS,
+    seed: int = 2020,
+) -> list[dict]:
+    """Error columns of Table I: measured next to the published values."""
+    rows = []
+    for name in ids:
+        multiplier = build(name)
+        metrics = characterize(multiplier, samples=samples, seed=seed)
+        reference = paper.TABLE1.get(name)
+        rows.append(
+            {
+                "name": name,
+                "display": multiplier.name,
+                "bias": metrics.bias,
+                "mean_error": metrics.mean_error,
+                "peak_min": metrics.peak_min,
+                "peak_max": metrics.peak_max,
+                "variance": metrics.variance,
+                "paper": reference,
+            }
+        )
+    return rows
+
+
+def table1_synthesis(ids: Sequence[str] = TABLE1_IDS) -> list[dict]:
+    """Design-metric columns of Table I from the calibrated cost model."""
+    from .synth.cost import reductions, synthesize_design
+
+    rows = []
+    for name in ids:
+        area_reduction, power_reduction = reductions(name)
+        result = synthesize_design(name)
+        reference = paper.TABLE1.get(name)
+        rows.append(
+            {
+                "name": name,
+                "display": build(name).name,
+                "area_um2": result.area_um2,
+                "power_uw": result.power_uw,
+                "area_reduction": area_reduction,
+                "power_reduction": power_reduction,
+                "gate_count": result.gate_count,
+                "paper": reference,
+            }
+        )
+    return rows
+
+
+def table1_text(samples: int = DEFAULT_SAMPLES, ids=TABLE1_IDS) -> str:
+    """Rendered Table I: measured vs. paper for every column."""
+    errors = {r["name"]: r for r in table1_errors(samples, ids)}
+    synthesis = {r["name"]: r for r in table1_synthesis(ids)}
+    headers = [
+        "design", "areaR%", "(paper)", "powR%", "(paper)",
+        "bias", "(paper)", "ME", "(paper)", "min", "max", "var",
+    ]
+    rows = []
+    for name in ids:
+        err = errors[name]
+        syn = synthesis[name]
+        ref = err["paper"]
+        rows.append(
+            [
+                err["display"],
+                _fmt(syn["area_reduction"], 1, 6),
+                _fmt(ref.area_reduction if ref else None, 1, 6),
+                _fmt(syn["power_reduction"], 1, 6),
+                _fmt(ref.power_reduction if ref else None, 1, 6),
+                _fmt(err["bias"]),
+                _fmt(ref.bias if ref else None),
+                _fmt(err["mean_error"]),
+                _fmt(ref.mean_error if ref else None),
+                _fmt(err["peak_min"]),
+                _fmt(err["peak_max"]),
+                _fmt(err["variance"]),
+            ]
+        )
+    return format_table(headers, rows)
+
+
+# ----------------------------------------------------------------------
+# Table II
+# ----------------------------------------------------------------------
+
+
+def table2_jpeg(quality: int = 50, seed: int = 2020) -> list[dict]:
+    """JPEG PSNR per image per multiplier (Table II)."""
+    from .jpeg.codec import roundtrip_psnr
+    from .jpeg.images import test_image
+
+    multipliers = {name: build(name) for name in paper.TABLE2_MULTIPLIERS}
+    rows = []
+    for image_name in paper.TABLE2_IMAGES:
+        image = test_image(image_name, seed=seed)
+        row = {"image": image_name}
+        for name, multiplier in multipliers.items():
+            measured, compressed = roundtrip_psnr(multiplier, image, quality)
+            row[name] = measured
+            row[f"{name}_bpp"] = compressed.bits_per_pixel
+            row[f"{name}_paper"] = paper.TABLE2_PSNR[image_name][name]
+        rows.append(row)
+    return rows
+
+
+def table2_text(quality: int = 50) -> str:
+    rows = table2_jpeg(quality)
+    headers = ["image"] + [f"{n}" for n in paper.TABLE2_MULTIPLIERS]
+    body = []
+    for row in rows:
+        body.append(
+            [row["image"]]
+            + [
+                f"{row[n]:.1f} (p{row[f'{n}_paper']:.1f})"
+                for n in paper.TABLE2_MULTIPLIERS
+            ]
+        )
+    return format_table(headers, body)
+
+
+# ----------------------------------------------------------------------
+# Figures
+# ----------------------------------------------------------------------
+
+
+def fig1_profiles(
+    designs: Sequence[str] = FIG1_DESIGNS,
+) -> dict[str, ProfileSummary]:
+    """Exhaustive error surfaces over the Fig. 1 operand range."""
+    return {name: profile(build(name), *FIG1_RANGE) for name in designs}
+
+
+def fig2_segments(m: int = 4) -> dict[str, np.ndarray]:
+    """Fig. 2: per-segment mean error before/after error reduction."""
+    calm = segment_mean_errors(build("calm"), m, *FIG2_RANGE)
+    realm = segment_mean_errors(
+        RealmMultiplier(m=m, t=0), m, *FIG2_RANGE
+    )
+    return {
+        "calm_segment_means": calm,
+        "realm_segment_means": realm,
+        "factors": compute_factors(m),
+        "lut_codes": quantize_factors(compute_factors(m), 6),
+    }
+
+
+def fig3_hardware(m: int = 16, t: int = 0) -> dict:
+    """Fig. 3 as structure: block inventory of the REALM datapath."""
+    from .circuits.realm_rtl import realm_netlist
+    from .synth.cost import synthesize
+
+    netlist = realm_netlist(16, m=m, t=t)
+    result = synthesize(netlist)
+    return {
+        "name": netlist.name,
+        "gate_count": netlist.gate_count,
+        "depth": netlist.depth(),
+        "area_um2": result.area_um2,
+        "power_uw": result.power_uw,
+        "cells": dict(netlist.cell_histogram()),
+        "lut_entries": m * m,
+        "lut_width_bits": 4,  # q - 2
+        "output_bits": len(netlist.outputs),
+    }
+
+
+def fig4_designspace(
+    source: str = "paper", samples: int = DEFAULT_SAMPLES
+) -> dict:
+    """Fig. 4: the four panels' points and Pareto fronts."""
+    points = sweep(samples=samples, source=source)
+    kept = fig4_points(points)
+    fronts = {
+        f"{efficiency}-{error}": fig4_front(points, efficiency, error)
+        for efficiency in ("area", "power")
+        for error in ("mean", "peak")
+    }
+    return {"points": points, "plotted": kept, "fronts": fronts}
+
+
+def fig5_histograms(
+    samples: int = DEFAULT_SAMPLES, configs=FIG5_CONFIGS
+) -> list[Histogram]:
+    """Fig. 5: REALM error distributions across (M, t)."""
+    return [
+        error_histogram(RealmMultiplier(m=m, t=t), samples=samples)
+        for m, t in configs
+    ]

@@ -1,0 +1,15 @@
+"""Method extensions beyond the paper: the REALM recipe on new operations."""
+
+from .divider import (
+    MitchellDivider,
+    RealmDivider,
+    compute_divider_factors,
+    divider_relative_error,
+)
+
+__all__ = [
+    "MitchellDivider",
+    "RealmDivider",
+    "compute_divider_factors",
+    "divider_relative_error",
+]

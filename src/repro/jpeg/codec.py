@@ -1,0 +1,94 @@
+"""The JPEG pipeline of Section IV-D, end to end.
+
+``compress`` runs level shift -> blocked fixed-point DCT (through the
+supplied multiplier) -> quality-scaled quantization -> zig-zag -> baseline
+Huffman coding, and returns the bitstream with its metadata;
+``decompress`` inverts the lossless stages and runs the IDCT (through the
+same multiplier) back to pixels.  ``roundtrip_psnr`` is the Table II
+measurement: PSNR of compressed-then-decompressed output against the
+original, at quality 50.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..multipliers.base import Multiplier
+from .dct import forward_dct, inverse_dct
+from .huffman import decode_blocks, encode_blocks
+from .psnr import psnr
+from .quant import dequantize, quant_table, quantize
+from .zigzag import from_zigzag, to_zigzag
+
+__all__ = ["CompressedImage", "compress", "decompress", "roundtrip_psnr"]
+
+BLOCK = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class CompressedImage:
+    """A compressed grayscale image."""
+
+    data: bytes
+    height: int
+    width: int
+    quality: int
+
+    @property
+    def bits(self) -> int:
+        return len(self.data) * 8
+
+    @property
+    def bits_per_pixel(self) -> float:
+        return self.bits / (self.height * self.width)
+
+
+def _to_blocks(image: np.ndarray) -> np.ndarray:
+    height, width = image.shape
+    blocks = image.reshape(height // BLOCK, BLOCK, width // BLOCK, BLOCK)
+    return blocks.transpose(0, 2, 1, 3).reshape(-1, BLOCK, BLOCK)
+
+
+def _from_blocks(blocks: np.ndarray, height: int, width: int) -> np.ndarray:
+    grid = blocks.reshape(height // BLOCK, width // BLOCK, BLOCK, BLOCK)
+    return grid.transpose(0, 2, 1, 3).reshape(height, width)
+
+
+def compress(
+    multiplier: Multiplier, image: np.ndarray, quality: int = 50
+) -> CompressedImage:
+    """JPEG-compress a grayscale image using the given multiplier."""
+    image = np.asarray(image)
+    if image.ndim != 2:
+        raise ValueError(f"expected a 2-D grayscale image, got shape {image.shape}")
+    height, width = image.shape
+    if height % BLOCK or width % BLOCK:
+        raise ValueError(f"image dimensions must be multiples of 8, got {image.shape}")
+
+    shifted = image.astype(np.int64) - 128
+    blocks = _to_blocks(shifted)
+    coefficients = forward_dct(multiplier, blocks)
+    levels = quantize(coefficients, quant_table(quality))
+    data = encode_blocks(to_zigzag(levels))
+    return CompressedImage(data=data, height=height, width=width, quality=quality)
+
+
+def decompress(multiplier: Multiplier, compressed: CompressedImage) -> np.ndarray:
+    """Decode back to uint8 pixels using the given multiplier's IDCT."""
+    count = (compressed.height // BLOCK) * (compressed.width // BLOCK)
+    levels = from_zigzag(decode_blocks(compressed.data, count))
+    coefficients = dequantize(levels, quant_table(compressed.quality))
+    blocks = inverse_dct(multiplier, coefficients)
+    pixels = _from_blocks(blocks, compressed.height, compressed.width) + 128
+    return np.clip(pixels, 0, 255).astype(np.uint8)
+
+
+def roundtrip_psnr(
+    multiplier: Multiplier, image: np.ndarray, quality: int = 50
+) -> tuple[float, CompressedImage]:
+    """Table II measurement: PSNR of the compressed image vs. the original."""
+    compressed = compress(multiplier, image, quality)
+    reconstructed = decompress(multiplier, compressed)
+    return psnr(image, reconstructed), compressed

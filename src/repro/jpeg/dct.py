@@ -1,0 +1,85 @@
+"""Fixed-point 8x8 DCT/IDCT with a pluggable multiplier (Section IV-D).
+
+The paper implements JPEG "in 16-bit fixed-point arithmetic, using
+accurate and approximate multipliers".  This module is that arithmetic
+core: the 2-D type-II DCT computed as ``C @ X @ C.T`` (and its inverse
+``C.T @ Z @ C``) where the orthonormal basis ``C`` is quantized to Q7
+fixed point and **every multiplication is routed through the supplied
+unsigned multiplier** via sign-magnitude wrapping (the paper's signed
+extension, Section III-C).  Accumulation is exact, as in a hardware MAC
+whose multiplier is the approximate unit.
+
+Ranges (proof the datapath stays within 16-bit magnitudes):
+
+* level-shifted pixels are in ``[-128, 127]``; Q7 coefficients in
+  ``[-64, 64]`` -> first-pass products ``<= 8192``, rescaled rows
+  ``<= ~502``;
+* second-pass products ``<= 64 * 502 = 32128 < 2**15``; final DCT
+  coefficients ``<= ~1024``, and the IDCT mirrors the same bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..multipliers.base import Multiplier
+
+__all__ = ["dct_matrix_q7", "signed_multiply", "forward_dct", "inverse_dct"]
+
+#: fixed-point fraction bits of the DCT basis
+COEFF_BITS = 7
+
+
+def dct_matrix_q7() -> np.ndarray:
+    """Orthonormal 8x8 DCT-II basis, rounded to Q7 integers."""
+    k = np.arange(8)
+    basis = np.cos((2 * k[None, :] + 1) * k[:, None] * np.pi / 16.0)
+    basis[0, :] *= 1.0 / np.sqrt(2.0)
+    basis *= 0.5  # orthonormal scale for N=8
+    return np.rint(basis * (1 << COEFF_BITS)).astype(np.int64)
+
+
+def signed_multiply(multiplier: Multiplier, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Sign-magnitude product through an unsigned multiplier.
+
+    Magnitudes must fit the multiplier's bitwidth — the DCT datapath
+    guarantees that (see module docstring), and the operand validation in
+    the multiplier raises otherwise rather than silently wrapping.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    magnitude = multiplier.multiply(np.abs(a), np.abs(b))
+    return np.where((a < 0) ^ (b < 0), -magnitude, magnitude)
+
+
+def _fixed_point_matmul(
+    multiplier: Multiplier, left: np.ndarray, right: np.ndarray
+) -> np.ndarray:
+    """``(left @ right) >> COEFF_BITS`` with approximate products.
+
+    Works on stacks: ``left`` is ``(..., 8, 8)``, ``right`` ``(8, 8)`` or
+    ``(..., 8, 8)``.  Products go through the multiplier; the accumulation
+    and the rounding shift are exact.
+    """
+    left = np.asarray(left, dtype=np.int64)
+    right = np.asarray(right, dtype=np.int64)
+    lhs = left[..., :, :, None]  # (..., i, k, 1)
+    rhs = right[..., None, :, :]  # (..., 1, k, j)
+    products = signed_multiply(multiplier, *np.broadcast_arrays(lhs, rhs))
+    total = products.sum(axis=-2)  # contract over k
+    half = 1 << (COEFF_BITS - 1)
+    return (total + half) >> COEFF_BITS
+
+
+def forward_dct(multiplier: Multiplier, blocks: np.ndarray) -> np.ndarray:
+    """2-D DCT of level-shifted 8x8 blocks (stack-shaped ``(..., 8, 8)``)."""
+    basis = dct_matrix_q7()
+    rows = _fixed_point_matmul(multiplier, basis, blocks)
+    return _fixed_point_matmul(multiplier, rows, basis.T)
+
+
+def inverse_dct(multiplier: Multiplier, coefficients: np.ndarray) -> np.ndarray:
+    """Inverse 2-D DCT back to level-shifted pixels."""
+    basis = dct_matrix_q7()
+    rows = _fixed_point_matmul(multiplier, basis.T, coefficients)
+    return _fixed_point_matmul(multiplier, rows, basis)

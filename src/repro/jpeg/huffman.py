@@ -1,0 +1,204 @@
+"""Baseline JPEG entropy coding (ITU-T T.81 Annex K Huffman tables).
+
+Implements the lossless back half of the codec: DC difference coding with
+size categories, AC run-length coding with (run, size) symbols, ZRL and
+EOB, using the standard luminance Huffman tables.  PSNR does not depend on
+this stage (it is lossless), but the bitstream size does — the codec
+reports real compressed sizes, and the round-trip decoder doubles as a
+correctness check on the whole pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "BitWriter",
+    "BitReader",
+    "encode_blocks",
+    "decode_blocks",
+]
+
+# ----------------------------------------------------------------------
+# standard luminance Huffman tables (T.81 Annex K.3)
+# ----------------------------------------------------------------------
+
+_DC_BITS = [0, 0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0]
+_DC_VALUES = list(range(12))
+
+_AC_BITS = [0, 0, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 125]
+_AC_VALUES = [
+    0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12, 0x21, 0x31, 0x41, 0x06,
+    0x13, 0x51, 0x61, 0x07, 0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xA1, 0x08,
+    0x23, 0x42, 0xB1, 0xC1, 0x15, 0x52, 0xD1, 0xF0, 0x24, 0x33, 0x62, 0x72,
+    0x82, 0x09, 0x0A, 0x16, 0x17, 0x18, 0x19, 0x1A, 0x25, 0x26, 0x27, 0x28,
+    0x29, 0x2A, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39, 0x3A, 0x43, 0x44, 0x45,
+    0x46, 0x47, 0x48, 0x49, 0x4A, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59,
+    0x5A, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69, 0x6A, 0x73, 0x74, 0x75,
+    0x76, 0x77, 0x78, 0x79, 0x7A, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89,
+    0x8A, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98, 0x99, 0x9A, 0xA2, 0xA3,
+    0xA4, 0xA5, 0xA6, 0xA7, 0xA8, 0xA9, 0xAA, 0xB2, 0xB3, 0xB4, 0xB5, 0xB6,
+    0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3, 0xC4, 0xC5, 0xC6, 0xC7, 0xC8, 0xC9,
+    0xCA, 0xD2, 0xD3, 0xD4, 0xD5, 0xD6, 0xD7, 0xD8, 0xD9, 0xDA, 0xE1, 0xE2,
+    0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8, 0xE9, 0xEA, 0xF1, 0xF2, 0xF3, 0xF4,
+    0xF5, 0xF6, 0xF7, 0xF8, 0xF9, 0xFA,
+]
+
+
+def _build_table(bits: list[int], values: list[int]) -> dict[int, tuple[int, int]]:
+    """Annex C code construction: symbol -> (code, length)."""
+    table: dict[int, tuple[int, int]] = {}
+    code = 0
+    index = 0
+    for length in range(1, 17):
+        for _ in range(bits[length]):
+            table[values[index]] = (code, length)
+            code += 1
+            index += 1
+        code <<= 1
+    return table
+
+
+_DC_TABLE = _build_table(_DC_BITS, _DC_VALUES)
+_AC_TABLE = _build_table(_AC_BITS, _AC_VALUES)
+_DC_DECODE = {v: k for k, v in _DC_TABLE.items()}
+_AC_DECODE = {v: k for k, v in _AC_TABLE.items()}
+
+
+class BitWriter:
+    """MSB-first bit accumulator."""
+
+    def __init__(self) -> None:
+        self._bits: list[int] = []
+
+    def write(self, value: int, length: int) -> None:
+        if length < 0 or (length == 0 and value != 0):
+            raise ValueError(f"cannot write value {value} in {length} bits")
+        for position in range(length - 1, -1, -1):
+            self._bits.append((value >> position) & 1)
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def to_bytes(self) -> bytes:
+        padded = self._bits + [1] * (-len(self._bits) % 8)  # pad with 1s (T.81)
+        out = bytearray()
+        for i in range(0, len(padded), 8):
+            byte = 0
+            for bit in padded[i : i + 8]:
+                byte = (byte << 1) | bit
+            out.append(byte)
+        return bytes(out)
+
+
+class BitReader:
+    """MSB-first bit consumer over bytes."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._position = 0
+
+    def read_bit(self) -> int:
+        byte_index, bit_index = divmod(self._position, 8)
+        if byte_index >= len(self._data):
+            raise EOFError("bitstream exhausted")
+        self._position += 1
+        return (self._data[byte_index] >> (7 - bit_index)) & 1
+
+    def read(self, length: int) -> int:
+        value = 0
+        for _ in range(length):
+            value = (value << 1) | self.read_bit()
+        return value
+
+
+def _category(value: int) -> int:
+    """JPEG size category: bits needed for |value|."""
+    return int(abs(value)).bit_length()
+
+
+def _amplitude_bits(value: int, size: int) -> int:
+    """One's-complement style amplitude encoding of T.81 F.1.2.1."""
+    return value if value >= 0 else value + (1 << size) - 1
+
+
+def _decode_amplitude(raw: int, size: int) -> int:
+    if size == 0:
+        return 0
+    if raw >> (size - 1):
+        return raw
+    return raw - (1 << size) + 1
+
+
+def _decode_symbol(reader: BitReader, table: dict[tuple[int, int], int]) -> int:
+    code = 0
+    for length in range(1, 17):
+        code = (code << 1) | reader.read_bit()
+        symbol = table.get((code, length))
+        if symbol is not None:
+            return symbol
+    raise ValueError("invalid Huffman code in bitstream")
+
+
+def encode_blocks(zigzag_blocks: np.ndarray) -> bytes:
+    """Entropy-encode ``(n, 64)`` zig-zag quantized blocks."""
+    blocks = np.asarray(zigzag_blocks, dtype=np.int64)
+    if blocks.ndim != 2 or blocks.shape[1] != 64:
+        raise ValueError(f"expected (n, 64) zig-zag blocks, got {blocks.shape}")
+    writer = BitWriter()
+    previous_dc = 0
+    for block in blocks:
+        diff = int(block[0]) - previous_dc
+        previous_dc = int(block[0])
+        size = _category(diff)
+        code, length = _DC_TABLE[size]
+        writer.write(code, length)
+        writer.write(_amplitude_bits(diff, size), size)
+
+        run = 0
+        for value in block[1:]:
+            value = int(value)
+            if value == 0:
+                run += 1
+                continue
+            while run > 15:
+                zrl_code, zrl_length = _AC_TABLE[0xF0]
+                writer.write(zrl_code, zrl_length)
+                run -= 16
+            size = _category(value)
+            code, length = _AC_TABLE[(run << 4) | size]
+            writer.write(code, length)
+            writer.write(_amplitude_bits(value, size), size)
+            run = 0
+        if run > 0:
+            eob_code, eob_length = _AC_TABLE[0x00]
+            writer.write(eob_code, eob_length)
+    return writer.to_bytes()
+
+
+def decode_blocks(data: bytes, count: int) -> np.ndarray:
+    """Inverse of :func:`encode_blocks`; returns ``(count, 64)`` levels."""
+    reader = BitReader(data)
+    blocks = np.zeros((count, 64), dtype=np.int64)
+    previous_dc = 0
+    for index in range(count):
+        size = _decode_symbol(reader, _DC_DECODE)
+        diff = _decode_amplitude(reader.read(size), size)
+        previous_dc += diff
+        blocks[index, 0] = previous_dc
+
+        position = 1
+        while position < 64:
+            symbol = _decode_symbol(reader, _AC_DECODE)
+            if symbol == 0x00:  # EOB
+                break
+            if symbol == 0xF0:  # ZRL
+                position += 16
+                continue
+            run, size = symbol >> 4, symbol & 0xF
+            position += run
+            if position >= 64:
+                raise ValueError("AC run past end of block")
+            blocks[index, position] = _decode_amplitude(reader.read(size), size)
+            position += 1
+    return blocks

@@ -1,0 +1,160 @@
+"""Procedural stand-ins for the paper's JPEG test images.
+
+The paper compresses three standard image-processing photographs:
+``cameraman``, ``lena`` and ``livingroom``.  Those images cannot be
+redistributed here, so this module synthesizes deterministic 256x256
+grayscale scenes with matching structure — large smooth regions, strong
+edges, and textured areas — because those are the features that exercise a
+DCT codec's arithmetic (see DESIGN.md, Substitutions).  PSNR *differences*
+between multipliers, which is what Table II measures, depend on the DCT
+arithmetic error rather than on the specific photograph.
+
+All generators are seeded and pure, so every run of the Table II bench
+sees identical pixels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["test_image", "IMAGE_NAMES", "ALL_IMAGE_NAMES"]
+
+#: the three images of the paper's Table II
+IMAGE_NAMES = ("cameraman", "lena", "livingroom")
+#: every available stand-in (the extras widen the application studies)
+ALL_IMAGE_NAMES = ("cameraman", "lena", "livingroom", "peppers", "bridge")
+
+_SIZE = 256
+
+
+def _coords() -> tuple[np.ndarray, np.ndarray]:
+    axis = np.linspace(0.0, 1.0, _SIZE)
+    return np.meshgrid(axis, axis, indexing="ij")
+
+
+def _smooth_noise(rng: np.random.Generator, octaves: int = 4) -> np.ndarray:
+    """Multi-octave value noise (cheap Perlin-like texture)."""
+    total = np.zeros((_SIZE, _SIZE))
+    for octave in range(octaves):
+        cells = 4 * (2**octave)
+        coarse = rng.standard_normal((cells + 1, cells + 1))
+        scale = _SIZE // cells
+        fine = np.kron(coarse[:cells, :cells], np.ones((scale, scale)))
+        # bilinear-ish smoothing via box filters
+        for axis in (0, 1):
+            fine = (
+                fine
+                + np.roll(fine, scale // 2 or 1, axis=axis)
+                + np.roll(fine, -(scale // 2 or 1), axis=axis)
+            ) / 3.0
+        total += fine / (2**octave)
+    total -= total.min()
+    total /= total.max()
+    return total
+
+
+def _cameraman_like(rng: np.random.Generator) -> np.ndarray:
+    """Dark foreground figure against a bright smooth sky, tripod-like
+    thin structures: large flat areas + hard edges."""
+    y, x = _coords()
+    sky = 200.0 - 60.0 * y + 10.0 * _smooth_noise(rng, 3)
+    figure = ((x - 0.42) ** 2 / 0.018 + (y - 0.55) ** 2 / 0.12) < 1.0
+    head = ((x - 0.42) ** 2 + (y - 0.30) ** 2) < 0.006
+    tripod = (np.abs(x - 0.67 - 0.18 * (y - 0.6)) < 0.006) & (y > 0.55)
+    ground = y > 0.82
+    image = sky
+    image = np.where(ground, 95.0 + 25.0 * _smooth_noise(rng, 4), image)
+    image = np.where(figure | head, 25.0 + 12.0 * _smooth_noise(rng, 2), image)
+    image = np.where(tripod, 15.0, image)
+    return image
+
+
+def _lena_like(rng: np.random.Generator) -> np.ndarray:
+    """Soft portrait-like gradients with a feathered-texture band."""
+    y, x = _coords()
+    base = 120.0 + 70.0 * np.sin(2.3 * x + 0.8) * np.cos(1.7 * y - 0.4)
+    face = ((x - 0.55) ** 2 / 0.05 + (y - 0.45) ** 2 / 0.08) < 1.0
+    image = np.where(face, 165.0 + 30.0 * (x - 0.55) - 40.0 * (y - 0.45), base)
+    feathers = (x < 0.3) & (y > 0.2)
+    texture = 18.0 * np.sin(40.0 * x + 25.0 * y) * _smooth_noise(rng, 3)
+    image = np.where(feathers, 110.0 + texture * 2.2, image + texture * 0.4)
+    return image
+
+
+def _livingroom_like(rng: np.random.Generator) -> np.ndarray:
+    """Rectilinear interior: furniture blocks, window, patterned rug."""
+    y, x = _coords()
+    wall = 150.0 - 25.0 * y + 8.0 * _smooth_noise(rng, 3)
+    window = (x > 0.62) & (x < 0.9) & (y > 0.12) & (y < 0.45)
+    sofa = (x > 0.08) & (x < 0.52) & (y > 0.55) & (y < 0.8)
+    table = (x > 0.58) & (x < 0.8) & (y > 0.68) & (y < 0.82)
+    rug = y > 0.84
+    image = wall
+    image = np.where(window, 225.0 - 35.0 * (y - 0.12) / 0.33, image)
+    image = np.where(sofa, 85.0 + 18.0 * _smooth_noise(rng, 4), image)
+    image = np.where(table, 55.0 + 10.0 * _smooth_noise(rng, 2), image)
+    image = np.where(
+        rug, 100.0 + 30.0 * np.sin(60.0 * x) * np.sin(45.0 * y), image
+    )
+    return image
+
+
+def _peppers_like(rng: np.random.Generator) -> np.ndarray:
+    """Overlapping rounded blobs with specular-ish highlights."""
+    y, x = _coords()
+    image = 70.0 + 12.0 * _smooth_noise(rng, 3)
+    centers = rng.uniform(0.1, 0.9, (7, 2))
+    radii = rng.uniform(0.12, 0.28, 7)
+    shades = rng.uniform(90.0, 210.0, 7)
+    for (cy, cx), radius, shade in zip(centers, radii, shades):
+        distance = np.sqrt((y - cy) ** 2 + (x - cx) ** 2)
+        inside = distance < radius
+        shading = shade * (1.0 - 0.55 * (distance / radius) ** 2)
+        image = np.where(inside, shading, image)
+        highlight = distance < radius * 0.2
+        image = np.where(highlight, np.minimum(shade + 60.0, 250.0), image)
+    return image
+
+
+def _bridge_like(rng: np.random.Generator) -> np.ndarray:
+    """High-frequency natural texture: water, truss lattice, treeline."""
+    y, x = _coords()
+    water = 95.0 + 22.0 * np.sin(55.0 * y + 8.0 * np.sin(9.0 * x)) * _smooth_noise(rng, 4)
+    sky = 190.0 - 40.0 * y + 8.0 * _smooth_noise(rng, 2)
+    image = np.where(y > 0.55, water, sky)
+    deck = (y > 0.42) & (y < 0.47)
+    truss = deck | (
+        (y > 0.3)
+        & (y < 0.42)
+        & (np.abs(((x * 12.0) % 2.0) - 1.0) < 0.12)
+    )
+    image = np.where(truss, 45.0, image)
+    trees = (y > 0.47) & (y < 0.56) & (x < 0.25)
+    image = np.where(trees, 60.0 + 25.0 * _smooth_noise(rng, 4), image)
+    return image
+
+
+_GENERATORS = {
+    "cameraman": _cameraman_like,
+    "lena": _lena_like,
+    "livingroom": _livingroom_like,
+    # extras beyond Table II's three, for wider application studies
+    "peppers": _peppers_like,
+    "bridge": _bridge_like,
+}
+
+
+def test_image(name: str, seed: int = 2020) -> np.ndarray:
+    """256x256 uint8 grayscale stand-in for the named standard image."""
+    try:
+        generator = _GENERATORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown image {name!r}; known: {', '.join(IMAGE_NAMES)}"
+        ) from None
+    # zlib.crc32 is stable across processes (Python's hash() is salted)
+    import zlib
+
+    rng = np.random.default_rng(seed + zlib.crc32(name.encode()) % 1000)
+    image = generator(rng)
+    return np.clip(np.round(image), 0, 255).astype(np.uint8)

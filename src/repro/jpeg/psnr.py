@@ -1,0 +1,29 @@
+"""Image quality metrics for the Table II study."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["psnr", "mse"]
+
+
+def mse(reference: np.ndarray, test: np.ndarray) -> float:
+    """Mean squared error between two images of equal shape."""
+    reference = np.asarray(reference, dtype=np.float64)
+    test = np.asarray(test, dtype=np.float64)
+    if reference.shape != test.shape:
+        raise ValueError(f"shape mismatch: {reference.shape} vs {test.shape}")
+    return float(np.mean((reference - test) ** 2))
+
+
+def psnr(reference: np.ndarray, test: np.ndarray, peak: float = 255.0) -> float:
+    """Peak signal-to-noise ratio in dB (higher is better).
+
+    Returns ``inf`` for identical images.
+    """
+    error = mse(reference, test)
+    if error == 0.0:
+        return math.inf
+    return 10.0 * math.log10(peak * peak / error)

@@ -1,0 +1,57 @@
+"""JPEG quantization (Annex K luminance table, quality scaling).
+
+Quality scaling follows the Independent JPEG Group convention: quality 50
+uses the Annex K table verbatim, higher qualities scale it down, lower
+qualities up.  The paper evaluates quality level 50.
+
+Quantization divides (round-to-nearest) and dequantization multiplies by
+small table constants; both are exact integer operations here — the
+approximate multiplier under test lives in the DCT/IDCT datapath, whose
+multiplications dominate JPEG arithmetic (documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BASE_LUMINANCE", "quant_table", "quantize", "dequantize"]
+
+#: ITU-T T.81 Annex K.1 luminance quantization table
+BASE_LUMINANCE = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.int64,
+)
+
+
+def quant_table(quality: int = 50) -> np.ndarray:
+    """Quality-scaled luminance table (IJG convention), entries in [1, 255]."""
+    if not 1 <= quality <= 100:
+        raise ValueError(f"quality must be in [1, 100], got {quality}")
+    if quality < 50:
+        scale = 5000 // quality
+    else:
+        scale = 200 - 2 * quality
+    table = (BASE_LUMINANCE * scale + 50) // 100
+    return np.clip(table, 1, 255)
+
+
+def quantize(coefficients: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Round-to-nearest division by the quantization table (stacked blocks)."""
+    coefficients = np.asarray(coefficients, dtype=np.int64)
+    half = table // 2
+    signs = np.sign(coefficients)
+    return signs * ((np.abs(coefficients) + half) // table)
+
+
+def dequantize(levels: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Reconstruction: multiply quantized levels back by the table."""
+    return np.asarray(levels, dtype=np.int64) * table

@@ -1,0 +1,39 @@
+"""Zig-zag scan order of JPEG 8x8 blocks."""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+__all__ = ["zigzag_order", "to_zigzag", "from_zigzag"]
+
+
+@functools.lru_cache(maxsize=1)
+def zigzag_order() -> tuple[np.ndarray, np.ndarray]:
+    """Row/column indices of the 64 coefficients in zig-zag order."""
+    coordinates = sorted(
+        ((r, c) for r in range(8) for c in range(8)),
+        key=lambda rc: (
+            rc[0] + rc[1],
+            rc[1] if (rc[0] + rc[1]) % 2 == 0 else rc[0],
+        ),
+    )
+    rows = np.array([r for r, _ in coordinates])
+    cols = np.array([c for _, c in coordinates])
+    return rows, cols
+
+
+def to_zigzag(blocks: np.ndarray) -> np.ndarray:
+    """``(..., 8, 8)`` blocks -> ``(..., 64)`` zig-zag vectors."""
+    rows, cols = zigzag_order()
+    return np.asarray(blocks)[..., rows, cols]
+
+
+def from_zigzag(vectors: np.ndarray) -> np.ndarray:
+    """``(..., 64)`` zig-zag vectors -> ``(..., 8, 8)`` blocks."""
+    vectors = np.asarray(vectors)
+    rows, cols = zigzag_order()
+    blocks = np.zeros(vectors.shape[:-1] + (8, 8), dtype=vectors.dtype)
+    blocks[..., rows, cols] = vectors
+    return blocks

@@ -1,0 +1,94 @@
+"""Standard-cell library for the synthesis cost model.
+
+The paper synthesizes every multiplier with Cadence RTL Compiler against
+the TSMC 45 nm standard-cell library.  That flow is proprietary; this
+module provides a 45 nm-class cell set whose areas follow the public
+FreePDK45/Nangate open cell library and whose switching energies scale
+with area (a standard first-order model: both track transistor count and
+capacitance).  Absolute accuracy is not required — Table I reports area
+and power *relative* to the accurate multiplier built from the same cells,
+and :mod:`repro.synth.calibration` pins the absolute anchor to the paper's
+reference point.
+
+Every cell is a single-output boolean function evaluated bitwise on NumPy
+arrays, so one simulator pass evaluates thousands of stimulus vectors at
+once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+
+import numpy as np
+
+__all__ = ["Cell", "CELLS", "cell"]
+
+# boolean-function signature: tuple of input arrays -> output array
+CellFn = Callable[..., np.ndarray]
+
+
+@dataclasses.dataclass(frozen=True)
+class Cell:
+    """One library cell.
+
+    ``area`` is in um^2 (FreePDK45-class X1 drive values); ``energy`` is
+    the switching energy per output transition in fJ, modeled as
+    proportional to area; ``leakage`` in nW, likewise.
+    """
+
+    name: str
+    inputs: int
+    function: CellFn
+    area: float
+
+    @property
+    def energy(self) -> float:
+        # ~1.9 fJ/um^2 switching-energy density for a 45nm-class node
+        return 1.9 * self.area
+
+    @property
+    def leakage(self) -> float:
+        # ~18 nW/um^2 X1 leakage density
+        return 18.0 * self.area
+
+    def evaluate(self, *operands: np.ndarray) -> np.ndarray:
+        if len(operands) != self.inputs:
+            raise ValueError(
+                f"cell {self.name} takes {self.inputs} inputs, got {len(operands)}"
+            )
+        return self.function(*operands)
+
+
+def _mux2(d0: np.ndarray, d1: np.ndarray, sel: np.ndarray) -> np.ndarray:
+    return (d0 & ~sel) | (d1 & sel)
+
+
+CELLS: dict[str, Cell] = {
+    c.name: c
+    for c in (
+        Cell("INV", 1, lambda a: ~a, 0.532),
+        Cell("BUF", 1, lambda a: a, 0.798),
+        Cell("AND2", 2, lambda a, b: a & b, 1.064),
+        Cell("OR2", 2, lambda a, b: a | b, 1.064),
+        Cell("NAND2", 2, lambda a, b: ~(a & b), 0.798),
+        Cell("NOR2", 2, lambda a, b: ~(a | b), 0.798),
+        Cell("XOR2", 2, lambda a, b: a ^ b, 1.596),
+        Cell("XNOR2", 2, lambda a, b: ~(a ^ b), 1.596),
+        Cell("ANDN2", 2, lambda a, b: a & ~b, 1.064),  # a AND NOT b
+        Cell("ORN2", 2, lambda a, b: a | ~b, 1.064),  # a OR NOT b
+        Cell("MUX2", 3, _mux2, 1.862),  # out = sel ? d1 : d0
+        Cell("MAJ3", 3, lambda a, b, c: (a & b) | (a & c) | (b & c), 2.128),
+        Cell("XOR3", 3, lambda a, b, c: a ^ b ^ c, 2.926),
+    )
+}
+
+
+def cell(name: str) -> Cell:
+    """Look up a library cell by name."""
+    try:
+        return CELLS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown cell {name!r}; known: {', '.join(CELLS)}"
+        ) from None

@@ -1,0 +1,161 @@
+"""Stuck-at fault injection, impact analysis, and test coverage.
+
+Two reasons this lives in an approximate-arithmetic library:
+
+* **test coverage** — the classic single-stuck-at metric: what fraction
+  of faults does a vector set detect?  Used to sanity-check that the
+  equivalence-test vectors actually exercise the datapaths.
+* **graceful degradation** — approximate-computing folklore says that
+  error-tolerant datapaths also tolerate hardware faults better than
+  exact ones; the fault-impact histogram (how much does a random stuck-at
+  move the output?) makes that measurable per design
+  (``bench_ablation_faults``).
+
+Faults are expressed as ``(net, stuck_value)`` pairs and injected at
+simulation time — the netlist itself is never modified.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .netlist import CONST0, CONST1, Netlist
+from .sim import bus_to_int, int_to_bus
+
+__all__ = [
+    "Fault",
+    "fault_sites",
+    "simulate_with_faults",
+    "fault_impact",
+    "fault_coverage",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Fault:
+    """A single stuck-at fault on a net."""
+
+    net: int
+    stuck_value: bool
+
+    def __str__(self) -> str:
+        return f"net{self.net}/SA{int(self.stuck_value)}"
+
+
+def fault_sites(netlist: Netlist) -> list[Fault]:
+    """Both polarities on every signal net (inputs + gate outputs)."""
+    nets = list(netlist.inputs) + [gate.output for gate in netlist.gates]
+    return [Fault(net, value) for net in nets for value in (False, True)]
+
+
+def simulate_with_faults(
+    netlist: Netlist,
+    stimulus: dict[int, np.ndarray],
+    faults: tuple[Fault, ...] | list[Fault] = (),
+) -> dict[int, np.ndarray]:
+    """Like :func:`repro.logic.sim.simulate` with nets forced."""
+    forced = {fault.net: fault.stuck_value for fault in faults}
+    shapes = {np.asarray(v).shape for v in stimulus.values()}
+    shape = shapes.pop() if shapes else (1,)
+    values: dict[int, np.ndarray] = {
+        CONST0: np.zeros(shape, dtype=bool),
+        CONST1: np.ones(shape, dtype=bool),
+    }
+    for net in netlist.inputs:
+        wave = np.asarray(stimulus[net], dtype=bool)
+        if net in forced:
+            wave = np.full(shape, forced[net], dtype=bool)
+        values[net] = wave
+    for gate in netlist.gates:
+        if gate.output in forced:
+            values[gate.output] = np.full(shape, forced[gate.output], dtype=bool)
+            continue
+        values[gate.output] = gate.cell.evaluate(
+            *(values[i] for i in gate.inputs)
+        )
+    return values
+
+
+def _outputs_as_ints(netlist: Netlist, values) -> np.ndarray:
+    shape = next(iter(values.values())).shape
+    columns = []
+    for net in netlist.outputs:
+        if net == CONST0:
+            columns.append(np.zeros(shape, dtype=bool))
+        elif net == CONST1:
+            columns.append(np.ones(shape, dtype=bool))
+        else:
+            columns.append(values[net])
+    return bus_to_int(np.stack(columns, axis=1))
+
+
+def _stimulus_for(netlist: Netlist, operand_buses, operand_values):
+    stimulus = {}
+    for bus, vals in zip(operand_buses, operand_values):
+        bits = int_to_bus(np.asarray(vals), len(bus))
+        for position, net in enumerate(bus):
+            stimulus[net] = bits[:, position]
+    return stimulus
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultImpact:
+    """Output damage of one fault over a vector set."""
+
+    fault: Fault
+    detection_rate: float  # fraction of vectors with any output change
+    mean_relative_error: float  # vs golden outputs, zero-golden skipped
+
+
+def fault_impact(
+    netlist: Netlist,
+    operand_buses,
+    operand_values,
+    fault: Fault,
+) -> FaultImpact:
+    """How one stuck-at fault moves the outputs over a vector set."""
+    stimulus = _stimulus_for(netlist, operand_buses, operand_values)
+    golden = _outputs_as_ints(netlist, simulate_with_faults(netlist, stimulus))
+    faulty = _outputs_as_ints(
+        netlist, simulate_with_faults(netlist, stimulus, (fault,))
+    )
+    changed = faulty != golden
+    nonzero = golden != 0
+    if np.any(nonzero):
+        relative = np.abs(faulty[nonzero] - golden[nonzero]) / golden[nonzero]
+        mean_relative = float(relative.mean())
+    else:
+        mean_relative = 0.0
+    return FaultImpact(
+        fault=fault,
+        detection_rate=float(changed.mean()),
+        mean_relative_error=mean_relative,
+    )
+
+
+def fault_coverage(
+    netlist: Netlist,
+    operand_buses,
+    operand_values,
+    faults: list[Fault] | None = None,
+) -> float:
+    """Single-stuck-at coverage of a vector set (detected / total).
+
+    A fault is detected when at least one vector makes any output differ
+    from the golden response — the standard ATPG metric.
+    """
+    faults = faults if faults is not None else fault_sites(netlist)
+    if not faults:
+        return 1.0
+    stimulus = _stimulus_for(netlist, operand_buses, operand_values)
+    golden = _outputs_as_ints(netlist, simulate_with_faults(netlist, stimulus))
+    detected = 0
+    for fault in faults:
+        faulty = _outputs_as_ints(
+            netlist, simulate_with_faults(netlist, stimulus, (fault,))
+        )
+        if np.any(faulty != golden):
+            detected += 1
+    return detected / len(faults)

@@ -1,0 +1,291 @@
+"""Gate-level netlist IR with a feed-forward builder API.
+
+A :class:`Netlist` is a directed acyclic graph of library cells over
+single-bit nets.  The builder enforces construction in topological order —
+every gate's inputs must already be driven when the gate is added — so
+simulation and activity propagation are a single linear pass, no event
+queue needed (all circuits in this library are combinational, matching the
+paper's single-cycle designs).
+
+Nets are plain integer handles; buses are Python lists of handles with the
+LSB at index 0, the convention every generator in :mod:`repro.circuits`
+follows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+
+from .cells import Cell, cell
+
+__all__ = ["Gate", "Netlist"]
+
+Net = int
+
+#: reserved net handles for constant 0 / constant 1
+CONST0: Net = 0
+CONST1: Net = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class Gate:
+    """One cell instance: ``output = cell(*inputs)``."""
+
+    cell: Cell
+    inputs: tuple[Net, ...]
+    output: Net
+
+
+class Netlist:
+    """A combinational netlist under construction or analysis."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.gates: list[Gate] = []
+        self.inputs: list[Net] = []
+        self.outputs: list[Net] = []
+        self.net_names: dict[Net, str] = {CONST0: "const0", CONST1: "const1"}
+        self._driven: set[Net] = {CONST0, CONST1}
+        self._next_net: Net = 2
+        # structural cache: (cell name, inputs) -> existing output net.
+        # Gives automatic common-subexpression sharing, like a synthesis
+        # tool's structural hashing.
+        self._cse: dict[tuple[str, tuple[Net, ...]], Net] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def new_input(self, name: str) -> Net:
+        """Declare a primary input bit."""
+        net = self._alloc(name)
+        self.inputs.append(net)
+        self._driven.add(net)
+        return net
+
+    def input_bus(self, name: str, width: int) -> list[Net]:
+        """Declare a primary input bus (LSB first)."""
+        return [self.new_input(f"{name}[{i}]") for i in range(width)]
+
+    def add(self, cell_name: str, *inputs: Net, name: str | None = None) -> Net:
+        """Instantiate a cell; returns its output net.
+
+        Structurally identical instances are shared (returning the
+        existing output), and a few constant-input cases are folded — the
+        cheap subset of what a synthesis tool's optimizer does, enough to
+        make hardwired-constant LUTs cost what the paper says they cost.
+        """
+        c = cell(cell_name)
+        if len(inputs) != c.inputs:
+            raise ValueError(
+                f"cell {cell_name} takes {c.inputs} inputs, got {len(inputs)}"
+            )
+        for net in inputs:
+            if net not in self._driven:
+                raise ValueError(
+                    f"net {net} used before being driven (gate {cell_name})"
+                )
+        folded = _fold_constants(cell_name, inputs)
+        if folded is not None:
+            kind, value = folded
+            if kind == "const":
+                return CONST1 if value else CONST0
+            if kind == "net":
+                return value
+            cell_name, inputs = value  # rewritten gate
+            c = cell(cell_name)
+
+        key = (cell_name, tuple(inputs))
+        cached = self._cse.get(key)
+        if cached is not None:
+            return cached
+
+        out = self._alloc(name or f"n{self._next_net}")
+        self.gates.append(Gate(c, tuple(inputs), out))
+        self._driven.add(out)
+        self._cse[key] = out
+        return out
+
+    def set_outputs(self, nets: list[Net]) -> None:
+        """Declare the primary output bus (LSB first)."""
+        for net in nets:
+            if net not in self._driven:
+                raise ValueError(f"undriven output net {net}")
+        self.outputs = list(nets)
+
+    def _alloc(self, name: str) -> Net:
+        net = self._next_net
+        self._next_net += 1
+        self.net_names[net] = name
+        return net
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    @property
+    def net_count(self) -> int:
+        return self._next_net
+
+    @property
+    def gate_count(self) -> int:
+        return len(self.gates)
+
+    def area(self) -> float:
+        """Total cell area in um^2 (uncalibrated)."""
+        return sum(gate.cell.area for gate in self.gates)
+
+    def cell_histogram(self) -> Counter:
+        """Cell-name usage counts, for reports and regression tests."""
+        return Counter(gate.cell.name for gate in self.gates)
+
+    def prune(self) -> int:
+        """Remove gates outside the output cone (dead-code elimination).
+
+        Mirrors what any synthesis tool does; generators may build signals
+        (e.g. an LOD's one-hot bus) that a particular datapath never uses.
+        Returns the number of gates removed.  Requires outputs to be set.
+        """
+        if not self.outputs:
+            raise ValueError("set_outputs must be called before prune")
+        live: set[Net] = set(self.outputs)
+        kept: list[Gate] = []
+        for gate in reversed(self.gates):
+            if gate.output in live:
+                kept.append(gate)
+                live.update(gate.inputs)
+        removed = len(self.gates) - len(kept)
+        self.gates = kept[::-1]
+        # forget removed nets entirely so later construction cannot
+        # reference them and the cache cannot resurrect them
+        surviving = {gate.output for gate in self.gates}
+        self._cse = {
+            key: out for key, out in self._cse.items() if out in surviving
+        }
+        self._driven = {CONST0, CONST1, *self.inputs, *surviving}
+        return removed
+
+    def depth(self) -> int:
+        """Longest cell path from any input to any output (logic depth)."""
+        level = {net: 0 for net in self._driven if net < 2}
+        for net in self.inputs:
+            level[net] = 0
+        for gate in self.gates:
+            level[gate.output] = 1 + max(level[i] for i in gate.inputs)
+        if not self.outputs:
+            return max(level.values(), default=0)
+        return max(level[net] for net in self.outputs)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Netlist {self.name!r}: {len(self.inputs)} in, "
+            f"{len(self.outputs)} out, {self.gate_count} gates>"
+        )
+
+
+def _fold_constants(cell_name: str, inputs: tuple[Net, ...]):
+    """Constant folding for the cases constant-LUT muxes generate.
+
+    Returns ``None`` (no folding), ``("const", 0/1)``, ``("net", net)`` or
+    ``("rewrite", (cell, inputs))``.
+    """
+    c0, c1 = CONST0, CONST1
+    consts = {c0: 0, c1: 1}
+    if cell_name == "INV" and inputs[0] in consts:
+        return ("const", 1 - consts[inputs[0]])
+    if cell_name == "BUF":
+        return ("net", inputs[0])
+    if cell_name in ("AND2", "NAND2", "OR2", "NOR2", "XOR2", "XNOR2"):
+        a, b = inputs
+        known = [consts.get(a), consts.get(b)]
+        if known[0] is None and known[1] is None:
+            if a == b:
+                same = {
+                    "AND2": ("net", a),
+                    "OR2": ("net", a),
+                    "XOR2": ("const", 0),
+                    "XNOR2": ("const", 1),
+                }
+                if cell_name in same:
+                    return same[cell_name]
+            return None
+        # normalize the constant into position b
+        if known[0] is not None:
+            a, b = b, a
+            known = [known[1], known[0]]
+        kb = known[1]
+        if cell_name == "AND2":
+            return ("net", a) if kb == 1 else ("const", 0)
+        if cell_name == "NAND2":
+            return ("rewrite", ("INV", (a,))) if kb == 1 else ("const", 1)
+        if cell_name == "OR2":
+            return ("const", 1) if kb == 1 else ("net", a)
+        if cell_name == "NOR2":
+            return ("const", 0) if kb == 1 else ("rewrite", ("INV", (a,)))
+        if cell_name == "XOR2":
+            return ("rewrite", ("INV", (a,))) if kb == 1 else ("net", a)
+        if cell_name == "XNOR2":
+            return ("net", a) if kb == 1 else ("rewrite", ("INV", (a,)))
+    if cell_name == "ANDN2":  # a AND NOT b
+        a, b = inputs
+        if a == b:
+            return ("const", 0)
+        if b in consts:
+            return ("const", 0) if consts[b] else ("net", a)
+        if a in consts:
+            return ("rewrite", ("INV", (b,))) if consts[a] else ("const", 0)
+    if cell_name == "ORN2":  # a OR NOT b
+        a, b = inputs
+        if a == b:
+            return ("const", 1)
+        if b in consts:
+            return ("net", a) if consts[b] else ("const", 1)
+        if a in consts:
+            return ("const", 1) if consts[a] else ("rewrite", ("INV", (b,)))
+    if cell_name == "XOR3":
+        known = [consts.get(i) for i in inputs]
+        live = [i for i, k in zip(inputs, known) if k is None]
+        ones = sum(k for k in known if k is not None)
+        if len(live) == 3:
+            return None
+        if len(live) == 2:
+            return ("rewrite", (("XNOR2" if ones % 2 else "XOR2"), tuple(live)))
+        if len(live) == 1:
+            return ("rewrite", ("INV", tuple(live))) if ones % 2 else ("net", live[0])
+        return ("const", ones % 2)
+    if cell_name == "MAJ3":
+        known = [consts.get(i) for i in inputs]
+        live = [i for i, k in zip(inputs, known) if k is None]
+        ones = sum(k for k in known if k is not None)
+        if len(live) == 3:
+            return None
+        if len(live) == 2:
+            # majority(a, b, 1) = OR; majority(a, b, 0) = AND
+            return ("rewrite", (("OR2" if ones else "AND2"), tuple(live)))
+        if len(live) == 1:
+            if ones == 2:
+                return ("const", 1)
+            if ones == 0:
+                return ("const", 0)
+            return ("net", live[0])
+        return ("const", 1 if ones >= 2 else 0)
+    if cell_name == "MUX2":
+        d0, d1, sel = inputs
+        if sel in consts:
+            return ("net", d1 if consts[sel] else d0)
+        if d0 == d1:
+            return ("net", d0)
+        if d0 in consts and d1 in consts:
+            if consts[d0] == 0 and consts[d1] == 1:
+                return ("net", sel)
+            if consts[d0] == 1 and consts[d1] == 0:
+                return ("rewrite", ("INV", (sel,)))
+        if d0 in consts:
+            # sel ? d1 : 0  ->  AND ; sel ? d1 : 1 -> OR with inverted sel
+            if consts[d0] == 0:
+                return ("rewrite", ("AND2", (d1, sel)))
+            return ("rewrite", ("ORN2", (d1, sel)))
+        if d1 in consts:
+            if consts[d1] == 1:
+                return ("rewrite", ("OR2", (d0, sel)))
+            return ("rewrite", ("ANDN2", (d0, sel)))
+    return None

@@ -1,0 +1,115 @@
+"""ALM: Mitchell multipliers with approximate log-sum adders, Liu et al. [9].
+
+These designs keep cALM's structure but replace the exact adder that sums
+the two fixed-point log values with an approximate adder on the ``m``
+least-significant bits:
+
+* **LOA** (lower-part OR adder): the low ``m`` sum bits are the bitwise OR
+  of the inputs, and the carry into the exact upper part is the AND of the
+  two bit-``m-1`` inputs.
+* **SOA** (set-one adder): the low ``m`` sum bits are constant 1, with the
+  carry into the exact upper part generated like LOA's (AND of the two
+  bit-``m-1`` inputs) — the low-part logic disappears entirely, trading a
+  positive error push on the low bits for dropped low-order carries.  This
+  reproduces Table I's ALM-SOA rows digit-for-digit (bias -2.80 at m=11,
+  -1.75 at m=12), which a carry-less set-one adder does not.
+* **MAA** (mirror-adder approximation): the low part uses the classic
+  approximate mirror-adder cell simplification (sum bit = one input bit,
+  carry chain = the other input's bits), i.e. the low ``m`` sum bits are
+  taken from one operand and the carry into the upper part from the other.
+
+The REALM paper cites [9] for MAA without reproducing its cell; we use the
+published approximate-mirror-adder behavior above and document the choice
+(DESIGN.md, Substitutions).  The error *shape* of Table I — bias stuck near
+cALM's -3.85% with peaks growing as ``m`` grows — is a property of
+approximating only low-order log bits and is preserved by all variants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bitops import mask
+from .base import Multiplier
+from .mitchell import antilog, log_operands
+
+__all__ = ["ApproxAdderLogMultiplier", "AlmLoa", "AlmMaa", "AlmSoa"]
+
+
+def _loa_add(a: np.ndarray, b: np.ndarray, m: int) -> np.ndarray:
+    low = (a | b) & mask(m)
+    msb = np.int64(1) << (m - 1)
+    carry = ((a & msb) & (b & msb)) >> (m - 1)
+    high = (a >> m) + (b >> m) + carry
+    return (high << m) | low
+
+
+def _soa_add(a: np.ndarray, b: np.ndarray, m: int) -> np.ndarray:
+    msb = np.int64(1) << (m - 1)
+    carry = ((a & msb) & (b & msb)) >> (m - 1)
+    high = (a >> m) + (b >> m) + carry
+    return (high << m) | mask(m)
+
+
+def _maa_add(a: np.ndarray, b: np.ndarray, m: int) -> np.ndarray:
+    low = a & mask(m)
+    msb = np.int64(1) << (m - 1)
+    carry = (b & msb) >> (m - 1)
+    high = (a >> m) + (b >> m) + carry
+    return (high << m) | low
+
+
+_ADDERS = {"LOA": _loa_add, "SOA": _soa_add, "MAA": _maa_add}
+
+
+class ApproxAdderLogMultiplier(Multiplier):
+    """cALM with an approximate adder on the ``m`` low log-sum bits [9]."""
+
+    def __init__(self, bitwidth: int = 16, m: int = 6, adder: str = "SOA"):
+        super().__init__(bitwidth)
+        if adder not in _ADDERS:
+            raise ValueError(f"adder must be one of {sorted(_ADDERS)}, got {adder!r}")
+        if not 1 <= m <= bitwidth - 1:
+            raise ValueError(
+                f"approximate low part m must be in [1, {bitwidth - 1}], got {m}"
+            )
+        self.m = m
+        self.adder = adder
+        self._add = _ADDERS[adder]
+
+    @property
+    def family(self) -> str:  # type: ignore[override]
+        return f"ALM-{self.adder}"
+
+    @property
+    def name(self) -> str:
+        return f"ALM-{self.adder} (m={self.m})"
+
+    def _multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        width = self.bitwidth - 1
+        ka, kb, xa, xb, nonzero = log_operands(a, b, self.bitwidth)
+        log_a = (ka << width) | xa
+        log_b = (kb << width) | xb
+        product = antilog(self._add(log_a, log_b, self.m), width)
+        return np.where(nonzero, product, 0)
+
+
+class AlmLoa(ApproxAdderLogMultiplier):
+    """ALM with the lower-part OR adder."""
+
+    def __init__(self, bitwidth: int = 16, m: int = 6):
+        super().__init__(bitwidth, m, adder="LOA")
+
+
+class AlmMaa(ApproxAdderLogMultiplier):
+    """ALM with the approximate mirror adder (Table I's ALM-MAA)."""
+
+    def __init__(self, bitwidth: int = 16, m: int = 6):
+        super().__init__(bitwidth, m, adder="MAA")
+
+
+class AlmSoa(ApproxAdderLogMultiplier):
+    """ALM with the set-one adder (Table I's ALM-SOA)."""
+
+    def __init__(self, bitwidth: int = 16, m: int = 6):
+        super().__init__(bitwidth, m, adder="SOA")

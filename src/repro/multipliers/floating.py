@@ -1,0 +1,196 @@
+"""Approximate floating-point multiplication with integer mantissa cores.
+
+The REALM paper's sibling designs live in FP land: MBM [4] builds
+approximate FP multipliers by replacing the mantissa multiplier with an
+approximate integer core, and ApproxLP [11] approximates the mantissa
+product directly.  This module closes that loop for REALM: a binary
+floating-point multiplier (configurable exponent/mantissa widths, e.g.
+IEEE-754 binary32's 8/23 or a bfloat16-like 8/7) whose mantissa product
+comes from **any unsigned integer multiplier of this library**.
+
+Format and semantics:
+
+* values are ``(-1)^s * 2^(e - bias) * 1.m`` with flush-to-zero for
+  subnormal results and saturation to the largest finite value on
+  overflow (the usual choices of approximate FP hardware — keeping the
+  datapath free of special-case mass);
+* the mantissa core multiplies the two ``(1 + mantissa_bits)``-wide
+  significands; the ``2p+1``-or-``2p+2``-bit product is renormalized and
+  truncated back to ``p`` mantissa bits (truncation, like the integer
+  designs — the approximate core's error dwarfs half-an-ulp rounding);
+* because the significands are exactly the ``1.x`` operands of Section
+  III-A, REALM's error-reduction factors apply unchanged: an FP-REALM's
+  relative error equals the integer REALM's error on full-scale operands.
+
+``FloatFormat`` handles packing/unpacking so tests can round-trip real
+float32 values bit-exactly through the accurate configuration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .accurate import AccurateMultiplier
+from .base import Multiplier
+
+__all__ = ["FloatFormat", "ApproxFloatMultiplier", "FLOAT32", "BFLOAT16_LIKE"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FloatFormat:
+    """A binary floating-point format (sign + exponent + mantissa)."""
+
+    exponent_bits: int
+    mantissa_bits: int
+
+    def __post_init__(self) -> None:
+        if self.exponent_bits < 2:
+            raise ValueError(f"need >= 2 exponent bits, got {self.exponent_bits}")
+        if not 1 <= self.mantissa_bits <= 30:
+            raise ValueError(
+                f"mantissa bits must be in [1, 30], got {self.mantissa_bits}"
+            )
+
+    @property
+    def bias(self) -> int:
+        return (1 << (self.exponent_bits - 1)) - 1
+
+    @property
+    def max_exponent(self) -> int:
+        return (1 << self.exponent_bits) - 1  # all-ones reserved for inf/nan
+
+    @property
+    def total_bits(self) -> int:
+        return 1 + self.exponent_bits + self.mantissa_bits
+
+    # ------------------------------------------------------------------
+    # packing
+    # ------------------------------------------------------------------
+    def pack(self, sign, exponent, mantissa) -> np.ndarray:
+        sign = np.asarray(sign, dtype=np.int64)
+        exponent = np.asarray(exponent, dtype=np.int64)
+        mantissa = np.asarray(mantissa, dtype=np.int64)
+        return (
+            (sign << (self.exponent_bits + self.mantissa_bits))
+            | (exponent << self.mantissa_bits)
+            | mantissa
+        )
+
+    def unpack(self, bits) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        bits = np.asarray(bits, dtype=np.int64)
+        mantissa = bits & ((1 << self.mantissa_bits) - 1)
+        exponent = (bits >> self.mantissa_bits) & ((1 << self.exponent_bits) - 1)
+        sign = bits >> (self.exponent_bits + self.mantissa_bits)
+        return sign & 1, exponent, mantissa
+
+    def from_float(self, values) -> np.ndarray:
+        """Encode float64 values (round-to-nearest mantissa, FTZ)."""
+        values = np.asarray(values, dtype=np.float64)
+        sign = (np.signbit(values)).astype(np.int64)
+        magnitude = np.abs(values)
+        with np.errstate(divide="ignore"):
+            exponent = np.floor(np.log2(np.where(magnitude > 0, magnitude, 1.0)))
+        scale = np.exp2(exponent)
+        fraction = np.where(magnitude > 0, magnitude / scale - 1.0, 0.0)
+        mantissa = np.rint(fraction * (1 << self.mantissa_bits)).astype(np.int64)
+        # mantissa rounding can carry into the exponent
+        carry = mantissa >> self.mantissa_bits
+        mantissa = mantissa & ((1 << self.mantissa_bits) - 1)
+        biased = exponent.astype(np.int64) + carry + self.bias
+        underflow = (magnitude == 0) | (biased < 1)
+        overflow = biased >= self.max_exponent
+        biased = np.clip(biased, 1, self.max_exponent - 1)
+        mantissa = np.where(overflow, (1 << self.mantissa_bits) - 1, mantissa)
+        packed = self.pack(sign, biased, mantissa)
+        return np.where(underflow, sign << (self.total_bits - 1), packed)
+
+    def to_float(self, bits) -> np.ndarray:
+        """Decode to float64 (zero exponent means zero: FTZ semantics)."""
+        sign, exponent, mantissa = self.unpack(bits)
+        fraction = 1.0 + mantissa / np.float64(1 << self.mantissa_bits)
+        value = fraction * np.exp2(exponent.astype(np.float64) - self.bias)
+        value = np.where(exponent == 0, 0.0, value)
+        return np.where(sign == 1, -value, value)
+
+
+FLOAT32 = FloatFormat(exponent_bits=8, mantissa_bits=23)
+BFLOAT16_LIKE = FloatFormat(exponent_bits=8, mantissa_bits=7)
+
+
+class ApproxFloatMultiplier:
+    """FP multiplier whose significand product uses an integer core.
+
+    ``core_factory(bitwidth)`` builds the unsigned integer multiplier for
+    the significand width (``mantissa_bits + 1``); the default accurate
+    core makes this an exact truncating FP multiplier, and e.g.
+    ``lambda n: RealmMultiplier(bitwidth=n, m=16)`` produces the
+    REALM-based FP multiplier.
+    """
+
+    def __init__(
+        self,
+        fmt: FloatFormat = FLOAT32,
+        core_factory=AccurateMultiplier,
+    ):
+        self.fmt = fmt
+        self.core: Multiplier = core_factory(fmt.mantissa_bits + 1)
+        if self.core.bitwidth != fmt.mantissa_bits + 1:
+            raise ValueError(
+                "core_factory must honor the significand width "
+                f"{fmt.mantissa_bits + 1}, got {self.core.bitwidth}"
+            )
+
+    @property
+    def name(self) -> str:
+        return (
+            f"float(e{self.fmt.exponent_bits}m{self.fmt.mantissa_bits})"
+            f"[{self.core.name}]"
+        )
+
+    def multiply_bits(self, a_bits, b_bits) -> np.ndarray:
+        """Multiply packed operands, returning packed results."""
+        fmt = self.fmt
+        p = fmt.mantissa_bits
+        sign_a, exp_a, man_a = fmt.unpack(a_bits)
+        sign_b, exp_b, man_b = fmt.unpack(b_bits)
+
+        sign = sign_a ^ sign_b
+        significand_a = (np.int64(1) << p) | man_a
+        significand_b = (np.int64(1) << p) | man_b
+        product = self.core.multiply(significand_a, significand_b)
+
+        # product of two 1.x significands is in [2^2p, 2^(2p+2)): normalize
+        # to 1.x (approximate cores may push it one binade either way)
+        exponent = exp_a + exp_b - fmt.bias
+        norm = np.ones_like(product)
+        top = np.int64(1) << (2 * p)
+        for _ in range(2):  # at most two upward renormalizations
+            above = product >= (top << 1)
+            product = np.where(above, product >> 1, product)
+            exponent = exponent + above
+        below = product < top
+        product = np.where(below, product << 1, product)
+        exponent = exponent - below
+        del norm
+
+        mantissa = (product >> p) & ((np.int64(1) << p) - 1)  # truncate
+
+        zero_in = (exp_a == 0) | (exp_b == 0)
+        underflow = exponent < 1
+        overflow = exponent >= fmt.max_exponent
+        exponent = np.clip(exponent, 1, fmt.max_exponent - 1)
+        mantissa = np.where(overflow, (np.int64(1) << p) - 1, mantissa)
+        packed = fmt.pack(sign, exponent, mantissa)
+        flushed = fmt.pack(sign, np.zeros_like(exponent), np.zeros_like(mantissa))
+        return np.where(zero_in | underflow, flushed, packed)
+
+    def multiply(self, a, b) -> np.ndarray:
+        """Multiply real values; returns float64 of the approximate result."""
+        fmt = self.fmt
+        bits = self.multiply_bits(fmt.from_float(a), fmt.from_float(b))
+        return fmt.to_float(bits)
+
+    def __repr__(self) -> str:
+        return f"<ApproxFloatMultiplier {self.name!r}>"

@@ -1,0 +1,206 @@
+"""IntALP: integer version of ApproxLP, Imani et al., DAC 2019 [11].
+
+ApproxLP approximates the mantissa product ``(1+x)(1+y)`` of a
+floating-point multiplier by piecewise linear planes selected by a
+comparator hierarchy, with each extra level halving the subdomains and
+shrinking the residual error.  The REALM paper builds an integer version
+for comparison (Section IV-A): compute the characteristics and log
+fractions of the integer inputs, apply the linear-plane approximation to
+the fraction product ``x*y``, and scale by the sum of characteristics.
+
+Plane hierarchy modeled here, which reproduces both IntALP rows of
+Table I digit-for-digit:
+
+* Level 1 splits the unit square of ``(x, y)`` along the diagonal
+  ``y = x`` into two right isosceles triangles and interpolates ``x*y`` at
+  the corners of each — the closed form is ``x*y ~= min(x, y)``, always an
+  overestimate (Table I L=1: error in ``[0, +12.5%]``, bias +3.91%).
+* Every further level bisects each triangle by the median from its
+  right-angle vertex to the midpoint of its hypotenuse (level 2 therefore
+  adds the anti-diagonal ``x + y = 1``), and re-interpolates ``x*y`` at
+  the corners.  The bisection makes the residual double-sided and roughly
+  halves it per level (Table I L=2: ``-2.86%..+4.17%``, bias +0.03%).
+
+A least-squares plane fit (``fit="ls"``) is included as an ablation: it is
+what an error-optimal ApproxLP would use and beats the corner interpolants
+by ~2x at equal level.
+
+The comparator tree that walks a sample to its sub-triangle is exactly the
+"complex selection logic" the REALM paper remarks on; its cost shows up in
+the synthesis model (:mod:`repro.circuits.intalp_rtl`).
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+
+import numpy as np
+
+from ..core.bitops import floor_log2, log_fraction
+from .base import Multiplier
+
+__all__ = ["IntAlpMultiplier", "triangle_table", "interpolate_xy"]
+
+Point = tuple[float, float]
+Triangle = tuple[Point, Point, Point]  # (hyp end 1, hyp end 2, right angle)
+
+_ROOTS: tuple[Triangle, Triangle] = (
+    ((0.0, 0.0), (1.0, 1.0), (1.0, 0.0)),  # below the diagonal (x >= y)
+    ((0.0, 0.0), (1.0, 1.0), (0.0, 1.0)),  # above the diagonal
+)
+
+
+def _children(tri: Triangle) -> tuple[Triangle, Triangle]:
+    """Bisect by the median from the right angle to the hypotenuse midpoint.
+
+    Both children are again right isosceles with their right angle at the
+    midpoint, so the construction recurses cleanly.
+    """
+    h1, h2, right = tri
+    mid = ((h1[0] + h2[0]) / 2.0, (h1[1] + h2[1]) / 2.0)
+    return (h1, right, mid), (right, h2, mid)
+
+
+def _triangle_moment(tri: Triangle, px: int, py: int) -> float:
+    """Exact ``integral of x**px * y**py`` over a triangle.
+
+    Maps to the reference triangle ``{u, v >= 0, u + v <= 1}`` where
+    ``integral of u**a * v**b = a! b! / (a + b + 2)!``, and expands the
+    affine images of ``x`` and ``y`` binomially.  Exact for any polynomial
+    degree, which covers the cubic moments the least-squares fit needs.
+    """
+    (x0, y0), (x1, y1), (x2, y2) = tri
+    jacobian = abs((x1 - x0) * (y2 - y0) - (x2 - x0) * (y1 - y0))
+
+    def poly_mul(p, q):
+        out: dict[tuple[int, int], float] = {}
+        for (a1, b1), c1 in p.items():
+            for (a2, b2), c2 in q.items():
+                key = (a1 + a2, b1 + b2)
+                out[key] = out.get(key, 0.0) + c1 * c2
+        return out
+
+    poly = {(0, 0): 1.0}
+    for _ in range(px):
+        poly = poly_mul(poly, {(0, 0): x0, (1, 0): x1 - x0, (0, 1): x2 - x0})
+    for _ in range(py):
+        poly = poly_mul(poly, {(0, 0): y0, (1, 0): y1 - y0, (0, 1): y2 - y0})
+    total = 0.0
+    for (a, b), coeff in poly.items():
+        total += (
+            coeff * math.factorial(a) * math.factorial(b) / math.factorial(a + b + 2)
+        )
+    return jacobian * total
+
+
+def _interpolant_plane(tri: Triangle) -> tuple[float, float, float]:
+    """Plane ``a*x + b*y + c`` through ``x*y`` at the triangle corners."""
+    matrix = np.array([[vx, vy, 1.0] for vx, vy in tri])
+    values = np.array([vx * vy for vx, vy in tri])
+    a, b, c = np.linalg.solve(matrix, values)
+    return float(a), float(b), float(c)
+
+
+def _least_squares_plane(tri: Triangle) -> tuple[float, float, float]:
+    """Plane minimizing ``integral of (x*y - (a*x + b*y + c))**2`` over tri."""
+    moment = functools.partial(_triangle_moment, tri)
+    gram = np.array(
+        [
+            [moment(2, 0), moment(1, 1), moment(1, 0)],
+            [moment(1, 1), moment(0, 2), moment(0, 1)],
+            [moment(1, 0), moment(0, 1), moment(0, 0)],
+        ]
+    )
+    rhs = np.array([moment(2, 1), moment(1, 2), moment(1, 1)])
+    a, b, c = np.linalg.solve(gram, rhs)
+    return float(a), float(b), float(c)
+
+
+_FITS = {"interp": _interpolant_plane, "ls": _least_squares_plane}
+
+
+@functools.lru_cache(maxsize=None)
+def triangle_table(level: int, fit: str = "interp") -> tuple[np.ndarray, np.ndarray]:
+    """Level-``level`` triangles (in walk order) and their plane coefficients.
+
+    Returns ``(vertices, planes)``: ``vertices`` has shape ``(2**level,
+    3, 2)`` with each triangle as ``(hyp1, hyp2, right-angle)``; ``planes``
+    has shape ``(2**level, 3)`` holding ``(a, b, c)`` of the approximation
+    ``x*y ~= a*x + b*y + c`` on that triangle.  Triangle ids are laid out
+    so the children of id ``t`` are ``2*t`` and ``2*t + 1``.
+    """
+    if fit not in _FITS:
+        raise ValueError(f"fit must be one of {sorted(_FITS)}, got {fit!r}")
+    triangles: list[Triangle] = list(_ROOTS)
+    for _ in range(level - 1):
+        triangles = [child for tri in triangles for child in _children(tri)]
+    vertices = np.array(triangles, dtype=float)
+    planes = np.array([_FITS[fit](tri) for tri in triangles], dtype=float)
+    return vertices, planes
+
+
+def interpolate_xy(
+    x: np.ndarray, y: np.ndarray, level: int, fit: str = "interp"
+) -> np.ndarray:
+    """Piecewise-linear-plane approximation of ``x*y`` on ``[0,1)^2``."""
+    if level < 1:
+        raise ValueError(f"level must be >= 1, got {level}")
+    shape = np.broadcast(np.asarray(x), np.asarray(y)).shape
+    x = np.broadcast_to(np.asarray(x, dtype=np.float64), shape).ravel()
+    y = np.broadcast_to(np.asarray(y, dtype=np.float64), shape).ravel()
+    _, planes = triangle_table(level, fit)
+
+    ids = np.where(x >= y, 0, 1).astype(np.int64)
+    current = np.array(_ROOTS)[ids]
+    for _ in range(level - 1):
+        h1, h2, right = current[:, 0], current[:, 1], current[:, 2]
+        mid = (h1 + h2) / 2.0
+        # side of the median line right->mid; child 0 contains h1
+        dxm, dym = mid[:, 0] - right[:, 0], mid[:, 1] - right[:, 1]
+        side = dxm * (y - right[:, 1]) - dym * (x - right[:, 0])
+        side_h1 = dxm * (h1[:, 1] - right[:, 1]) - dym * (h1[:, 0] - right[:, 0])
+        choice = np.where(side * side_h1 >= 0, 0, 1)
+        ids = 2 * ids + choice
+        first = np.stack([h1, right, mid], axis=1)
+        second = np.stack([right, h2, mid], axis=1)
+        current = np.where(choice[:, None, None] == 0, first, second)
+    coeffs = planes[ids]
+    result = coeffs[:, 0] * x + coeffs[:, 1] * y + coeffs[:, 2]
+    return result.reshape(shape)
+
+
+class IntAlpMultiplier(Multiplier):
+    """IntALP with error-control level ``L`` (Table I uses L=1, L=2)."""
+
+    family = "IntALP"
+
+    def __init__(self, bitwidth: int = 16, level: int = 2, fit: str = "interp"):
+        super().__init__(bitwidth)
+        if not 1 <= level <= 16:
+            raise ValueError(f"level L must be in [1, 16], got {level}")
+        if fit not in _FITS:
+            raise ValueError(f"fit must be one of {sorted(_FITS)}, got {fit!r}")
+        self.level = level
+        self.fit = fit
+
+    @property
+    def name(self) -> str:
+        suffix = "" if self.fit == "interp" else f", {self.fit}"
+        return f"IntALP (L={self.level}{suffix})"
+
+    def _multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        width = self.bitwidth - 1
+        nonzero = (a > 0) & (b > 0)
+        safe_a = np.where(a > 0, a, 1)
+        safe_b = np.where(b > 0, b, 1)
+        ka = floor_log2(safe_a)
+        kb = floor_log2(safe_b)
+        x = log_fraction(safe_a, ka, self.bitwidth) / np.float64(1 << width)
+        y = log_fraction(safe_b, kb, self.bitwidth) / np.float64(1 << width)
+
+        # (1+x)(1+y) ~= 1 + x + y + plane(x, y); the floor matches the
+        # hardware truncation of sub-integer output bits.
+        mantissa = 1.0 + x + y + interpolate_xy(x, y, self.level, self.fit)
+        product = np.floor(mantissa * np.exp2((ka + kb).astype(np.float64)))
+        return np.where(nonzero, np.maximum(product.astype(np.int64), 0), 0)

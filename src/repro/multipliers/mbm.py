@@ -1,0 +1,82 @@
+"""MBM: minimally biased multiplier, Saadat et al., TCAD 2018 [4].
+
+MBM couples Mitchell's multiplier with a *single* error-correction term for
+the whole multiplier, computed by averaging the actual error over a
+complete power-of-two interval (paper Section II).  Mitchell's absolute
+error is ``2**(ka+kb) * x*y`` for ``x + y < 1`` and
+``2**(ka+kb) * (1-x)(1-y)`` otherwise; averaged over the unit square the
+correction mantissa is
+
+.. math::
+
+    c = 2 \\int\\int_{x+y<1} xy \\, dx\\,dy = 2 \\cdot \\tfrac{1}{24}
+      = \\tfrac{1}{12} \\approx 0.0833
+
+which, quantized to the same ``q = 6``-bit grid REALM uses, becomes the
+hardwired constant ``5/64 = 0.078125``.  The correction is added to the log
+mantissa before the final scaling, exactly like REALM's ``s_ij`` but with
+one value instead of ``M**2`` — REALM's Section II observes this is why
+MBM's bias is low while its mean/peak error stay high.
+
+MBM shares REALM's fraction-truncation knob ``t`` (truncate ``t`` LSBs,
+force the next bit to 1).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from ..core.bitops import shift_value, truncate_fraction
+from .base import Multiplier
+from .mitchell import log_operands
+
+__all__ = ["MbmMultiplier", "MBM_CORRECTION"]
+
+#: exact mean of Mitchell's error mantissa over a power-of-two interval
+MBM_CORRECTION = Fraction(1, 12)
+
+
+class MbmMultiplier(Multiplier):
+    """MBM [4] with truncation parameter ``t`` and ``q``-bit correction."""
+
+    family = "MBM"
+
+    def __init__(self, bitwidth: int = 16, t: int = 0, q: int = 6):
+        super().__init__(bitwidth)
+        if not 0 <= t < bitwidth - 1:
+            raise ValueError(f"t must be in [0, {bitwidth - 2}], got {t}")
+        if q < 3:
+            raise ValueError(f"correction precision q must be >= 3, got {q}")
+        self.t = t
+        self.q = q
+        #: correction constant on the 2**-q grid (round to nearest)
+        self.correction_code = int(round(MBM_CORRECTION * (1 << q)))
+
+    @property
+    def name(self) -> str:
+        return f"MBM (t={self.t})"
+
+    def _multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        raw_width = self.bitwidth - 1
+        width = raw_width - self.t
+        ka, kb, xa, xb, nonzero = log_operands(a, b, self.bitwidth)
+
+        xa_t = truncate_fraction(xa, self.t, raw_width)
+        xb_t = truncate_fraction(xb, self.t, raw_width)
+        fraction_sum = xa_t + xb_t
+        carry = fraction_sum >> width
+
+        # Correction aligned to the fraction grid, halved on carry —
+        # identical wiring to REALM's LUT path with M = 1.
+        code = np.int64(self.correction_code)
+        c_full = shift_value(code, width - self.q)
+        c_half = shift_value(code, width - self.q - 1)
+        mantissa = np.where(
+            carry == 0,
+            (np.int64(1) << width) + fraction_sum + c_full,
+            fraction_sum + c_half,
+        )
+        product = shift_value(mantissa, ka + kb + carry - width)
+        return np.where(nonzero, product, 0)

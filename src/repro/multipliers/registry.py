@@ -1,0 +1,107 @@
+"""Named multiplier configurations — the full design set of Table I.
+
+Every configuration evaluated in the paper's Table I (and used by Fig. 4's
+design space and Table II's JPEG study) has a stable identifier here, e.g.
+``"realm16-t3"``, ``"drum-k6"``, ``"alm-soa-m11"``.  The registry maps the
+identifier to a factory taking the bitwidth, so benchmarks, examples, the
+CLI and the tests all construct identical instances.
+
+>>> from repro.multipliers.registry import build
+>>> build("realm16-t0").name
+'REALM16 (t=0)'
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from .accurate import AccurateMultiplier
+from .alm import AlmMaa, AlmSoa
+from .am import Am1Multiplier, Am2Multiplier
+from .base import Multiplier
+from .drum import DrumMultiplier
+from .implm import ImpLmMultiplier
+from .intalp import IntAlpMultiplier
+from .mbm import MbmMultiplier
+from .mitchell import MitchellMultiplier
+from .ssm import EssmMultiplier, SsmMultiplier
+
+__all__ = [
+    "REGISTRY",
+    "TABLE1_IDS",
+    "build",
+    "names",
+    "iter_multipliers",
+]
+
+Factory = Callable[[int], Multiplier]
+
+
+def _realm_factory(m: int, t: int) -> Factory:
+    # imported lazily to avoid a circular import at package load time
+    def factory(bitwidth: int) -> Multiplier:
+        from ..core.realm import RealmMultiplier
+
+        return RealmMultiplier(bitwidth=bitwidth, m=m, t=t)
+
+    return factory
+
+
+def _build_registry() -> dict[str, Factory]:
+    registry: dict[str, Factory] = {"accurate": AccurateMultiplier}
+    for m in (16, 8, 4):
+        for t in range(10):
+            registry[f"realm{m}-t{t}"] = _realm_factory(m, t)
+    registry["calm"] = MitchellMultiplier
+    registry["implm-ea"] = lambda n: ImpLmMultiplier(n, adder="EA")
+    for t in (0, 2, 4, 6, 8, 9):
+        registry[f"mbm-t{t}"] = lambda n, t=t: MbmMultiplier(n, t=t)
+    for m in (3, 6, 9, 11, 12):
+        registry[f"alm-maa-m{m}"] = lambda n, m=m: AlmMaa(n, m=m)
+        registry[f"alm-soa-m{m}"] = lambda n, m=m: AlmSoa(n, m=m)
+    for level in (2, 1):
+        registry[f"intalp-l{level}"] = lambda n, level=level: IntAlpMultiplier(
+            n, level=level
+        )
+    for nb in (13, 9, 5):
+        registry[f"am1-nb{nb}"] = lambda n, nb=nb: Am1Multiplier(n, nb=nb)
+        registry[f"am2-nb{nb}"] = lambda n, nb=nb: Am2Multiplier(n, nb=nb)
+    for k in (8, 7, 6, 5, 4):
+        registry[f"drum-k{k}"] = lambda n, k=k: DrumMultiplier(n, k=k)
+    for m in (10, 9, 8):
+        registry[f"ssm-m{m}"] = lambda n, m=m: SsmMultiplier(n, m=m)
+    registry["essm8"] = lambda n: EssmMultiplier(n, m=8)
+    return registry
+
+
+#: identifier -> factory(bitwidth) for every design point in the paper
+REGISTRY: dict[str, Factory] = _build_registry()
+
+#: the approximate designs of Table I, in the paper's row order
+TABLE1_IDS: tuple[str, ...] = tuple(
+    name for name in REGISTRY if name != "accurate"
+)
+
+
+def names() -> list[str]:
+    """All registered configuration identifiers, in Table I order."""
+    return list(REGISTRY)
+
+
+def build(name: str, bitwidth: int = 16) -> Multiplier:
+    """Construct the named configuration at the given bitwidth."""
+    try:
+        factory = REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown multiplier {name!r}; known: {', '.join(REGISTRY)}"
+        ) from None
+    return factory(bitwidth)
+
+
+def iter_multipliers(
+    ids: tuple[str, ...] | list[str] | None = None, bitwidth: int = 16
+) -> Iterator[tuple[str, Multiplier]]:
+    """Yield ``(identifier, instance)`` pairs for the requested designs."""
+    for name in ids if ids is not None else names():
+        yield name, build(name, bitwidth)

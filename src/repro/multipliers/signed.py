@@ -1,0 +1,105 @@
+"""Signed multiplication on top of any unsigned multiplier.
+
+The paper (Section III-C, "Handling Signed Numbers") notes that any
+unsigned approximate multiplier extends straightforwardly to signed
+operands and refers to DRUM [3] for the standard recipe: take magnitudes,
+multiply them with the unsigned core, and restore the sign as the XOR of
+the operand signs (sign-magnitude wrapping).
+
+:class:`SignedMultiplier` implements that recipe for ``N``-bit two's
+complement operands in ``[-2**(N-1), 2**(N-1) - 1]``.  The magnitude of
+``-2**(N-1)`` needs ``N`` bits, so the unsigned core is instantiated one
+bit wider than the signed interface — the same widening a hardware wrapper
+performs.
+
+The module also provides :func:`dot_product` and :func:`convolve2d`
+helpers used by the application-level examples: they route every
+multiplication of a reduction through the wrapped multiplier while
+accumulating exactly, which is the standard approximate-multiplier usage
+model in DSP/ML kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Multiplier
+
+__all__ = ["SignedMultiplier", "dot_product", "convolve2d"]
+
+
+class SignedMultiplier:
+    """Sign-magnitude wrapper turning an unsigned core into a signed one.
+
+    ``core_factory`` builds the unsigned core for a given bitwidth, e.g.
+    ``lambda n: RealmMultiplier(bitwidth=n, m=16)``.  The wrapper exposes
+    ``multiply`` over two's complement operands of ``bitwidth`` bits.
+    """
+
+    def __init__(self, core_factory, bitwidth: int = 16):
+        if bitwidth < 2:
+            raise ValueError(f"bitwidth must be >= 2, got {bitwidth}")
+        self.bitwidth = bitwidth
+        self.core: Multiplier = core_factory(bitwidth + 1)
+        if self.core.bitwidth != bitwidth + 1:
+            raise ValueError(
+                "core_factory must honor the requested bitwidth: needed "
+                f"{bitwidth + 1}, got {self.core.bitwidth}"
+            )
+
+    @property
+    def name(self) -> str:
+        return f"signed[{self.core.name}]"
+
+    def multiply(self, a, b) -> np.ndarray:
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        low = -(1 << (self.bitwidth - 1))
+        high = (1 << (self.bitwidth - 1)) - 1
+        for label, operand in (("a", a), ("b", b)):
+            if operand.size and (operand.min() < low or operand.max() > high):
+                raise ValueError(
+                    f"operand {label} outside [{low}, {high}] for a "
+                    f"{self.bitwidth}-bit signed multiplier"
+                )
+        magnitude = self.core.multiply(np.abs(a), np.abs(b))
+        return np.where((a < 0) ^ (b < 0), -magnitude, magnitude)
+
+    def __call__(self, a, b) -> np.ndarray:
+        return self.multiply(a, b)
+
+    def __repr__(self) -> str:
+        return f"<SignedMultiplier {self.name!r} N={self.bitwidth}>"
+
+
+def dot_product(multiplier, a, b) -> np.int64:
+    """Dot product with approximate products and exact accumulation."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return np.sum(multiplier.multiply(a.ravel(), b.ravel()), dtype=np.int64)
+
+
+def convolve2d(multiplier, image: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """'Valid' 2-D convolution routing every product through ``multiplier``.
+
+    ``image`` and ``kernel`` are integer arrays; products are accumulated
+    exactly.  The kernel is applied in correlation orientation (no flip),
+    matching the usual hardware-accelerator convention.
+    """
+    image = np.asarray(image, dtype=np.int64)
+    kernel = np.asarray(kernel, dtype=np.int64)
+    kh, kw = kernel.shape
+    oh = image.shape[0] - kh + 1
+    ow = image.shape[1] - kw + 1
+    if oh <= 0 or ow <= 0:
+        raise ValueError(
+            f"kernel {kernel.shape} does not fit image {image.shape}"
+        )
+    out = np.zeros((oh, ow), dtype=np.int64)
+    for dy in range(kh):
+        for dx in range(kw):
+            patch = image[dy : dy + oh, dx : dx + ow]
+            out += multiplier.multiply(patch, np.full_like(patch, kernel[dy, dx]))
+    return out

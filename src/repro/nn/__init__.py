@@ -1,0 +1,24 @@
+"""Neural-network application substrate (the paper's motivating workload)."""
+
+from .dataset import IMAGE_SIZE, NUM_CLASSES, GlyphData, make_dataset
+from .evaluate import (
+    evaluate_multipliers,
+    float_accuracy,
+    logit_distortion,
+    trained_setup,
+)
+from .mlp import FixedPointMlp, MlpParams, train_mlp
+
+__all__ = [
+    "FixedPointMlp",
+    "GlyphData",
+    "IMAGE_SIZE",
+    "MlpParams",
+    "NUM_CLASSES",
+    "evaluate_multipliers",
+    "float_accuracy",
+    "logit_distortion",
+    "make_dataset",
+    "train_mlp",
+    "trained_setup",
+]

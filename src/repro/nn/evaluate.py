@@ -1,0 +1,57 @@
+"""Accuracy evaluation of approximate multipliers on the glyph MLP."""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from ..multipliers.registry import build
+from .dataset import GlyphData, make_dataset
+from .mlp import FixedPointMlp, MlpParams, float_logits, train_mlp
+
+__all__ = ["trained_setup", "evaluate_multipliers", "float_accuracy"]
+
+
+@functools.lru_cache(maxsize=1)
+def trained_setup(seed: int = 2020) -> tuple[GlyphData, MlpParams]:
+    """Dataset + trained float parameters (cached; both deterministic)."""
+    data = make_dataset(seed=seed)
+    params = train_mlp(data.train_x, data.train_y)
+    return data, params
+
+
+def float_accuracy(data: GlyphData, params: MlpParams) -> float:
+    """Test accuracy of the float reference model."""
+    predictions = np.argmax(float_logits(params, data.test_x), axis=1)
+    return float(np.mean(predictions == data.test_y))
+
+
+def evaluate_multipliers(names, seed: int = 2020) -> dict[str, float]:
+    """Test accuracy of the quantized MLP per multiplier configuration."""
+    data, params = trained_setup(seed)
+    results = {}
+    for name in names:
+        model = FixedPointMlp(params, build(name))
+        results[name] = model.accuracy(data.test_x, data.test_y)
+    return results
+
+
+def logit_distortion(names, seed: int = 2020) -> dict[str, float]:
+    """Mean relative logit error vs. the accurate fixed-point datapath.
+
+    Classification accuracy saturates quickly (argmax shrugs off even
+    large multiplicative error — which is the error-resilience the paper
+    banks on), so this is the sensitive metric: how far each multiplier
+    bends the network's outputs.  Expressed in percent of the accurate
+    logits' RMS magnitude.
+    """
+    data, params = trained_setup(seed)
+    reference = FixedPointMlp(params, build("accurate")).logits(data.test_x)
+    rms = float(np.sqrt(np.mean(reference.astype(np.float64) ** 2)))
+    results = {}
+    for name in names:
+        logits = FixedPointMlp(params, build(name)).logits(data.test_x)
+        deviation = np.abs(logits - reference).mean()
+        results[name] = float(deviation / rms * 100.0)
+    return results

@@ -1,0 +1,158 @@
+"""A small MLP: float training, fixed-point inference through any multiplier.
+
+The standard approximate-computing deployment: train in floating point,
+quantize, and run inference on fixed-point hardware whose multipliers are
+approximate.  The fixed-point datapath here mirrors a 16-bit MAC array:
+
+* inputs are uint8 pixels (scale 1);
+* weights are quantized to signed Q8 fixed point (``w_q = round(w * 256)``,
+  magnitudes < 2 after training, so ``|w_q| < 512``);
+* every product routes through the supplied unsigned multiplier with
+  sign-magnitude wrapping (both operand magnitudes stay far below
+  ``2**16``); accumulation and the ``>> 8`` rescale are exact, like a
+  hardware accumulator following the approximate multiplier;
+* the hidden ReLU output keeps the input's integer scale, so the second
+  layer sees the same operand ranges as the first.
+
+``float_logits`` and ``fixed_logits`` expose both datapaths; classification
+uses argmax, so the softmax never needs computing at inference time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..multipliers.base import Multiplier
+
+__all__ = ["MlpParams", "train_mlp", "FixedPointMlp", "WEIGHT_FRACTION_BITS"]
+
+#: Q-format fraction bits of the quantized weights
+WEIGHT_FRACTION_BITS = 8
+
+
+@dataclasses.dataclass
+class MlpParams:
+    """Float parameters of the two-layer MLP."""
+
+    w1: np.ndarray  # (features, hidden)
+    b1: np.ndarray  # (hidden,)
+    w2: np.ndarray  # (hidden, classes)
+    b2: np.ndarray  # (classes,)
+
+    @property
+    def hidden(self) -> int:
+        return self.w1.shape[1]
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def train_mlp(
+    train_x: np.ndarray,
+    train_y: np.ndarray,
+    hidden: int = 32,
+    classes: int = 10,
+    epochs: int = 30,
+    batch: int = 64,
+    learning_rate: float = 0.15,
+    seed: int = 7,
+) -> MlpParams:
+    """Plain SGD training of ``relu(x W1 + b1) W2 + b2`` with CE loss.
+
+    Inputs are rescaled to [0, 1] internally; weights come out with
+    magnitudes well inside the Q8 quantization range.
+    """
+    rng = np.random.default_rng(seed)
+    x = np.asarray(train_x, dtype=np.float64) / 255.0
+    y = np.asarray(train_y)
+    features = x.shape[1]
+    params = MlpParams(
+        w1=rng.normal(0.0, np.sqrt(2.0 / features), (features, hidden)),
+        b1=np.zeros(hidden),
+        w2=rng.normal(0.0, np.sqrt(2.0 / hidden), (hidden, classes)),
+        b2=np.zeros(classes),
+    )
+    one_hot = np.eye(classes)[y]
+    for _ in range(epochs):
+        order = rng.permutation(len(x))
+        for start in range(0, len(x), batch):
+            rows = order[start : start + batch]
+            xb, yb = x[rows], one_hot[rows]
+            pre = xb @ params.w1 + params.b1
+            hidden_act = np.maximum(pre, 0.0)
+            logits = hidden_act @ params.w2 + params.b2
+            probs = _softmax(logits)
+
+            grad_logits = (probs - yb) / len(rows)
+            grad_w2 = hidden_act.T @ grad_logits
+            grad_b2 = grad_logits.sum(axis=0)
+            grad_hidden = grad_logits @ params.w2.T
+            grad_hidden[pre <= 0.0] = 0.0
+            grad_w1 = xb.T @ grad_hidden
+            grad_b1 = grad_hidden.sum(axis=0)
+
+            params.w1 -= learning_rate * grad_w1
+            params.b1 -= learning_rate * grad_b1
+            params.w2 -= learning_rate * grad_w2
+            params.b2 -= learning_rate * grad_b2
+    return params
+
+
+def float_logits(params: MlpParams, x: np.ndarray) -> np.ndarray:
+    """Reference float forward pass (inputs uint8)."""
+    scaled = np.asarray(x, dtype=np.float64) / 255.0
+    hidden = np.maximum(scaled @ params.w1 + params.b1, 0.0)
+    return hidden @ params.w2 + params.b2
+
+
+class FixedPointMlp:
+    """Quantized MLP whose multiplications go through ``multiplier``."""
+
+    def __init__(self, params: MlpParams, multiplier: Multiplier):
+        if multiplier.bitwidth < 16:
+            raise ValueError(
+                "the fixed-point datapath needs a >=16-bit multiplier, got "
+                f"{multiplier.bitwidth}"
+            )
+        scale = 1 << WEIGHT_FRACTION_BITS
+        self.multiplier = multiplier
+        self.w1_q = np.rint(params.w1 * scale).astype(np.int64)
+        self.w2_q = np.rint(params.w2 * scale).astype(np.int64)
+        # biases live at the accumulator scale: 255 (input) * 2^8 (weights)
+        self.b1_q = np.rint(params.b1 * 255.0 * scale).astype(np.int64)
+        self.b2_q = np.rint(params.b2 * 255.0 * scale).astype(np.int64)
+        limit = (1 << 16) - 1
+        if max(np.abs(self.w1_q).max(), np.abs(self.w2_q).max()) > limit:
+            raise ValueError("quantized weights exceed the 16-bit operand range")
+
+    def _matmul(self, x: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """``x @ weights`` with approximate products, exact accumulation.
+
+        ``x``: (n, in) non-negative ints; ``weights``: (in, out) signed.
+        """
+        magnitude = self.multiplier.multiply(
+            x[:, :, None], np.abs(weights)[None, :, :]
+        )
+        signed = np.where(weights[None] < 0, -magnitude, magnitude)
+        return signed.sum(axis=1)
+
+    def logits(self, x: np.ndarray) -> np.ndarray:
+        """Fixed-point forward pass; returns integer logits."""
+        x = np.asarray(x, dtype=np.int64)
+        if x.ndim == 1:
+            x = x[None]
+        acc1 = self._matmul(x, self.w1_q) + self.b1_q
+        hidden = np.maximum(acc1, 0) >> WEIGHT_FRACTION_BITS  # back to x's scale
+        acc2 = self._matmul(hidden, self.w2_q) + self.b2_q
+        return acc2
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.argmax(self.logits(x), axis=1)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(x) == np.asarray(y)))

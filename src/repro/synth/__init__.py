@@ -1,0 +1,15 @@
+"""Synthesis cost model calibrated to the paper's reference point."""
+
+from .cost import SynthesisResult, reductions, synthesize, synthesize_design
+from .report import design_report
+from .timing import TimingReport, analyze_timing
+
+__all__ = [
+    "SynthesisResult",
+    "TimingReport",
+    "analyze_timing",
+    "design_report",
+    "reductions",
+    "synthesize",
+    "synthesize_design",
+]

@@ -1,0 +1,109 @@
+"""Static timing analysis over the netlists.
+
+A unit-delay-class model: every cell has a propagation delay in
+picoseconds (45 nm-class X1 values, scaling with the cell's logic
+complexity like its area does), arrival times propagate through the DAG in
+one topological pass, and the report gives the critical path — the number
+the paper's 1 GHz constraint is about.
+
+This model deliberately has no wire delays and no sizing: it is used for
+*relative* statements (which design is deeper, how the ``t`` knob shortens
+REALM's adder/shifter chain) and for the DESIGN.md discussion of why a
+timing-driven flow inflates the accurate multiplier's area more than the
+log datapaths'.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..logic.netlist import CONST0, CONST1, Netlist
+
+__all__ = ["CELL_DELAY_PS", "TimingReport", "analyze_timing"]
+
+#: propagation delay per cell in ps (45 nm-class X1, FO4-ish loads)
+CELL_DELAY_PS: dict[str, float] = {
+    "INV": 14.0,
+    "BUF": 22.0,
+    "AND2": 26.0,
+    "OR2": 26.0,
+    "NAND2": 18.0,
+    "NOR2": 20.0,
+    "XOR2": 38.0,
+    "XNOR2": 38.0,
+    "ANDN2": 26.0,
+    "ORN2": 26.0,
+    "MUX2": 34.0,
+    "MAJ3": 42.0,
+    "XOR3": 56.0,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class TimingReport:
+    """Critical-path summary of a combinational netlist."""
+
+    critical_path_ps: float
+    critical_path_cells: tuple[str, ...]
+    levels: int
+    slack_ps: float  # vs. the clock period used for the analysis
+    clock_ps: float
+
+    @property
+    def meets_timing(self) -> bool:
+        return self.slack_ps >= 0.0
+
+    @property
+    def max_frequency_ghz(self) -> float:
+        if self.critical_path_ps == 0.0:
+            return float("inf")
+        return 1000.0 / self.critical_path_ps
+
+
+def analyze_timing(netlist: Netlist, clock_ps: float = 1000.0) -> TimingReport:
+    """One-pass arrival-time propagation; returns the critical path.
+
+    ``clock_ps`` defaults to the paper's 1 GHz period.  Inputs arrive at
+    t=0 (registered inputs, as the paper's setup places sequential
+    elements at the boundary).
+    """
+    if clock_ps <= 0:
+        raise ValueError(f"clock period must be positive, got {clock_ps}")
+    arrival: dict[int, float] = {CONST0: 0.0, CONST1: 0.0}
+    levels: dict[int, int] = {CONST0: 0, CONST1: 0}
+    through: dict[int, tuple[int | None, str]] = {}
+    for net in netlist.inputs:
+        arrival[net] = 0.0
+        levels[net] = 0
+
+    for gate in netlist.gates:
+        delay = CELL_DELAY_PS[gate.cell.name]
+        worst_input = max(gate.inputs, key=lambda n: arrival[n])
+        arrival[gate.output] = arrival[worst_input] + delay
+        levels[gate.output] = levels[worst_input] + 1
+        through[gate.output] = (worst_input, gate.cell.name)
+
+    if netlist.outputs:
+        end = max(netlist.outputs, key=lambda n: arrival.get(n, 0.0))
+    elif netlist.gates:
+        end = max((g.output for g in netlist.gates), key=lambda n: arrival[n])
+    else:
+        end = CONST0
+
+    # walk the critical path backwards for the cell trace
+    cells: list[str] = []
+    cursor: int | None = end
+    while cursor in through:
+        previous, cell_name = through[cursor]
+        cells.append(cell_name)
+        cursor = previous
+    cells.reverse()
+
+    critical = arrival.get(end, 0.0)
+    return TimingReport(
+        critical_path_ps=critical,
+        critical_path_cells=tuple(cells),
+        levels=levels.get(end, 0),
+        slack_ps=clock_ps - critical,
+        clock_ps=clock_ps,
+    )

@@ -1,0 +1,51 @@
+"""Tests for the error-accumulation analysis (design consideration b)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.accumulation import accumulation_profile, predicted_floor
+from repro.core.realm import RealmMultiplier
+from repro.multipliers.accurate import AccurateMultiplier
+from repro.multipliers.mitchell import MitchellMultiplier
+
+LENGTHS = (1, 16, 256)
+
+
+class TestAccumulationProfile:
+    def test_accurate_has_zero_error(self):
+        profile = accumulation_profile(AccurateMultiplier(), lengths=LENGTHS, trials=32)
+        assert all(p.mean_error == 0.0 and p.spread == 0.0 for p in profile)
+
+    def test_spread_shrinks_with_length(self):
+        profile = accumulation_profile(
+            RealmMultiplier(m=8), lengths=(1, 64, 1024), trials=128
+        )
+        spreads = [p.spread for p in profile]
+        assert spreads[0] > spreads[1] > spreads[2]
+        # roughly 1/sqrt(n): 1 -> 1024 shrinks by ~32x (allow 2x slack)
+        assert spreads[0] / spreads[2] > 8
+
+    def test_biased_multiplier_converges_to_floor(self):
+        calm = MitchellMultiplier()
+        profile = accumulation_profile(calm, lengths=(256, 1024), trials=128)
+        floor = predicted_floor(calm, samples=1 << 18)
+        for point in profile:
+            # floor characterized on full-uniform operands, profile on
+            # the >=256 slice: allow a few tenths
+            assert point.mean_error == pytest.approx(floor, abs=0.4)
+
+    def test_realm_floor_near_zero(self):
+        profile = accumulation_profile(
+            RealmMultiplier(m=16), lengths=(1024,), trials=128
+        )
+        assert abs(profile[0].mean_error) < 0.1
+
+    def test_bias_survives_where_noise_cancels(self):
+        # at n=1024 cALM's spread is tiny but its mean error is ~ -3.7%:
+        # accumulation kills noise, not bias — the paper's point
+        profile = accumulation_profile(
+            MitchellMultiplier(), lengths=(1024,), trials=128
+        )
+        point = profile[0]
+        assert abs(point.mean_error) > 20 * point.spread

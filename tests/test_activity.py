@@ -1,0 +1,72 @@
+"""Tests for the switching-activity / power estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.logic.activity import estimate_power, markov_stream
+from repro.logic.netlist import Netlist
+
+
+class TestMarkovStream:
+    def test_statistics(self):
+        rng = np.random.default_rng(1)
+        bits = markov_stream(200_000, toggle_rate=0.25, probability=0.5, rng=rng)
+        assert bits.mean() == pytest.approx(0.5, abs=0.01)
+        toggles = np.count_nonzero(bits[1:] != bits[:-1]) / (len(bits) - 1)
+        assert toggles == pytest.approx(0.25, abs=0.01)
+
+    def test_asymmetric_probability(self):
+        rng = np.random.default_rng(2)
+        bits = markov_stream(200_000, toggle_rate=0.2, probability=0.8, rng=rng)
+        assert bits.mean() == pytest.approx(0.8, abs=0.01)
+        toggles = np.count_nonzero(bits[1:] != bits[:-1]) / (len(bits) - 1)
+        assert toggles == pytest.approx(0.2, abs=0.01)
+
+    def test_unreachable_toggle_rate_rejected(self):
+        with pytest.raises(ValueError):
+            markov_stream(100, toggle_rate=0.9, probability=0.9)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            markov_stream(100, probability=0.0)
+
+
+class TestEstimatePower:
+    def _toy_netlist(self):
+        nl = Netlist("toy")
+        a, b = nl.new_input("a"), nl.new_input("b")
+        nl.set_outputs([nl.add("AND2", a, b)])
+        return nl
+
+    def test_positive_components(self):
+        report = estimate_power(self._toy_netlist(), vectors=512, seed=3)
+        assert report.dynamic_uw > 0
+        assert report.leakage_uw > 0
+        assert report.total_uw == report.dynamic_uw + report.leakage_uw
+        assert 0 < report.mean_toggle_rate < 1
+
+    def test_deterministic(self):
+        nl = self._toy_netlist()
+        first = estimate_power(nl, vectors=512, seed=3)
+        second = estimate_power(nl, vectors=512, seed=3)
+        assert first == second
+
+    def test_higher_toggle_rate_more_power(self):
+        nl = self._toy_netlist()
+        calm_inputs = estimate_power(nl, vectors=4096, seed=4, toggle_rate=0.1)
+        busy_inputs = estimate_power(nl, vectors=4096, seed=4, toggle_rate=0.5)
+        assert busy_inputs.dynamic_uw > calm_inputs.dynamic_uw
+
+    def test_requires_two_vectors(self):
+        with pytest.raises(ValueError):
+            estimate_power(self._toy_netlist(), vectors=1)
+
+    def test_bigger_netlist_more_power(self):
+        from repro.circuits.wallace import wallace_netlist
+
+        small = estimate_power(wallace_netlist(4), vectors=1024, seed=5)
+        large = estimate_power(wallace_netlist(8), vectors=1024, seed=5)
+        assert large.dynamic_uw > small.dynamic_uw
+        assert large.leakage_uw > small.leakage_uw

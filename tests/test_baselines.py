@@ -1,0 +1,283 @@
+"""Tests for the Table I baseline multipliers against published metrics.
+
+Each design's characteristic error signature — sign structure, peak
+magnitudes, Table I statistics — is checked with a seeded 2^21-sample
+Monte Carlo, matching the paper's methodology (the paper uses 2^24; the
+tolerances account for the smaller run).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import paper
+from repro.analysis.metrics import compute_metrics
+from repro.multipliers.alm import AlmLoa, AlmMaa, AlmSoa
+from repro.multipliers.am import Am1Multiplier, Am2Multiplier
+from repro.multipliers.drum import DrumMultiplier
+from repro.multipliers.implm import ImpLmMultiplier
+from repro.multipliers.intalp import IntAlpMultiplier, interpolate_xy
+from repro.multipliers.mbm import MBM_CORRECTION, MbmMultiplier
+from repro.multipliers.ssm import EssmMultiplier, SsmMultiplier
+
+
+@pytest.fixture(scope="module")
+def mc():
+    rng = np.random.default_rng(2020)
+    n = 1 << 21
+    a = rng.integers(0, 1 << 16, n)
+    b = rng.integers(0, 1 << 16, n)
+    return a, b
+
+
+def metrics_for(multiplier, mc):
+    a, b = mc
+    return compute_metrics(multiplier.multiply(a, b), a * b)
+
+
+# designs whose models reproduce Table I closely (see DESIGN.md for the
+# documented AM1 deviation, checked separately below)
+CLOSE_MATCHES = [
+    (MbmMultiplier(t=0), "mbm-t0"),
+    (MbmMultiplier(t=4), "mbm-t4"),
+    (MbmMultiplier(t=9), "mbm-t9"),
+    (ImpLmMultiplier(), "implm-ea"),
+    (AlmMaa(m=3), "alm-maa-m3"),
+    (AlmMaa(m=9), "alm-maa-m9"),
+    (AlmMaa(m=12), "alm-maa-m12"),
+    (AlmSoa(m=3), "alm-soa-m3"),
+    (AlmSoa(m=9), "alm-soa-m9"),
+    (AlmSoa(m=11), "alm-soa-m11"),
+    (AlmSoa(m=12), "alm-soa-m12"),
+    (DrumMultiplier(k=8), "drum-k8"),
+    (DrumMultiplier(k=6), "drum-k6"),
+    (DrumMultiplier(k=4), "drum-k4"),
+    (SsmMultiplier(m=10), "ssm-m10"),
+    (SsmMultiplier(m=9), "ssm-m9"),
+    (SsmMultiplier(m=8), "ssm-m8"),
+    (EssmMultiplier(m=8), "essm8"),
+    (IntAlpMultiplier(level=1), "intalp-l1"),
+    (IntAlpMultiplier(level=2), "intalp-l2"),
+    (Am2Multiplier(nb=13), "am2-nb13"),
+]
+
+
+@pytest.mark.parametrize(
+    "multiplier,name", CLOSE_MATCHES, ids=[name for _, name in CLOSE_MATCHES]
+)
+def test_bias_and_mean_error_match_table1(multiplier, name, mc):
+    row = paper.TABLE1[name]
+    measured = metrics_for(multiplier, mc)
+    assert measured.bias == pytest.approx(row.bias, abs=0.05)
+    assert measured.mean_error == pytest.approx(row.mean_error, abs=0.05)
+
+
+@pytest.mark.parametrize(
+    "multiplier,name",
+    [(m, n) for m, n in CLOSE_MATCHES if not n.startswith(("ssm", "am2", "essm"))],
+    ids=[n for _, n in CLOSE_MATCHES if not n.startswith(("ssm", "am2", "essm"))],
+)
+def test_peaks_match_table1(multiplier, name, mc):
+    # peak errors of the segment/AM designs need rarer corner inputs than
+    # 2^21 samples reach; the analytically-peaked designs check here
+    row = paper.TABLE1[name]
+    measured = metrics_for(multiplier, mc)
+    assert measured.peak_min == pytest.approx(row.peak_min, abs=0.35)
+    assert measured.peak_max == pytest.approx(row.peak_max, abs=0.35)
+
+
+class TestOneSidedDesigns:
+    """SSM, ESSM, AM1, AM2 truncate: they never overestimate."""
+
+    @pytest.mark.parametrize(
+        "multiplier",
+        [
+            SsmMultiplier(m=9),
+            EssmMultiplier(m=8),
+            Am1Multiplier(nb=13),
+            Am2Multiplier(nb=9),
+        ],
+        ids=["ssm", "essm", "am1", "am2"],
+    )
+    def test_never_overestimates(self, multiplier, mc):
+        a, b = mc
+        assert np.all(multiplier.multiply(a, b) <= a * b)
+
+
+class TestDrum:
+    def test_exact_below_fragment_width(self):
+        drum = DrumMultiplier(k=6)
+        for a in (1, 17, 63):
+            for b in (2, 40, 63):
+                assert int(drum.multiply(a, b)) == a * b
+
+    def test_forced_lsb_unbiases(self, mc):
+        # DRUM's signature: |bias| far below its mean error
+        measured = metrics_for(DrumMultiplier(k=6), mc)
+        assert abs(measured.bias) < measured.mean_error / 10
+
+    def test_per_operand_error_bound(self, mc):
+        a, b = mc
+        drum = DrumMultiplier(k=8)
+        exact = a * b
+        nonzero = exact > 0
+        errors = (drum.multiply(a, b)[nonzero] - exact[nonzero]) / exact[nonzero]
+        bound = (1 + 2.0**-7) ** 2 - 1  # forced LSB: ±2^-(k-1) per operand
+        assert np.abs(errors).max() <= bound + 1e-9
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            DrumMultiplier(k=2)
+        with pytest.raises(ValueError):
+            DrumMultiplier(k=17)
+
+
+class TestSsmFamily:
+    def test_ssm_exact_for_small_operands(self):
+        ssm = SsmMultiplier(m=8)
+        assert int(ssm.multiply(255, 255)) == 255 * 255
+
+    def test_ssm_truncates_high_segment(self):
+        ssm = SsmMultiplier(m=8)
+        # 0x01FF -> high segment 0x01, shift 8 -> 0x0100
+        assert int(ssm.multiply(0x01FF, 1)) == 0x0100
+
+    def test_essm_middle_segment_keeps_more(self):
+        essm = EssmMultiplier(m=8)
+        # 0x0FF3: leading one at bit 11 -> middle segment bits 11..4
+        assert int(essm.multiply(0x0FF3, 1)) == 0x0FF0
+
+    def test_essm_beats_ssm(self, mc):
+        ssm = metrics_for(SsmMultiplier(m=8), mc)
+        essm = metrics_for(EssmMultiplier(m=8), mc)
+        assert essm.mean_error < ssm.mean_error
+
+    def test_essm_odd_split_rejected(self):
+        with pytest.raises(ValueError):
+            EssmMultiplier(bitwidth=16, m=9)
+
+
+class TestAmFamily:
+    def test_am2_recovery_beats_am1(self, mc):
+        am1 = metrics_for(Am1Multiplier(nb=13), mc)
+        am2 = metrics_for(Am2Multiplier(nb=13), mc)
+        assert abs(am2.bias) < abs(am1.bias)
+
+    def test_more_recovery_bits_help(self, mc):
+        wide = metrics_for(Am1Multiplier(nb=13), mc)
+        narrow = metrics_for(Am1Multiplier(nb=5), mc)
+        assert wide.mean_error < narrow.mean_error
+
+    def test_full_recovery_am2_nb32_is_modest(self, mc):
+        # even full-width AM2 recovery cannot restore what the OR tree
+        # lost recursively, but it must improve on no recovery
+        none = metrics_for(Am2Multiplier(nb=0), mc)
+        full = metrics_for(Am2Multiplier(nb=32), mc)
+        assert full.mean_error < none.mean_error
+
+
+class TestMbm:
+    def test_correction_constant(self):
+        assert MBM_CORRECTION == pytest.approx(1.0 / 12.0)
+        assert MbmMultiplier(q=6).correction_code == 5  # round(64/12)
+
+    def test_matches_realm_m1_structure(self, mc):
+        # MBM is REALM's datapath with a single correction; at q=6 the
+        # quantized codes coincide (both 5/64), so the products agree
+        from repro.core.realm import RealmMultiplier
+
+        a, b = mc
+        mbm = MbmMultiplier(t=0, q=6)
+        realm1 = RealmMultiplier(m=1, t=0, q=6)
+        assert np.array_equal(mbm.multiply(a, b), realm1.multiply(a, b))
+
+
+class TestImpLm:
+    def test_double_sided(self, mc):
+        measured = metrics_for(ImpLmMultiplier(), mc)
+        assert measured.peak_min < -10.0
+        assert measured.peak_max > 10.0
+
+    def test_exact_at_powers_of_two(self):
+        implm = ImpLmMultiplier()
+        assert int(implm.multiply(4096, 256)) == 4096 * 256
+
+    def test_only_ea_supported(self):
+        with pytest.raises(ValueError):
+            ImpLmMultiplier(adder="SOA")
+
+
+class TestIntAlp:
+    def test_level1_is_min(self):
+        x = np.array([0.25, 0.75, 0.5])
+        y = np.array([0.5, 0.25, 0.5])
+        assert np.allclose(interpolate_xy(x, y, 1), np.minimum(x, y))
+
+    def test_level1_always_overestimates(self, mc):
+        a, b = mc
+        intalp = IntAlpMultiplier(level=1)
+        # floor of a >= exact quantity can dip 1 below; allow that slack
+        assert np.all(intalp.multiply(a, b) >= a * b - 1)
+
+    def test_deeper_levels_converge(self):
+        # corner interpolants improve in steps of two levels: the
+        # bisection midpoint of an axis-aligned edge already lies on the
+        # parent plane, so the odd split is a no-op for interpolation
+        rng = np.random.default_rng(7)
+        x = rng.random(2000)
+        y = rng.random(2000)
+        errors = [
+            np.abs(interpolate_xy(x, y, level) - x * y).max()
+            for level in (1, 2, 3, 4)
+        ]
+        assert errors[0] > errors[1] > errors[3]
+        assert errors[2] <= errors[1] + 1e-12
+
+    def test_ls_levels_converge_monotonically(self):
+        # the least-squares fit re-optimizes every level, so it improves
+        # strictly at each step (unlike the interpolant)
+        rng = np.random.default_rng(9)
+        x = rng.random(5000)
+        y = rng.random(5000)
+        mses = [
+            np.mean((interpolate_xy(x, y, level, "ls") - x * y) ** 2)
+            for level in (1, 2, 3, 4)
+        ]
+        assert mses[0] > mses[1] > mses[2] > mses[3]
+
+    def test_ls_fit_beats_interpolation(self):
+        rng = np.random.default_rng(8)
+        x = rng.random(5000)
+        y = rng.random(5000)
+        interp = np.mean((interpolate_xy(x, y, 2, "interp") - x * y) ** 2)
+        ls = np.mean((interpolate_xy(x, y, 2, "ls") - x * y) ** 2)
+        assert ls < interp
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            IntAlpMultiplier(level=0)
+        with pytest.raises(ValueError):
+            IntAlpMultiplier(fit="spline")
+
+
+class TestAlmFamily:
+    def test_m_grows_error(self, mc):
+        small = metrics_for(AlmSoa(m=3), mc)
+        large = metrics_for(AlmSoa(m=12), mc)
+        assert large.variance > small.variance
+
+    def test_soa_compensates_bias(self, mc):
+        # the set-one low part pushes the log sum up, offsetting
+        # Mitchell's negative bias as m grows (Table I: -3.84 -> -1.75)
+        maa = metrics_for(AlmMaa(m=12), mc)
+        soa = metrics_for(AlmSoa(m=12), mc)
+        assert soa.bias > maa.bias
+
+    def test_rejects_bad_adder(self):
+        from repro.multipliers.alm import ApproxAdderLogMultiplier
+
+        with pytest.raises(ValueError):
+            ApproxAdderLogMultiplier(adder="XOA")
+        with pytest.raises(ValueError):
+            AlmSoa(m=0)

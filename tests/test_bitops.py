@@ -1,0 +1,110 @@
+"""Tests for the bit-level helpers behind the functional models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitops import (
+    floor_log2,
+    log_fraction,
+    mask,
+    shift_value,
+    truncate_fraction,
+)
+
+
+class TestFloorLog2:
+    def test_exhaustive_16bit(self):
+        values = np.arange(1, 1 << 16)
+        expected = np.array([v.bit_length() - 1 for v in range(1, 1 << 16)])
+        assert np.array_equal(floor_log2(values), expected)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            floor_log2(np.array([0]))
+        with pytest.raises(ValueError):
+            floor_log2(np.array([5, -1]))
+
+    @given(st.integers(min_value=1, max_value=(1 << 52) - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_bit_length(self, value):
+        assert int(floor_log2(np.array([value]))[0]) == value.bit_length() - 1
+
+
+class TestLogFraction:
+    @given(st.integers(min_value=1, max_value=(1 << 16) - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_reconstruction(self, value):
+        # v = 2**k * (1 + X / 2**(N-1)) must hold exactly
+        k = int(floor_log2(np.array([value]))[0])
+        fraction = int(log_fraction(np.array([value]), np.array([k]), 16)[0])
+        assert value * (1 << (15 - k)) == (1 << 15) + fraction
+        assert 0 <= fraction < (1 << 15)
+
+    def test_power_of_two_fraction_zero(self):
+        values = np.array([1, 2, 4, 1024, 32768])
+        k = floor_log2(values)
+        assert np.all(log_fraction(values, k, 16) == 0)
+
+    def test_left_alignment(self):
+        # 3 = 2^1 * 1.1b -> fraction = 0.5 -> MSB of the 15-bit field
+        fraction = int(log_fraction(np.array([3]), np.array([1]), 16)[0])
+        assert fraction == 1 << 14
+
+
+class TestTruncateFraction:
+    def test_forces_lsb(self):
+        fraction = np.array([0b101010100000000])
+        assert int(truncate_fraction(fraction, 0, 15)[0]) & 1 == 1
+
+    def test_drops_t_bits(self):
+        fraction = np.array([0b111_1111_1111_1111])
+        out = int(truncate_fraction(fraction, 4, 15)[0])
+        assert out == 0b111_1111_1111  # 11 bits, LSB already 1
+
+    def test_width_reduction_semantics(self):
+        # value interpretation: x' = ((X >> t) | 1) / 2**(w - t)
+        fraction = np.array([0b010_0000_0000_0000])
+        out = int(truncate_fraction(fraction, 8, 15)[0])
+        assert out == (0b010_0000 | 1)
+
+    def test_rejects_bad_t(self):
+        with pytest.raises(ValueError):
+            truncate_fraction(np.array([0]), 15, 15)
+        with pytest.raises(ValueError):
+            truncate_fraction(np.array([0]), -1, 15)
+
+
+class TestShiftValue:
+    def test_left(self):
+        assert int(shift_value(np.array([5]), np.array([3]))[0]) == 40
+
+    def test_right_floors(self):
+        assert int(shift_value(np.array([7]), np.array([-1]))[0]) == 3
+
+    def test_mixed_vector(self):
+        out = shift_value(np.array([8, 8, 8]), np.array([-3, 0, 2]))
+        assert out.tolist() == [1, 8, 32]
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 30) - 1),
+        st.integers(min_value=-20, max_value=20),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_floor_semantics(self, value, shift):
+        out = int(shift_value(np.array([value]), np.array([shift]))[0])
+        assert out == (value << shift if shift >= 0 else value >> -shift)
+
+
+class TestMask:
+    def test_values(self):
+        assert int(mask(0)) == 0
+        assert int(mask(4)) == 0xF
+        assert int(mask(16)) == 0xFFFF
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            mask(-1)

@@ -1,0 +1,150 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestBasicCommands:
+    def test_list(self, capsys):
+        code, out = run_cli(capsys, "list")
+        assert code == 0
+        assert "realm16-t0" in out
+        assert "drum-k8" in out
+
+    def test_multiply(self, capsys):
+        code, out = run_cli(capsys, "multiply", "accurate", "123", "456")
+        assert code == 0
+        assert str(123 * 456) in out
+
+    def test_multiply_approximate_reports_error(self, capsys):
+        code, out = run_cli(capsys, "multiply", "calm", "40000", "50000")
+        assert code == 0
+        assert "relative error" in out
+
+    def test_factors(self, capsys):
+        code, out = run_cli(capsys, "factors", "--m", "4")
+        assert code == 0
+        assert "s_ij factors for M=4" in out
+        assert "quantized LUT codes" in out
+
+    def test_factors_mse(self, capsys):
+        code, out = run_cli(capsys, "factors", "--m", "2", "--objective", "mse")
+        assert code == 0
+        assert "objective=mse" in out
+
+    def test_characterize_quick(self, capsys):
+        code, out = run_cli(capsys, "characterize", "drum-k8", "--quick")
+        assert code == 0
+        assert "DRUM" in out and "paper" in out
+
+    def test_unknown_design_errors(self, capsys):
+        with pytest.raises(KeyError):
+            run_cli(capsys, "characterize", "realm99-t0", "--quick")
+
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestFigureCommands:
+    def test_fig2(self, capsys):
+        code, out = run_cli(capsys, "fig2", "--m", "4")
+        assert code == 0
+        assert "cALM per-segment" in out
+        assert "REALM per-segment" in out
+
+    def test_fig3(self, capsys):
+        code, out = run_cli(capsys, "fig3", "--m", "4", "--t", "2")
+        assert code == 0
+        assert "gate_count" in out
+        assert "lut_entries" in out
+
+    def test_fig5_quick(self, capsys):
+        code, out = run_cli(capsys, "fig5", "--quick")
+        assert code == 0
+        assert "REALM16 (t=0)" in out
+        assert "spread" in out
+
+
+class TestExtensionCommands:
+    def test_theory(self, capsys):
+        code, out = run_cli(capsys, "theory")
+        assert code == 0
+        assert "REALM16" in out and "ME" in out
+
+    def test_report(self, capsys):
+        code, out = run_cli(capsys, "report", "calm")
+        assert code == 0
+        assert "critical path" in out
+
+    def test_verilog_stdout(self, capsys):
+        code, out = run_cli(capsys, "verilog", "ssm-m8")
+        assert code == 0
+        assert "module" in out and "endmodule" in out
+
+    def test_verilog_file(self, capsys, tmp_path):
+        target = tmp_path / "design.v"
+        code, out = run_cli(capsys, "verilog", "drum-k6", "-o", str(target))
+        assert code == 0
+        assert target.exists()
+        assert "endmodule" in target.read_text()
+
+    def test_fir(self, capsys):
+        code, out = run_cli(capsys, "fir", "realm16-t0", "calm")
+        assert code == 0
+        assert "SNR" in out
+
+    def test_nn(self, capsys):
+        code, out = run_cli(capsys, "nn", "accurate", "realm16-t0")
+        assert code == 0
+        assert "accuracy" in out
+
+    def test_explore(self, capsys):
+        code, out = run_cli(
+            capsys, "explore", "--max-me", "1.0", "--quick", "--top", "3"
+        )
+        assert code == 0
+        assert "REALM" in out
+
+    def test_explore_infeasible(self, capsys):
+        code, out = run_cli(
+            capsys, "explore", "--max-me", "0.0001", "--quick"
+        )
+        assert code == 1
+        assert "no feasible" in out
+
+    def test_table2(self, capsys):
+        code, out = run_cli(capsys, "table2")
+        assert code == 0
+        assert "cameraman" in out and "stand-ins" in out
+
+    def test_divide(self, capsys):
+        code, out = run_cli(capsys, "divide", "50000", "37", "--m", "8")
+        assert code == 0
+        assert "REALM-div8" in out and "relative error" in out
+
+    def test_divide_mitchell(self, capsys):
+        code, out = run_cli(capsys, "divide", "1000", "10")
+        assert code == 0
+        assert "cALM-div16" in out
+
+    def test_verilog_with_testbench(self, capsys, tmp_path):
+        target = tmp_path / "dut.v"
+        code, out = run_cli(
+            capsys, "verilog", "ssm-m8", "--testbench", "--vectors", "4",
+            "-o", str(target),
+        )
+        assert code == 0
+        text = target.read_text()
+        assert "endmodule" in text
+        assert text.count("check(") == 4
+        assert "ALL %0d VECTORS PASS" in text

@@ -1,0 +1,79 @@
+"""Integration tests for the full JPEG codec (Table II methodology)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.realm import RealmMultiplier
+from repro.jpeg.codec import compress, decompress, roundtrip_psnr
+from repro.jpeg.images import test_image as make_image
+from repro.multipliers.accurate import AccurateMultiplier
+from repro.multipliers.mitchell import MitchellMultiplier
+
+
+@pytest.fixture(scope="module")
+def cameraman():
+    return make_image("cameraman")
+
+
+class TestRoundtrip:
+    def test_accurate_quality50_band(self, cameraman):
+        quality_db, compressed = roundtrip_psnr(AccurateMultiplier(), cameraman)
+        assert quality_db > 30.0
+        assert compressed.bits_per_pixel < 2.5  # real compression happened
+
+    def test_lossless_stage_is_lossless(self, cameraman):
+        # decompressing with the same multiplier twice is deterministic
+        acc = AccurateMultiplier()
+        compressed = compress(acc, cameraman)
+        first = decompress(acc, compressed)
+        second = decompress(acc, compressed)
+        assert np.array_equal(first, second)
+
+    def test_higher_quality_better_psnr(self, cameraman):
+        acc = AccurateMultiplier()
+        low, _ = roundtrip_psnr(acc, cameraman, quality=20)
+        high, _ = roundtrip_psnr(acc, cameraman, quality=90)
+        assert high > low
+
+    def test_higher_quality_bigger_stream(self, cameraman):
+        acc = AccurateMultiplier()
+        _, small = roundtrip_psnr(acc, cameraman, quality=20)
+        _, large = roundtrip_psnr(acc, cameraman, quality=90)
+        assert large.bits > small.bits
+
+
+class TestTable2Ordering:
+    def test_realm_negligible_drop(self, cameraman):
+        # the paper's Table II claim: REALM within ~0.5 dB of accurate
+        accurate_db, _ = roundtrip_psnr(AccurateMultiplier(), cameraman)
+        realm_db, _ = roundtrip_psnr(RealmMultiplier(m=16, t=8), cameraman)
+        assert abs(accurate_db - realm_db) < 0.8
+
+    def test_calm_drops_hard(self, cameraman):
+        # and cALM loses many dB
+        accurate_db, _ = roundtrip_psnr(AccurateMultiplier(), cameraman)
+        calm_db, _ = roundtrip_psnr(MitchellMultiplier(), cameraman)
+        assert accurate_db - calm_db > 2.0
+
+    def test_realm_m_ordering(self, cameraman):
+        db16, _ = roundtrip_psnr(RealmMultiplier(m=16, t=8), cameraman)
+        db4, _ = roundtrip_psnr(RealmMultiplier(m=4, t=8), cameraman)
+        assert db16 >= db4 - 0.5  # finer segmentation never much worse
+
+
+class TestValidation:
+    def test_rejects_non_grayscale(self):
+        with pytest.raises(ValueError):
+            compress(AccurateMultiplier(), np.zeros((8, 8, 3)))
+
+    def test_rejects_non_multiple_of_8(self):
+        with pytest.raises(ValueError):
+            compress(AccurateMultiplier(), np.zeros((9, 16)))
+
+    def test_metadata(self, cameraman):
+        compressed = compress(AccurateMultiplier(), cameraman, quality=50)
+        assert compressed.height == compressed.width == 256
+        assert compressed.quality == 50
+        assert compressed.bits == len(compressed.data) * 8

@@ -1,0 +1,99 @@
+"""Tests for the Fig. 4 design-space sweep and Pareto analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.designspace import (
+    MAX_MEAN_ERROR,
+    MAX_PEAK_ERROR,
+    fig4_front,
+    fig4_points,
+    sweep,
+)
+
+SMALL = 1 << 18  # enough samples for stable mean errors in tests
+
+
+@pytest.fixture(scope="module")
+def paper_points():
+    # paper-synthesis source isolates the error reproduction and is fast
+    return sweep(samples=SMALL, source="paper")
+
+
+@pytest.fixture(scope="module")
+def model_points():
+    ids = (
+        "realm16-t0",
+        "realm8-t4",
+        "realm4-t9",
+        "calm",
+        "mbm-t0",
+        "drum-k8",
+        "drum-k6",
+        "ssm-m9",
+        "alm-soa-m11",
+    )
+    return sweep(ids=ids, samples=SMALL, source="model")
+
+
+class TestSweep:
+    def test_paper_source_covers_legible_rows(self, paper_points):
+        names = {p.name for p in paper_points}
+        assert "realm16-t0" in names
+        assert "calm" in names
+        # rows with illegible synthesis cells are skipped, not invented
+        assert "realm8-t1" not in names
+
+    def test_point_fields(self, paper_points):
+        point = next(p for p in paper_points if p.name == "realm16-t0")
+        assert point.is_realm
+        assert point.display == "REALM16 (t=0)"
+        assert point.area_reduction == pytest.approx(50.0)
+        assert point.mean_error == pytest.approx(0.42, abs=0.03)
+        assert point.peak_error == pytest.approx(2.08, abs=0.25)
+
+    def test_invalid_source(self):
+        with pytest.raises(ValueError):
+            sweep(ids=("calm",), samples=1 << 10, source="guess")
+
+
+class TestFig4:
+    def test_constraints_filter(self, paper_points):
+        kept = fig4_points(paper_points)
+        assert all(p.mean_error <= MAX_MEAN_ERROR for p in kept)
+        assert all(p.peak_error <= MAX_PEAK_ERROR for p in kept)
+        names = {p.name for p in kept}
+        assert "drum-k4" not in names  # ME 5.9% exceeds the plot bound
+        assert "am1-nb13" not in names  # peak -61% exceeds the plot bound
+
+    def test_paper_pareto_dominated_by_realm(self, paper_points):
+        # the paper's core claim: "the Pareto front is primarily achieved
+        # by our proposed REALM"
+        for efficiency in ("area", "power"):
+            for error in ("mean", "peak"):
+                front = fig4_front(paper_points, efficiency, error)
+                realm_share = sum(1 for n in front if n.startswith("realm"))
+                assert realm_share >= len(front) / 2, (efficiency, error, front)
+
+    def test_paper_front_endpoints(self, paper_points):
+        # paper: DRUM8 holds the low-error end of the front
+        front = fig4_front(paper_points, "area", "mean")
+        assert "drum-k8" in front
+
+    def test_model_source_front_also_realm_heavy(self, model_points):
+        front = fig4_front(model_points, "power", "mean")
+        realm_share = sum(1 for n in front if n.startswith("realm"))
+        assert realm_share >= len(front) / 2
+
+    def test_front_is_sorted_by_efficiency(self, paper_points):
+        front = fig4_front(paper_points, "power", "mean")
+        coords = {p.name: p.power_reduction for p in paper_points}
+        values = [coords[name] for name in front]
+        assert values == sorted(values)
+
+    def test_invalid_axes(self, paper_points):
+        with pytest.raises(ValueError):
+            fig4_front(paper_points, "energy", "mean")
+        with pytest.raises(ValueError):
+            fig4_front(paper_points, "area", "rms")

@@ -1,0 +1,106 @@
+"""Tests for the Fig. 5 histograms and the Fig. 4 Pareto machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.distribution import ascii_histogram, error_histogram
+from repro.analysis.pareto import is_dominated, pareto_front
+from repro.core.realm import RealmMultiplier
+
+
+class TestErrorHistogram:
+    def test_density_normalized(self):
+        hist = error_histogram(RealmMultiplier(m=4), samples=1 << 16)
+        assert hist.density.sum() == pytest.approx(1.0)
+        assert len(hist.edges) == len(hist.density) + 1
+
+    def test_fig5_narrowing_with_m(self):
+        spreads = [
+            error_histogram(RealmMultiplier(m=m), samples=1 << 18).spread()
+            for m in (4, 8, 16)
+        ]
+        assert spreads[2] < spreads[1] < spreads[0]
+
+    def test_fig5_centered_near_zero(self):
+        hist = error_histogram(RealmMultiplier(m=16), samples=1 << 18)
+        assert abs(hist.mode_center()) < 0.5
+
+    def test_fig5_t9_widens(self):
+        tight = error_histogram(RealmMultiplier(m=8, t=0), samples=1 << 18)
+        loose = error_histogram(RealmMultiplier(m=8, t=9), samples=1 << 18)
+        assert loose.spread() > tight.spread()
+
+    def test_clipping_keeps_tail_mass(self):
+        hist = error_histogram(
+            RealmMultiplier(m=4, t=9), samples=1 << 16, span=1.0
+        )
+        # errors beyond ±1% land in the edge bins instead of vanishing
+        assert hist.density.sum() == pytest.approx(1.0)
+        assert hist.density[0] > 0 or hist.density[-1] > 0
+
+
+class TestAsciiHistogram:
+    def test_length(self):
+        hist = error_histogram(RealmMultiplier(m=4), samples=1 << 14, bins=64)
+        assert len(ascii_histogram(hist)) == 64
+
+
+class TestParetoFront:
+    def test_hand_crafted(self):
+        points = {
+            "a": (10.0, 5.0),  # dominated by b
+            "b": (20.0, 4.0),
+            "c": (30.0, 6.0),  # on front: best x among y<=6 ... dominated?
+            "d": (25.0, 3.0),
+        }
+        # efficiency maximized, error minimized:
+        # b dominated by d (25>20, 3<4); c not dominated (highest x)
+        front = pareto_front(points)
+        assert front == ["d", "c"]
+
+    def test_single_point(self):
+        assert pareto_front({"only": (1.0, 1.0)}) == ["only"]
+
+    def test_duplicates_both_kept(self):
+        front = pareto_front({"a": (5.0, 1.0), "b": (5.0, 1.0)})
+        assert sorted(front) == ["a", "b"]
+
+    def test_minimize_x_mode(self):
+        points = {"cheap": (1.0, 5.0), "costly": (9.0, 4.0)}
+        front = pareto_front(points, maximize_x=False)
+        assert set(front) == {"cheap", "costly"}
+
+    def test_is_dominated(self):
+        assert is_dominated((1.0, 5.0), [(2.0, 4.0)])
+        assert not is_dominated((2.0, 4.0), [(1.0, 5.0)])
+        assert not is_dominated((1.0, 5.0), [(1.0, 5.0)])  # itself only
+
+    @given(
+        st.dictionaries(
+            st.text(alphabet="abcdefgh", min_size=1, max_size=3),
+            st.tuples(
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_front_properties(self, points):
+        front = pareto_front(points)
+        values = list(points.values())
+        assert front  # never empty
+        # every front member is non-dominated, every non-member dominated
+        for name, coords in points.items():
+            if name in front:
+                assert not is_dominated(coords, values)
+            else:
+                assert is_dominated(coords, values)
+        # front is sorted by efficiency
+        xs = [points[name][0] for name in front]
+        assert xs == sorted(xs)

@@ -1,0 +1,179 @@
+"""Tests for the REALM-style divider extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.extensions.divider import (
+    MitchellDivider,
+    RealmDivider,
+    compute_divider_factors,
+    divider_relative_error,
+)
+
+
+class TestErrorSurface:
+    def test_always_overestimates(self):
+        # both branches of the classical log divider are >= 0:
+        # y(x-y)/(1+x) on x>=y and (y-x)(1-y)/(2(1+x)) on x<y
+        rng = np.random.default_rng(101)
+        x = rng.random(50000)
+        y = rng.random(50000)
+        assert np.all(divider_relative_error(x, y) >= -1e-12)
+
+    def test_zero_on_diagonal_and_axes(self):
+        assert divider_relative_error(0.3, 0.3) == pytest.approx(0.0)
+        assert divider_relative_error(0.7, 0.0) == pytest.approx(0.0)
+
+    def test_matches_branch_formulas(self):
+        x, y = 0.8, 0.3
+        assert divider_relative_error(x, y) == pytest.approx(
+            y * (x - y) / (1 + x)
+        )
+        x, y = 0.2, 0.9
+        assert divider_relative_error(x, y) == pytest.approx(
+            (y - x) * (1 - y) / (2 * (1 + x))
+        )
+
+
+class TestFactors:
+    def test_all_negative(self):
+        # the divider overestimates, so every correction pulls down
+        factors = compute_divider_factors(8)
+        assert np.all(factors <= 0.0)
+
+    def test_zero_mean_residual_continuous(self):
+        # the Eq. 8 analogue: corrected error averages to ~0
+        rng = np.random.default_rng(102)
+        x = rng.random(200000)
+        y = rng.random(200000)
+        m = 8
+        factors = compute_divider_factors(m)
+        i = np.minimum((x * m).astype(int), m - 1)
+        j = np.minimum((y * m).astype(int), m - 1)
+        corrected = divider_relative_error(x, y) + factors[i, j] * (1 + y) / (1 + x)
+        assert abs(corrected.mean()) < 5e-4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compute_divider_factors(0)
+        with pytest.raises(ValueError):
+            RealmDivider(m=6)
+
+
+@pytest.fixture(scope="module")
+def large_quotients():
+    # big numerators / small denominators: the integer floor's 0.5/q bias
+    # is negligible, so the measurement isolates the log-domain error
+    rng = np.random.default_rng(103)
+    a = rng.integers(32768, 65536, 1 << 17)
+    b = rng.integers(1, 64, 1 << 17)
+    return a, b
+
+
+class TestDividers:
+    def test_exact_for_power_of_two_ratios(self):
+        divider = MitchellDivider()
+        assert int(divider.divide(4096, 16)) == 256
+        assert int(divider.divide(96, 3)) == 32  # 96 = 3 * 32, same fraction
+
+    def test_zero_numerator(self):
+        assert int(MitchellDivider().divide(0, 7)) == 0
+        assert int(RealmDivider(m=4).divide(0, 7)) == 0
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            MitchellDivider().divide(5, 0)
+
+    def test_mitchell_overestimates_large_quotients(self, large_quotients):
+        a, b = large_quotients
+        quotients = MitchellDivider().divide(a, b)
+        errors = (quotients - a / b) / (a / b)
+        assert errors.mean() > 0.03  # the +4% one-sided bias
+
+    def test_realm_correction_removes_bias(self, large_quotients):
+        a, b = large_quotients
+        quotients = RealmDivider(m=8).divide(a, b)
+        errors = (quotients - a / b) / (a / b)
+        assert abs(errors.mean()) < 0.005
+
+    def test_realm_beats_mitchell(self, large_quotients):
+        a, b = large_quotients
+        truef = a / b
+        mitchell = np.abs(MitchellDivider().divide(a, b) - truef) / truef
+        realm = np.abs(RealmDivider(m=8).divide(a, b) - truef) / truef
+        assert realm.mean() < mitchell.mean() / 3
+
+    def test_error_shrinks_with_m(self, large_quotients):
+        a, b = large_quotients
+        truef = a / b
+        means = []
+        for m in (4, 8, 16):
+            errors = np.abs(RealmDivider(m=m).divide(a, b) - truef) / truef
+            means.append(errors.mean())
+        assert means[0] > means[1] > means[2]
+
+    def test_scalar_interface(self):
+        assert isinstance(int(RealmDivider(m=4).divide(1000, 3)), int)
+
+    def test_names(self):
+        assert MitchellDivider().name == "cALM-div16"
+        assert RealmDivider(m=8).name == "REALM-div8"
+
+
+class TestDividerRtl:
+    @pytest.fixture(scope="class")
+    def vectors(self):
+        rng = np.random.default_rng(107)
+        a = rng.integers(0, 1 << 16, 2000)
+        b = rng.integers(1, 1 << 16, 2000)  # divisor zero is a don't-care
+        a[:4] = [0, 65535, 1, 65535]
+        b[:4] = [9, 1, 65535, 65535]
+        return a, b
+
+    def test_mitchell_netlist_matches_model(self, vectors):
+        from repro.circuits.divider_rtl import mitchell_divider_netlist
+        from repro.logic.sim import evaluate_words
+
+        a, b = vectors
+        netlist = mitchell_divider_netlist(16)
+        got = evaluate_words(
+            netlist, [netlist.inputs[:16], netlist.inputs[16:]], [a, b]
+        )
+        assert np.array_equal(got, MitchellDivider(16).divide(a, b))
+
+    @pytest.mark.parametrize("m", [4, 8, 16])
+    def test_realm_netlist_matches_model(self, vectors, m):
+        from repro.circuits.divider_rtl import realm_divider_netlist
+        from repro.logic.sim import evaluate_words
+
+        a, b = vectors
+        netlist = realm_divider_netlist(16, m=m, q=6)
+        got = evaluate_words(
+            netlist, [netlist.inputs[:16], netlist.inputs[16:]], [a, b]
+        )
+        assert np.array_equal(got, RealmDivider(16, m=m, q=6).divide(a, b))
+
+    def test_correction_lut_overhead_is_small(self):
+        from repro.circuits.divider_rtl import (
+            mitchell_divider_netlist,
+            realm_divider_netlist,
+        )
+
+        base = mitchell_divider_netlist(16).area()
+        corrected = realm_divider_netlist(16, m=8, q=6).area()
+        assert corrected < base * 1.35  # same "little overhead" story
+
+    def test_quantized_model_close_to_full_precision(self):
+        rng = np.random.default_rng(108)
+        a = rng.integers(32768, 65536, 1 << 16)
+        b = rng.integers(1, 64, 1 << 16)
+        truef = a / b
+        full = np.abs(RealmDivider(m=8).divide(a, b) - truef) / truef
+        quantized = np.abs(RealmDivider(m=8, q=6).divide(a, b) - truef) / truef
+        assert quantized.mean() < full.mean() * 1.35
+
+    def test_q_validation(self):
+        with pytest.raises(ValueError):
+            RealmDivider(m=4, q=2)

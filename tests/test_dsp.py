@@ -1,0 +1,104 @@
+"""Tests for the FIR filtering substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.realm import RealmMultiplier
+from repro.dsp.fir import (
+    Q,
+    fir_filter,
+    lowpass_taps,
+    multitone_signal,
+    output_snr_db,
+    quantize_q15,
+)
+from repro.multipliers.accurate import AccurateMultiplier
+from repro.multipliers.mitchell import MitchellMultiplier
+
+
+class TestTaps:
+    def test_unity_dc_gain(self):
+        assert lowpass_taps(63, 0.2).sum() == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        taps = lowpass_taps(31, 0.15)
+        assert np.allclose(taps, taps[::-1])
+
+    def test_frequency_response_shape(self):
+        taps = lowpass_taps(63, 0.2)
+        response = np.abs(np.fft.rfft(taps, 1024))
+        frequencies = np.fft.rfftfreq(1024)
+        passband = response[frequencies < 0.1].min()
+        stopband = response[frequencies > 0.35].max()
+        assert passband > 0.9
+        assert stopband < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lowpass_taps(10)
+        with pytest.raises(ValueError):
+            lowpass_taps(11, cutoff=0.6)
+
+
+class TestQuantization:
+    def test_roundtrip_scale(self):
+        values = np.array([0.5, -0.25, 0.0])
+        assert quantize_q15(values).tolist() == [1 << (Q - 1), -(1 << (Q - 2)), 0]
+
+    def test_clipping(self):
+        assert int(quantize_q15(np.array([2.0]))[0]) == (1 << Q) - 1
+        assert int(quantize_q15(np.array([-2.0]))[0]) == -(1 << Q)
+
+
+class TestFirFilter:
+    def test_accurate_matches_float_reference(self):
+        taps = lowpass_taps(31, 0.2)
+        signal = multitone_signal(1024)
+        fixed = fir_filter(
+            AccurateMultiplier(), quantize_q15(signal), quantize_q15(taps)
+        )
+        reference = quantize_q15(np.convolve(signal, taps, mode="valid"))
+        # quantization noise only: within a few LSBs of the float result
+        assert np.abs(fixed - reference).max() <= 16
+
+    def test_attenuates_stopband(self):
+        taps = lowpass_taps(63, 0.2)
+        t = np.arange(2048)
+        tone = 0.5 * np.sin(2.0 * np.pi * 0.4 * t)  # stopband tone
+        filtered = fir_filter(
+            AccurateMultiplier(), quantize_q15(tone), quantize_q15(taps)
+        )
+        assert np.abs(filtered).max() < np.abs(quantize_q15(tone)).max() / 20
+
+    def test_signal_too_short(self):
+        with pytest.raises(ValueError):
+            fir_filter(AccurateMultiplier(), np.zeros(10), np.zeros(31))
+
+    def test_snr_ordering_tracks_multiplier_quality(self):
+        taps = quantize_q15(lowpass_taps(63, 0.2))
+        signal = quantize_q15(multitone_signal(2048))
+        reference = fir_filter(AccurateMultiplier(), signal, taps)
+        realm = fir_filter(RealmMultiplier(m=16, t=0), signal, taps)
+        calm = fir_filter(MitchellMultiplier(), signal, taps)
+        realm_snr = output_snr_db(reference, realm)
+        calm_snr = output_snr_db(reference, calm)
+        assert realm_snr > calm_snr + 10.0
+        assert realm_snr > 40.0
+
+    def test_snr_validation(self):
+        with pytest.raises(ValueError):
+            output_snr_db(np.zeros(5), np.zeros(6))
+
+    def test_identical_outputs_infinite_snr(self):
+        out = np.arange(10)
+        assert output_snr_db(out, out) == float("inf")
+
+
+class TestSignal:
+    def test_deterministic_and_bounded(self):
+        first = multitone_signal()
+        second = multitone_signal()
+        assert np.array_equal(first, second)
+        assert np.abs(first).max() < 1.0

@@ -1,0 +1,85 @@
+"""Integration tests for the experiment drivers behind every table/figure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import experiments, paper
+
+QUICK = 1 << 18
+
+
+class TestTable1Drivers:
+    def test_error_rows_track_paper(self):
+        rows = experiments.table1_errors(samples=QUICK, ids=("calm", "drum-k8"))
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["calm"]["mean_error"] == pytest.approx(3.85, abs=0.05)
+        assert by_name["drum-k8"]["bias"] == pytest.approx(0.01, abs=0.05)
+        assert by_name["calm"]["paper"] is paper.TABLE1["calm"]
+
+    def test_synthesis_rows(self):
+        rows = experiments.table1_synthesis(ids=("calm", "realm4-t0"))
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["calm"]["area_reduction"] > 40
+        assert by_name["realm4-t0"]["gate_count"] > 300
+
+    def test_table1_text_renders(self):
+        text = experiments.table1_text(samples=QUICK, ids=("calm",))
+        assert "cALM" in text
+        assert "areaR%" in text
+
+
+class TestFigureDrivers:
+    def test_fig1_panels(self):
+        profiles = experiments.fig1_profiles(designs=("calm", "realm16-t0"))
+        assert profiles["calm"].mean_error > 5 * profiles["realm16-t0"].mean_error
+
+    def test_fig2_reduction_story(self):
+        data = experiments.fig2_segments(m=4)
+        calm = np.abs(data["calm_segment_means"]).max()
+        realm = np.abs(data["realm_segment_means"]).max()
+        assert realm < calm / 5
+        assert data["lut_codes"].shape == (4, 4)
+
+    def test_fig3_inventory(self):
+        info = experiments.fig3_hardware(m=8, t=2)
+        assert info["lut_entries"] == 64
+        assert info["output_bits"] == 33
+        assert info["cells"]["MUX2"] > 50  # shifters + LUT
+
+    def test_fig4_paper_source(self):
+        data = experiments.fig4_designspace(source="paper", samples=QUICK)
+        assert len(data["plotted"]) < len(data["points"])
+        for front in data["fronts"].values():
+            assert front
+
+    def test_fig5_ordering(self):
+        histograms = experiments.fig5_histograms(
+            samples=QUICK, configs=((16, 0), (4, 0))
+        )
+        assert histograms[0].spread() < histograms[1].spread()
+
+
+class TestTable2Driver:
+    def test_psnr_gaps_match_paper_story(self):
+        rows = experiments.table2_jpeg()
+        for row in rows:
+            accurate = row["accurate"]
+            assert abs(row["realm16-t8"] - accurate) < 0.8
+            assert accurate - row["calm"] > 2.0
+            assert accurate - row["alm-soa-m11"] > 2.0
+            # bits-per-pixel sanity: actual compression
+            assert 0.1 < row["accurate_bpp"] < 3.0
+
+    def test_table2_text(self):
+        text = experiments.table2_text()
+        assert "cameraman" in text and "lena" in text and "livingroom" in text
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = experiments.format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1

@@ -1,0 +1,115 @@
+"""Tests for stuck-at fault injection and coverage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.wallace import wallace_netlist
+from repro.logic.faults import (
+    Fault,
+    fault_coverage,
+    fault_impact,
+    fault_sites,
+    simulate_with_faults,
+)
+from repro.logic.netlist import Netlist
+
+
+def _and_netlist():
+    nl = Netlist("t")
+    a, b = nl.new_input("a"), nl.new_input("b")
+    out = nl.add("AND2", a, b)
+    nl.set_outputs([out])
+    return nl, a, b, out
+
+
+class TestInjection:
+    def test_stuck_output(self):
+        nl, a, b, out = _and_netlist()
+        stimulus = {a: np.array([True]), b: np.array([True])}
+        values = simulate_with_faults(nl, stimulus, (Fault(out, False),))
+        assert not bool(values[out][0])
+
+    def test_stuck_input(self):
+        nl, a, b, out = _and_netlist()
+        stimulus = {a: np.array([False]), b: np.array([True])}
+        values = simulate_with_faults(nl, stimulus, (Fault(a, True),))
+        assert bool(values[out][0])  # a forced high -> AND goes high
+
+    def test_no_faults_is_plain_simulation(self):
+        nl, a, b, out = _and_netlist()
+        stimulus = {a: np.array([True, False]), b: np.array([True, True])}
+        values = simulate_with_faults(nl, stimulus)
+        assert values[out].tolist() == [True, False]
+
+    def test_fault_str(self):
+        assert str(Fault(7, True)) == "net7/SA1"
+
+
+class TestSites:
+    def test_counts(self):
+        nl, *_ = _and_netlist()
+        sites = fault_sites(nl)
+        # 2 inputs + 1 gate output, both polarities
+        assert len(sites) == 6
+
+
+class TestImpact:
+    def test_detected_fault(self):
+        nl, a, b, out = _and_netlist()
+        vectors = [np.array([1, 1, 0, 0]), np.array([1, 0, 1, 0])]
+        impact = fault_impact(nl, [[a], [b]], vectors, Fault(out, True))
+        # AND is 1 only for (1,1): SA1 on the output flips 3 of 4 vectors
+        assert impact.detection_rate == pytest.approx(0.75)
+
+    def test_benign_fault(self):
+        nl, a, b, out = _and_netlist()
+        vectors = [np.array([1]), np.array([1])]
+        impact = fault_impact(nl, [[a], [b]], vectors, Fault(out, True))
+        assert impact.detection_rate == 0.0
+
+    def test_relative_error_reported(self):
+        nl = wallace_netlist(4)
+        nl.prune()
+        top_output = nl.outputs[-1]
+        rng = np.random.default_rng(111)
+        a = rng.integers(1, 16, 64)
+        b = rng.integers(1, 16, 64)
+        impact = fault_impact(
+            nl, [nl.inputs[:4], nl.inputs[4:]], [a, b], Fault(top_output, True)
+        )
+        # forcing the MSB of the product high is a large relative error
+        assert impact.mean_relative_error > 0.5
+
+
+class TestCoverage:
+    def test_rich_vectors_cover_multiplier(self):
+        nl = wallace_netlist(4)
+        nl.prune()
+        rng = np.random.default_rng(112)
+        a = rng.integers(0, 16, 128)
+        b = rng.integers(0, 16, 128)
+        coverage = fault_coverage(nl, [nl.inputs[:4], nl.inputs[4:]], [a, b])
+        assert coverage > 0.95
+
+    def test_single_vector_covers_little(self):
+        nl = wallace_netlist(4)
+        nl.prune()
+        coverage = fault_coverage(
+            nl, [nl.inputs[:4], nl.inputs[4:]], [np.array([0]), np.array([0])]
+        )
+        # a*0: most internal faults are masked
+        assert coverage < 0.5
+
+    def test_subset_of_faults(self):
+        nl, a, b, out = _and_netlist()
+        vectors = [np.array([1, 0]), np.array([1, 1])]
+        coverage = fault_coverage(
+            nl, [[a], [b]], vectors, faults=[Fault(out, True), Fault(out, False)]
+        )
+        assert coverage == pytest.approx(1.0)
+
+    def test_empty_fault_list(self):
+        nl, a, b, _ = _and_netlist()
+        assert fault_coverage(nl, [[a], [b]], [np.array([1]), np.array([1])], faults=[]) == 1.0

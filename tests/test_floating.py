@@ -1,0 +1,177 @@
+"""Tests for the approximate floating-point multiplier extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.realm import RealmMultiplier
+from repro.multipliers.floating import (
+    BFLOAT16_LIKE,
+    FLOAT32,
+    ApproxFloatMultiplier,
+    FloatFormat,
+)
+from repro.multipliers.mitchell import MitchellMultiplier
+
+finite_floats = st.floats(
+    min_value=1e-20, max_value=1e20, allow_nan=False, allow_infinity=False
+)
+
+
+class TestFloatFormat:
+    def test_float32_constants(self):
+        assert FLOAT32.bias == 127
+        assert FLOAT32.total_bits == 32
+
+    @given(finite_floats)
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_within_half_ulp(self, value):
+        bits = FLOAT32.from_float(value)
+        recovered = float(FLOAT32.to_float(bits))
+        assert recovered == pytest.approx(value, rel=2.0**-23)
+
+    def test_roundtrip_exact_for_representables(self):
+        values = np.array([1.0, -2.5, 0.75, 1024.0, -0.015625])
+        assert np.array_equal(FLOAT32.to_float(FLOAT32.from_float(values)), values)
+
+    def test_zero_and_signed_zero(self):
+        bits = FLOAT32.from_float(np.array([0.0, -0.0]))
+        decoded = FLOAT32.to_float(bits)
+        assert decoded[0] == 0.0 and decoded[1] == 0.0
+
+    def test_subnormals_flush(self):
+        tiny = np.array([1e-40])  # below float32 normal range
+        assert float(FLOAT32.to_float(FLOAT32.from_float(tiny))[0]) == 0.0
+
+    def test_overflow_saturates(self):
+        huge = np.array([1e39])
+        decoded = float(FLOAT32.to_float(FLOAT32.from_float(huge))[0])
+        assert decoded == pytest.approx(3.4e38, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FloatFormat(exponent_bits=1, mantissa_bits=4)
+        with pytest.raises(ValueError):
+            FloatFormat(exponent_bits=8, mantissa_bits=0)
+
+
+class TestAccurateCore:
+    def test_matches_float32_truncating_product(self):
+        rng = np.random.default_rng(61)
+        a = rng.uniform(-100, 100, 500)
+        b = rng.uniform(-100, 100, 500)
+        multiplier = ApproxFloatMultiplier(FLOAT32)
+        got = multiplier.multiply(a, b)
+        exact = FLOAT32.to_float(FLOAT32.from_float(a)) * FLOAT32.to_float(
+            FLOAT32.from_float(b)
+        )
+        # truncating mantissa: result in (exact * (1 - 2^-23), exact]
+        ratio = np.where(exact != 0, got / exact, 1.0)
+        assert np.all(ratio <= 1.0 + 1e-12)
+        assert np.all(ratio > 1.0 - 3e-7)
+
+    def test_signs(self):
+        multiplier = ApproxFloatMultiplier(FLOAT32)
+        assert float(multiplier.multiply(-2.0, 3.0)) == -6.0
+        assert float(multiplier.multiply(-2.0, -3.0)) == 6.0
+
+    def test_zero_operand(self):
+        multiplier = ApproxFloatMultiplier(FLOAT32)
+        assert float(multiplier.multiply(0.0, 123.456)) == 0.0
+
+    def test_core_width_validated(self):
+        with pytest.raises(ValueError):
+            ApproxFloatMultiplier(FLOAT32, lambda n: MitchellMultiplier(16))
+
+
+class TestApproximateCores:
+    def test_realm_core_error_matches_integer_realm(self):
+        # the FP datapath's relative error IS the integer core's error on
+        # full-scale significands
+        rng = np.random.default_rng(62)
+        a = rng.uniform(1.0, 1000.0, 4000)
+        b = rng.uniform(1.0, 1000.0, 4000)
+        fp_realm = ApproxFloatMultiplier(
+            BFLOAT16_LIKE, lambda n: RealmMultiplier(bitwidth=n, m=8)
+        )
+        got = fp_realm.multiply(a, b)
+        quantized = BFLOAT16_LIKE.to_float(BFLOAT16_LIKE.from_float(a)) * \
+            BFLOAT16_LIKE.to_float(BFLOAT16_LIKE.from_float(b))
+        errors = (got - quantized) / quantized
+        # REALM8-class error (0.75% ME) plus ~2^-7 truncation
+        assert abs(np.mean(errors)) < 0.01
+        assert np.abs(errors).max() < 0.06
+
+    def test_mitchell_core_biased_low(self):
+        rng = np.random.default_rng(63)
+        a = rng.uniform(1.0, 100.0, 2000)
+        b = rng.uniform(1.0, 100.0, 2000)
+        fp_calm = ApproxFloatMultiplier(
+            FLOAT32, lambda n: MitchellMultiplier(bitwidth=n)
+        )
+        errors = (fp_calm.multiply(a, b) - a * b) / (a * b)
+        assert np.mean(errors) < -0.03  # Mitchell's -3.85% bias survives
+
+    def test_realm_beats_mitchell_in_fp(self):
+        rng = np.random.default_rng(64)
+        a = rng.uniform(0.01, 1e4, 2000)
+        b = rng.uniform(0.01, 1e4, 2000)
+        realm_fp = ApproxFloatMultiplier(
+            FLOAT32, lambda n: RealmMultiplier(bitwidth=n, m=16)
+        )
+        calm_fp = ApproxFloatMultiplier(
+            FLOAT32, lambda n: MitchellMultiplier(bitwidth=n)
+        )
+        realm_me = np.abs((realm_fp.multiply(a, b) - a * b) / (a * b)).mean()
+        calm_me = np.abs((calm_fp.multiply(a, b) - a * b) / (a * b)).mean()
+        assert realm_me < calm_me / 4
+
+    def test_exponent_arithmetic_spans_binades(self):
+        multiplier = ApproxFloatMultiplier(FLOAT32)
+        assert float(multiplier.multiply(1e10, 1e-10)) == pytest.approx(1.0, rel=1e-6)
+        assert float(multiplier.multiply(2.0**100, 2.0**-120)) == pytest.approx(
+            2.0**-20
+        )
+
+    def test_product_underflow_flushes(self):
+        multiplier = ApproxFloatMultiplier(FLOAT32)
+        assert float(multiplier.multiply(1e-30, 1e-30)) == 0.0
+
+    def test_product_overflow_saturates(self):
+        multiplier = ApproxFloatMultiplier(FLOAT32)
+        assert float(multiplier.multiply(1e30, 1e30)) == pytest.approx(
+            3.4e38, rel=0.01
+        )
+
+
+class TestFuzz:
+    @given(
+        st.floats(min_value=1e-30, max_value=1e30, allow_nan=False),
+        st.floats(min_value=1e-30, max_value=1e30, allow_nan=False),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_accurate_core_never_overestimates_quantized_product(self, a, b):
+        # truncating mantissa + FTZ: the result is <= the product of the
+        # quantized operands (and within one mantissa ulp below), or a
+        # saturated/flushed special case
+        multiplier = ApproxFloatMultiplier(FLOAT32)
+        qa = float(FLOAT32.to_float(FLOAT32.from_float(a)))
+        qb = float(FLOAT32.to_float(FLOAT32.from_float(b)))
+        got = float(multiplier.multiply(a, b))
+        exact = qa * qb
+        if got == 0.0 or got == pytest.approx(3.4e38, rel=0.01):
+            return  # underflow flush or overflow saturation
+        assert got <= exact * (1 + 1e-12)
+        assert got >= exact * (1 - 2.0**-22)
+
+    @given(st.floats(min_value=-1e30, max_value=1e30, allow_nan=False))
+    @settings(max_examples=150, deadline=None)
+    def test_pack_unpack_roundtrip_is_stable(self, value):
+        # encoding an already-encoded value is the identity
+        once = FLOAT32.from_float(value)
+        decoded = FLOAT32.to_float(once)
+        twice = FLOAT32.from_float(decoded)
+        assert np.array_equal(once, twice)

@@ -1,0 +1,122 @@
+"""Tests for the baseline JPEG entropy coder (T.81 Annex K tables)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jpeg.huffman import (
+    BitReader,
+    BitWriter,
+    decode_blocks,
+    encode_blocks,
+    _amplitude_bits,
+    _category,
+    _decode_amplitude,
+)
+
+
+class TestBitIO:
+    def test_roundtrip(self):
+        writer = BitWriter()
+        writer.write(0b101, 3)
+        writer.write(0b1, 1)
+        writer.write(0xAB, 8)
+        data = writer.to_bytes()
+        reader = BitReader(data)
+        assert reader.read(3) == 0b101
+        assert reader.read(1) == 1
+        assert reader.read(8) == 0xAB
+
+    def test_padding_with_ones(self):
+        writer = BitWriter()
+        writer.write(0, 1)
+        assert writer.to_bytes() == bytes([0b0111_1111])
+
+    def test_zero_length_write(self):
+        writer = BitWriter()
+        writer.write(0, 0)
+        assert len(writer) == 0
+        with pytest.raises(ValueError):
+            writer.write(1, 0)
+
+    def test_reader_exhaustion(self):
+        reader = BitReader(b"")
+        with pytest.raises(EOFError):
+            reader.read_bit()
+
+
+class TestAmplitudeCoding:
+    @given(st.integers(min_value=-2047, max_value=2047))
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip(self, value):
+        size = _category(value)
+        assert _decode_amplitude(_amplitude_bits(value, size), size) == value
+
+    def test_categories(self):
+        assert _category(0) == 0
+        assert _category(1) == _category(-1) == 1
+        assert _category(255) == 8
+        assert _category(-256) == 9
+
+
+class TestBlockCoding:
+    def _roundtrip(self, blocks):
+        blocks = np.asarray(blocks, dtype=np.int64)
+        data = encode_blocks(blocks)
+        return decode_blocks(data, blocks.shape[0])
+
+    def test_all_zero_blocks(self):
+        blocks = np.zeros((3, 64))
+        assert np.array_equal(self._roundtrip(blocks), blocks)
+
+    def test_dc_difference_chain(self):
+        blocks = np.zeros((4, 64))
+        blocks[:, 0] = [100, 90, 90, -30]
+        assert np.array_equal(self._roundtrip(blocks), blocks)
+
+    def test_long_zero_runs_use_zrl(self):
+        blocks = np.zeros((1, 64))
+        blocks[0, 0] = 5
+        blocks[0, 40] = -3  # 39 leading AC zeros: needs ZRL symbols
+        assert np.array_equal(self._roundtrip(blocks), blocks)
+
+    def test_full_block_no_eob(self):
+        rng = np.random.default_rng(31)
+        blocks = rng.integers(1, 5, (2, 64))  # no zeros at all
+        assert np.array_equal(self._roundtrip(blocks), blocks)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            encode_blocks(np.zeros((2, 63)))
+
+    def test_invalid_bitstream_detected(self):
+        with pytest.raises((ValueError, EOFError)):
+            decode_blocks(b"\x00\x00", count=4)
+
+    def test_sparse_blocks_compress(self):
+        sparse = np.zeros((16, 64), dtype=np.int64)
+        sparse[:, 0] = 50
+        dense = np.asarray(
+            np.random.default_rng(32).integers(-200, 200, (16, 64)), dtype=np.int64
+        )
+        assert len(encode_blocks(sparse)) < len(encode_blocks(dense)) / 4
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=63),
+                st.integers(min_value=-1000, max_value=1000),
+            ),
+            min_size=0,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, entries):
+        block = np.zeros((1, 64), dtype=np.int64)
+        for position, value in entries:
+            block[0, position] = value
+        assert np.array_equal(self._roundtrip(block), block)

@@ -1,0 +1,220 @@
+"""Tests for the gate-level substrate: cells, netlist builder, simulator."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.cells import CELLS, cell
+from repro.logic.netlist import CONST0, CONST1, Netlist
+from repro.logic.sim import bus_to_int, evaluate_words, int_to_bus, simulate
+
+TRUTH = {
+    "INV": lambda a: not a,
+    "BUF": lambda a: a,
+    "AND2": lambda a, b: a and b,
+    "OR2": lambda a, b: a or b,
+    "NAND2": lambda a, b: not (a and b),
+    "NOR2": lambda a, b: not (a or b),
+    "XOR2": lambda a, b: a != b,
+    "XNOR2": lambda a, b: a == b,
+    "ANDN2": lambda a, b: a and not b,
+    "ORN2": lambda a, b: a or not b,
+    "MUX2": lambda d0, d1, s: d1 if s else d0,
+    "MAJ3": lambda a, b, c: (a + b + c) >= 2,
+    "XOR3": lambda a, b, c: (a + b + c) % 2 == 1,
+}
+
+
+class TestCells:
+    @pytest.mark.parametrize("name", sorted(CELLS))
+    def test_function_matches_truth_table(self, name):
+        c = cell(name)
+        for combo in itertools.product([False, True], repeat=c.inputs):
+            arrays = [np.array([v]) for v in combo]
+            assert bool(c.evaluate(*arrays)[0]) == bool(TRUTH[name](*combo))
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError):
+            cell("AND2").evaluate(np.array([True]))
+
+    def test_unknown_cell(self):
+        with pytest.raises(KeyError):
+            cell("NAND17")
+
+    def test_energy_and_leakage_track_area(self):
+        inv, xor3 = cell("INV"), cell("XOR3")
+        assert xor3.energy > inv.energy
+        assert xor3.leakage > inv.leakage
+
+
+class TestBuilder:
+    def test_use_before_drive_rejected(self):
+        nl = Netlist("t")
+        a = nl.new_input("a")
+        with pytest.raises(ValueError):
+            nl.add("AND2", a, 999)
+
+    def test_wrong_input_count(self):
+        nl = Netlist("t")
+        a = nl.new_input("a")
+        with pytest.raises(ValueError):
+            nl.add("AND2", a)
+
+    def test_structural_sharing(self):
+        nl = Netlist("t")
+        a, b = nl.new_input("a"), nl.new_input("b")
+        first = nl.add("XOR2", a, b)
+        second = nl.add("XOR2", a, b)
+        assert first == second
+        assert nl.gate_count == 1
+
+    def test_undriven_output_rejected(self):
+        nl = Netlist("t")
+        with pytest.raises(ValueError):
+            nl.set_outputs([1234])
+
+    @pytest.mark.parametrize(
+        "cell_name",
+        ["AND2", "OR2", "NAND2", "NOR2", "XOR2", "XNOR2", "ANDN2", "ORN2"],
+    )
+    def test_constant_folding_two_input(self, cell_name):
+        # every (net, const) combination must fold to the truth-table value
+        for const_net, const_val in ((CONST0, False), (CONST1, True)):
+            for position in (0, 1):
+                nl = Netlist("t")
+                a = nl.new_input("a")
+                inputs = [a, const_net] if position else [const_net, a]
+                out = nl.add(cell_name, *inputs)
+                nl.set_outputs([out])
+                for a_val in (False, True):
+                    waves = simulate(nl, {a: np.array([a_val])})
+                    combo = (
+                        (a_val, const_val) if position else (const_val, a_val)
+                    )
+                    assert bool(waves[out][0]) == bool(TRUTH[cell_name](*combo))
+
+    @pytest.mark.parametrize("cell_name", ["XOR3", "MAJ3"])
+    def test_constant_folding_three_input(self, cell_name):
+        for const_pattern in itertools.product([None, False, True], repeat=3):
+            if all(v is None for v in const_pattern):
+                continue
+            nl = Netlist("t")
+            live_inputs = {}
+            nets = []
+            for index, const in enumerate(const_pattern):
+                if const is None:
+                    net = nl.new_input(f"in{index}")
+                    live_inputs[index] = net
+                    nets.append(net)
+                else:
+                    nets.append(CONST1 if const else CONST0)
+            out = nl.add(cell_name, *nets)
+            nl.set_outputs([out])
+            for live_values in itertools.product(
+                [False, True], repeat=len(live_inputs)
+            ):
+                stimulus = {
+                    net: np.array([value])
+                    for net, value in zip(live_inputs.values(), live_values)
+                }
+                waves = simulate(nl, stimulus)
+                combo = []
+                live_iter = iter(live_values)
+                for const in const_pattern:
+                    combo.append(next(live_iter) if const is None else const)
+                assert bool(waves[out][0]) == bool(TRUTH[cell_name](*combo))
+
+    def test_mux_folding(self):
+        nl = Netlist("t")
+        a, s = nl.new_input("a"), nl.new_input("s")
+        assert nl.add("MUX2", a, a, s) == a  # equal branches
+        assert nl.add("MUX2", CONST0, CONST1, s) == s  # 0/1 -> select
+        assert nl.gate_count == 0
+
+    def test_same_input_folds(self):
+        nl = Netlist("t")
+        a = nl.new_input("a")
+        assert nl.add("AND2", a, a) == a
+        assert nl.add("XOR2", a, a) == CONST0
+
+
+class TestPrune:
+    def test_removes_dead_logic_preserving_function(self):
+        nl = Netlist("t")
+        a, b = nl.new_input("a"), nl.new_input("b")
+        live = nl.add("AND2", a, b)
+        nl.add("XOR2", a, b)  # dead
+        nl.set_outputs([live])
+        removed = nl.prune()
+        assert removed == 1
+        assert nl.gate_count == 1
+        waves = simulate(nl, {a: np.array([True]), b: np.array([True])})
+        assert bool(waves[live][0])
+
+    def test_requires_outputs(self):
+        nl = Netlist("t")
+        nl.new_input("a")
+        with pytest.raises(ValueError):
+            nl.prune()
+
+    def test_cache_does_not_resurrect_pruned_gates(self):
+        nl = Netlist("t")
+        a, b = nl.new_input("a"), nl.new_input("b")
+        live = nl.add("AND2", a, b)
+        nl.add("XOR2", a, b)
+        nl.set_outputs([live])
+        nl.prune()
+        again = nl.add("XOR2", a, b)  # must be re-created, not a stale handle
+        nl.set_outputs([live, again])
+        waves = simulate(nl, {a: np.array([True]), b: np.array([False])})
+        assert bool(waves[again][0])
+
+
+class TestSimulator:
+    def test_missing_stimulus(self):
+        nl = Netlist("t")
+        a, b = nl.new_input("a"), nl.new_input("b")
+        nl.set_outputs([nl.add("AND2", a, b)])
+        with pytest.raises(ValueError):
+            simulate(nl, {a: np.array([True])})
+
+    def test_shape_mismatch(self):
+        nl = Netlist("t")
+        a, b = nl.new_input("a"), nl.new_input("b")
+        nl.set_outputs([nl.add("AND2", a, b)])
+        with pytest.raises(ValueError):
+            simulate(nl, {a: np.zeros(2, bool), b: np.zeros(3, bool)})
+
+    def test_depth(self):
+        nl = Netlist("t")
+        a, b, c = (nl.new_input(n) for n in "abc")
+        x = nl.add("AND2", a, b)
+        y = nl.add("OR2", x, c)
+        nl.set_outputs([y])
+        assert nl.depth() == 2
+
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 12) - 1), min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_bus_roundtrip(self, values):
+        array = np.array(values)
+        assert np.array_equal(bus_to_int(int_to_bus(array, 12)), array)
+
+    def test_evaluate_words(self):
+        nl = Netlist("and4")
+        a = nl.input_bus("a", 4)
+        b = nl.input_bus("b", 4)
+        nl.set_outputs([nl.add("AND2", x, y) for x, y in zip(a, b)])
+        got = evaluate_words(nl, [a, b], [np.array([0b1100]), np.array([0b1010])])
+        assert int(got[0]) == 0b1000
+
+    def test_evaluate_words_arity(self):
+        nl = Netlist("t")
+        a = nl.input_bus("a", 2)
+        nl.set_outputs(a)
+        with pytest.raises(ValueError):
+            evaluate_words(nl, [a], [np.array([1]), np.array([2])])

@@ -1,0 +1,105 @@
+"""Tests for the error-metric framework (paper Section IV-B)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import (
+    compute_metrics,
+    merge_metrics,
+    relative_errors,
+)
+
+
+class TestRelativeErrors:
+    def test_basic(self):
+        errors, exact = relative_errors(np.array([110, 90]), np.array([100, 100]))
+        assert errors.tolist() == [0.1, -0.1]
+        assert exact.tolist() == [100, 100]
+
+    def test_zero_products_excluded(self):
+        errors, exact = relative_errors(np.array([0, 50]), np.array([0, 100]))
+        assert errors.tolist() == [-0.5]
+        assert exact.tolist() == [100]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            relative_errors(np.zeros(2), np.zeros(3))
+
+
+class TestComputeMetrics:
+    def test_known_values(self):
+        approx = np.array([102, 98, 100, 104])
+        exact = np.array([100, 100, 100, 100])
+        m = compute_metrics(approx, exact)
+        assert m.bias == pytest.approx(1.0)
+        assert m.mean_error == pytest.approx(2.0)
+        assert m.peak_min == pytest.approx(-2.0)
+        assert m.peak_max == pytest.approx(4.0)
+        # var of [2,-2,0,4]% = mean(sq) - mean^2 = 6 - 1 = 5 (percent^2)
+        assert m.variance == pytest.approx(5.0)
+        assert m.rms == pytest.approx(np.sqrt(6.0))
+        assert m.samples == 4
+
+    def test_nmed_normalization(self):
+        m = compute_metrics(
+            np.array([90]), np.array([100]), max_product=1000
+        )
+        assert m.nmed == pytest.approx(1.0)  # 10/1000 in percent
+
+    def test_all_zero_products_rejected(self):
+        with pytest.raises(ValueError):
+            compute_metrics(np.array([0]), np.array([0]))
+
+    def test_row_order(self):
+        m = compute_metrics(np.array([101]), np.array([100]))
+        assert m.row() == (m.bias, m.mean_error, m.peak_min, m.peak_max, m.variance)
+
+    def test_str_contains_key_stats(self):
+        text = str(compute_metrics(np.array([101]), np.array([100])))
+        assert "bias" in text and "ME" in text
+
+
+class TestMergeMetrics:
+    def test_equivalent_to_single_batch(self):
+        rng = np.random.default_rng(11)
+        exact = rng.integers(0, 1 << 20, 10000)
+        approx = exact + rng.integers(-50, 50, 10000)
+        approx = np.maximum(approx, 0)
+        whole = compute_metrics(approx, exact, max_product=1 << 20)
+        chunked = merge_metrics(
+            ((approx[i : i + 1000], exact[i : i + 1000]) for i in range(0, 10000, 1000)),
+            max_product=1 << 20,
+        )
+        assert chunked.bias == pytest.approx(whole.bias, rel=1e-9)
+        assert chunked.mean_error == pytest.approx(whole.mean_error, rel=1e-9)
+        assert chunked.variance == pytest.approx(whole.variance, rel=1e-6)
+        assert chunked.peak_min == pytest.approx(whole.peak_min)
+        assert chunked.peak_max == pytest.approx(whole.peak_max)
+        assert chunked.nmed == pytest.approx(whole.nmed, rel=1e-9)
+        assert chunked.samples == whole.samples
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            merge_metrics(iter(()), max_product=100)
+
+    @given(st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_chunking_invariance(self, chunk_sizes):
+        # metrics must not depend on how the stream is chunked
+        rng = np.random.default_rng(sum(chunk_sizes))
+        total = sum(chunk_sizes)
+        exact = rng.integers(1, 1000, total)
+        approx = exact + rng.integers(-5, 6, total)
+        reference = compute_metrics(approx, exact, max_product=1000)
+        chunks = []
+        start = 0
+        for size in chunk_sizes:
+            chunks.append((approx[start : start + size], exact[start : start + size]))
+            start += size
+        merged = merge_metrics(iter(chunks), max_product=1000)
+        assert merged.bias == pytest.approx(reference.bias, rel=1e-9, abs=1e-12)
+        assert merged.variance == pytest.approx(reference.variance, rel=1e-6, abs=1e-9)

@@ -1,0 +1,100 @@
+"""Tests for the classical log-based multiplier (cALM, Mitchell [8])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import paper
+from repro.analysis.metrics import compute_metrics
+from repro.multipliers.mitchell import MitchellMultiplier, antilog, log_operands
+
+
+class TestLogOperands:
+    def test_decomposition(self):
+        ka, kb, xa, xb, nonzero = log_operands(
+            np.array([96]), np.array([1]), 16
+        )
+        assert int(ka[0]) == 6  # 96 = 2^6 * 1.5
+        assert int(xa[0]) == 1 << 14  # x = 0.5
+        assert int(kb[0]) == 0 and int(xb[0]) == 0
+        assert bool(nonzero[0])
+
+    def test_zero_flagged(self):
+        *_, nonzero = log_operands(np.array([0, 5]), np.array([5, 5]), 16)
+        assert nonzero.tolist() == [False, True]
+
+
+class TestAntilog:
+    def test_exact_power(self):
+        # log value 5.0 -> 32
+        assert int(antilog(np.array([5 << 15]), 15)[0]) == 32
+
+    def test_linear_mantissa(self):
+        # log value 3 + 0.5 -> 8 * 1.5 = 12
+        value = (3 << 15) | (1 << 14)
+        assert int(antilog(np.array([value]), 15)[0]) == 12
+
+    def test_small_value_floors(self):
+        # log value 0.75 -> floor(1.75 * 2^0 ... ) with fraction below LSB
+        value = 3 << 13  # characteristic 0, fraction 0.75
+        assert int(antilog(np.array([value]), 15)[0]) == 1
+
+
+class TestMitchell:
+    def test_exact_at_powers_of_two(self):
+        calm = MitchellMultiplier()
+        for a in (1, 2, 64, 32768):
+            for b in (1, 8, 1024):
+                assert int(calm.multiply(a, b)) == a * b
+
+    def test_never_overestimates(self, operands16):
+        calm = MitchellMultiplier()
+        a, b = operands16
+        assert np.all(calm.multiply(a, b) <= a * b)
+
+    def test_worst_case_bound(self, operands16):
+        calm = MitchellMultiplier()
+        a, b = operands16
+        exact = a * b
+        nonzero = exact > 0
+        errors = (calm.multiply(a, b)[nonzero] - exact[nonzero]) / exact[nonzero]
+        assert errors.min() >= -1.0 / 9.0 - 1e-9
+
+    def test_table_one_row(self):
+        rng = np.random.default_rng(2020)
+        a = rng.integers(0, 1 << 16, 1 << 21)
+        b = rng.integers(0, 1 << 16, 1 << 21)
+        calm = MitchellMultiplier()
+        metrics = compute_metrics(calm.multiply(a, b), a * b)
+        row = paper.TABLE1["calm"]
+        assert metrics.bias == pytest.approx(row.bias, abs=0.02)
+        assert metrics.mean_error == pytest.approx(row.mean_error, abs=0.02)
+        assert metrics.peak_min == pytest.approx(row.peak_min, abs=0.05)
+        assert metrics.peak_max == pytest.approx(0.0, abs=1e-9)
+        assert metrics.variance == pytest.approx(row.variance, abs=0.1)
+
+    def test_zero_operands(self):
+        calm = MitchellMultiplier()
+        assert int(calm.multiply(0, 999)) == 0
+        assert int(calm.multiply(999, 0)) == 0
+
+    @given(
+        st.integers(min_value=1, max_value=(1 << 16) - 1),
+        st.integers(min_value=1, max_value=(1 << 16) - 1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_underestimate_property(self, a, b):
+        calm = MitchellMultiplier()
+        product = int(calm.multiply(a, b))
+        assert product <= a * b
+        assert product >= a * b * (1.0 - 1.0 / 9.0) - 1  # -1 for the floor
+
+    def test_other_bitwidths(self):
+        for n in (8, 12, 24):
+            calm = MitchellMultiplier(bitwidth=n)
+            high = (1 << n) - 1
+            assert int(calm.multiply(1 << (n - 1), 2)) == 1 << n
+            assert int(calm.multiply(high, high)) <= high * high

@@ -1,0 +1,152 @@
+"""Cross-design property tests: invariants every multiplier must satisfy.
+
+These run over the whole registry, so any future design added to the
+library is automatically held to the same contracts the paper's designs
+satisfy: zero handling, output bounds, determinism, shape preservation,
+and (for the structurally symmetric families) commutativity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.multipliers.registry import REGISTRY, build
+
+ALL_IDS = sorted(REGISTRY)
+
+# families whose datapaths are symmetric in the two operands; AM gates the
+# partial products of a by the bits of b, and ALM-MAA's approximate adder
+# takes the low sum bits from one operand and the carry from the other,
+# so both are legitimately asymmetric
+COMMUTATIVE_IDS = [
+    n for n in ALL_IDS if not n.startswith(("am1", "am2", "alm-maa"))
+]
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    rng = np.random.default_rng(77)
+    a = rng.integers(0, 1 << 16, 2000)
+    b = rng.integers(0, 1 << 16, 2000)
+    return a, b
+
+
+@pytest.mark.parametrize("name", ALL_IDS)
+def test_zero_annihilates(name):
+    multiplier = build(name)
+    assert int(multiplier.multiply(0, 54321)) == 0
+    assert int(multiplier.multiply(54321, 0)) == 0
+    assert int(multiplier.multiply(0, 0)) == 0
+
+
+@pytest.mark.parametrize("name", ALL_IDS)
+def test_output_bounds(name, vectors):
+    # approximate products stay within the physical output width:
+    # non-negative and below 2^(2N+1) (the REALM/MBM overflow bit)
+    a, b = vectors
+    products = build(name).multiply(a, b)
+    assert products.min() >= 0
+    assert products.max() < (1 << 33)
+
+
+@pytest.mark.parametrize("name", ALL_IDS)
+def test_deterministic_and_shape_preserving(name, vectors):
+    multiplier = build(name)
+    a, b = vectors
+    first = multiplier.multiply(a, b)
+    second = multiplier.multiply(a, b)
+    assert np.array_equal(first, second)
+    assert first.shape == a.shape
+    assert first.dtype == np.int64
+    # 2-D shapes work too
+    grid = multiplier.multiply(a[:16].reshape(4, 4), b[:16].reshape(4, 4))
+    assert grid.shape == (4, 4)
+    assert np.array_equal(grid.ravel(), first[:16])
+
+
+@pytest.mark.parametrize("name", COMMUTATIVE_IDS)
+def test_commutative(name, vectors):
+    multiplier = build(name)
+    a, b = vectors
+    assert np.array_equal(multiplier.multiply(a, b), multiplier.multiply(b, a))
+
+
+@pytest.mark.parametrize("name", ALL_IDS)
+def test_relative_error_bounded_by_design_class(name, vectors):
+    # no design in the library errs by more than 80% on nonzero products
+    # (the worst published row is SSM8's -72.7%)
+    a, b = vectors
+    products = build(name).multiply(a, b)
+    exact = a * b
+    nonzero = exact > 0
+    errors = np.abs(products[nonzero] - exact[nonzero]) / exact[nonzero]
+    assert errors.max() < 0.80
+
+
+@pytest.mark.parametrize("name", ["realm16-t0", "calm", "drum-k8", "implm-ea"])
+def test_one_is_near_identity(name):
+    # multiplying by 1 reproduces the operand up to the design's forced
+    # rounding bits (exact for the log designs, which see fraction 0)
+    multiplier = build(name)
+    values = np.array([1, 2, 1000, 65535], dtype=np.int64)
+    products = multiplier.multiply(values, np.ones_like(values))
+    assert np.all(np.abs(products - values) <= values // 8 + 1)  # loose cap
+    # and exactly for powers of two on Mitchell-family designs
+    if name in ("calm", "implm-ea"):
+        assert int(multiplier.multiply(1024, 1)) == 1024
+
+
+class TestScalarArrayConsistency:
+    @given(
+        st.sampled_from(["realm8-t3", "calm", "drum-k6", "ssm-m9", "intalp-l2"]),
+        st.integers(min_value=0, max_value=(1 << 16) - 1),
+        st.integers(min_value=0, max_value=(1 << 16) - 1),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_scalar_equals_vector_element(self, name, a, b):
+        multiplier = build(name)
+        scalar = int(multiplier.multiply(a, b))
+        vector = int(multiplier.multiply(np.array([a, 77]), np.array([b, 88]))[0])
+        assert scalar == vector
+
+
+class TestWorkloadCharacterization:
+    def test_gaussian_workload(self):
+        from repro.analysis.montecarlo import characterize_workload, gaussian_sampler
+
+        realm = build("realm16-t0")
+        metrics = characterize_workload(
+            realm, gaussian_sampler(16), samples=1 << 18
+        )
+        assert metrics.mean_error < 1.0  # still REALM-class accuracy
+
+    def test_lognormal_worse_than_uniform_for_truncators(self):
+        # heavy-tailed (small-operand-rich) inputs punish the designs whose
+        # error concentrates on small operands
+        from repro.analysis.montecarlo import (
+            characterize,
+            characterize_workload,
+            lognormal_sampler,
+        )
+
+        ssm = build("ssm-m8")
+        uniform = characterize(ssm, samples=1 << 18)
+        heavy = characterize_workload(
+            ssm, lognormal_sampler(16), samples=1 << 18
+        )
+        # under uniform inputs almost everything uses the high segment;
+        # the heavy tail exercises the exact low segment too — the two
+        # distributions must measurably differ
+        assert abs(heavy.mean_error - uniform.mean_error) > 0.1
+
+    def test_sampler_determinism(self):
+        from repro.analysis.montecarlo import characterize_workload, gaussian_sampler
+
+        realm = build("realm4-t0")
+        sampler = gaussian_sampler(16)
+        first = characterize_workload(realm, sampler, samples=1 << 16, seed=3)
+        second = characterize_workload(realm, sampler, samples=1 << 16, seed=3)
+        assert first == second

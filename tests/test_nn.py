@@ -1,0 +1,118 @@
+"""Tests for the neural-network application substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.multipliers.accurate import AccurateMultiplier
+from repro.multipliers.registry import build
+from repro.nn.dataset import IMAGE_SIZE, NUM_CLASSES, make_dataset
+from repro.nn.evaluate import (
+    evaluate_multipliers,
+    float_accuracy,
+    logit_distortion,
+    trained_setup,
+)
+from repro.nn.mlp import FixedPointMlp, float_logits, train_mlp
+
+
+class TestDataset:
+    def test_deterministic(self):
+        first = make_dataset(train_per_class=5, test_per_class=2)
+        second = make_dataset(train_per_class=5, test_per_class=2)
+        assert np.array_equal(first.train_x, second.train_x)
+        assert np.array_equal(first.test_y, second.test_y)
+
+    def test_shapes_and_ranges(self):
+        data = make_dataset(train_per_class=5, test_per_class=3)
+        assert data.train_x.shape == (5 * NUM_CLASSES, IMAGE_SIZE**2)
+        assert data.test_x.shape == (3 * NUM_CLASSES, IMAGE_SIZE**2)
+        assert data.train_x.dtype == np.uint8
+        assert set(np.unique(data.train_y)) == set(range(NUM_CLASSES))
+
+    def test_classes_are_separable(self):
+        # nearest-template classification must beat chance by a wide margin
+        data = make_dataset(train_per_class=20, test_per_class=10)
+        centroids = np.stack(
+            [
+                data.train_x[data.train_y == label].mean(axis=0)
+                for label in range(NUM_CLASSES)
+            ]
+        )
+        distances = np.linalg.norm(
+            data.test_x[:, None, :].astype(float) - centroids[None], axis=2
+        )
+        accuracy = np.mean(np.argmin(distances, axis=1) == data.test_y)
+        assert accuracy > 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_dataset(train_per_class=0)
+
+
+class TestTraining:
+    def test_float_model_learns(self):
+        data, params = trained_setup()
+        assert float_accuracy(data, params) > 0.93
+
+    def test_weights_fit_q8(self):
+        _, params = trained_setup()
+        assert max(abs(params.w1).max(), abs(params.w2).max()) < 2.0
+
+    def test_training_deterministic(self):
+        data = make_dataset(train_per_class=10, test_per_class=5)
+        first = train_mlp(data.train_x, data.train_y, epochs=2)
+        second = train_mlp(data.train_x, data.train_y, epochs=2)
+        assert np.array_equal(first.w1, second.w1)
+
+
+class TestFixedPointInference:
+    def test_accurate_quantization_matches_float(self):
+        data, params = trained_setup()
+        model = FixedPointMlp(params, AccurateMultiplier())
+        fixed_accuracy = model.accuracy(data.test_x, data.test_y)
+        assert abs(fixed_accuracy - float_accuracy(data, params)) < 0.03
+
+    def test_quantized_logits_track_float(self):
+        data, params = trained_setup()
+        model = FixedPointMlp(params, AccurateMultiplier())
+        fixed = model.logits(data.test_x[:50]).astype(np.float64)
+        reference = float_logits(params, data.test_x[:50])
+        # fixed logits live at scale 255 * 2^8
+        scale = 255.0 * 256.0
+        correlation = np.corrcoef(fixed.ravel(), (reference * scale).ravel())[0, 1]
+        assert correlation > 0.999
+
+    def test_single_sample_predict(self):
+        data, params = trained_setup()
+        model = FixedPointMlp(params, AccurateMultiplier())
+        single = model.predict(data.test_x[0])
+        assert single.shape == (1,)
+
+    def test_rejects_narrow_multiplier(self):
+        _, params = trained_setup()
+        with pytest.raises(ValueError):
+            FixedPointMlp(params, AccurateMultiplier(bitwidth=8))
+
+
+class TestApproximateInference:
+    def test_realm_negligible_accuracy_loss(self):
+        results = evaluate_multipliers(["accurate", "realm16-t0", "realm4-t9"])
+        assert results["realm16-t0"] >= results["accurate"] - 0.02
+        assert results["realm4-t9"] >= results["accurate"] - 0.03
+
+    def test_distortion_ordering_tracks_table1(self):
+        distortion = logit_distortion(
+            ["realm16-t0", "realm4-t9", "mbm-t0", "calm", "ssm-m8"]
+        )
+        assert (
+            distortion["realm16-t0"]
+            < distortion["realm4-t9"]
+            < distortion["mbm-t0"]
+            < distortion["calm"]
+            < distortion["ssm-m8"]
+        )
+
+    def test_accurate_distortion_zero(self):
+        assert logit_distortion(["accurate"])["accurate"] == 0.0

@@ -1,0 +1,145 @@
+"""Tests for the parallel-prefix and carry-select adders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.prefix_adders import (
+    ADDER_STYLES,
+    brent_kung_adder,
+    carry_select_adder,
+    kogge_stone_adder,
+    sklansky_adder,
+)
+from repro.logic.netlist import CONST0, CONST1, Netlist
+from repro.logic.sim import bus_to_int, int_to_bus, simulate
+from repro.synth.timing import analyze_timing
+
+PREFIX_BUILDERS = {
+    "sklansky": sklansky_adder,
+    "kogge-stone": kogge_stone_adder,
+    "brent-kung": brent_kung_adder,
+    "carry-select": carry_select_adder,
+}
+
+
+def _build(builder, width, carry_in_net=None):
+    nl = Netlist("adder")
+    a = nl.input_bus("a", width)
+    b = nl.input_bus("b", width)
+    cin = carry_in_net if carry_in_net is not None else CONST0
+    total, carry = builder(nl, a, b, cin)
+    nl.set_outputs(total + [carry])
+    return nl, a, b
+
+
+def _run(nl, a_bus, b_bus, av, bv):
+    stimulus = {}
+    for bus, values in ((a_bus, av), (b_bus, bv)):
+        bits = int_to_bus(np.asarray(values), len(bus))
+        for position, net in enumerate(bus):
+            stimulus[net] = bits[:, position]
+    waves = simulate(nl, stimulus)
+    from repro.logic.netlist import CONST0 as C0, CONST1 as C1
+
+    columns = []
+    for net in nl.outputs:
+        if net == C0:
+            columns.append(np.zeros(len(av), dtype=bool))
+        elif net == C1:
+            columns.append(np.ones(len(av), dtype=bool))
+        else:
+            columns.append(waves[net])
+    return bus_to_int(np.stack(columns, axis=1))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("style", sorted(PREFIX_BUILDERS))
+    @pytest.mark.parametrize("width", [1, 2, 3, 5, 8])
+    def test_exhaustive_small_widths(self, style, width):
+        builder = PREFIX_BUILDERS[style]
+        nl, a_bus, b_bus = _build(builder, width)
+        values = np.arange(1 << width)
+        av, bv = np.meshgrid(values, values, indexing="ij")
+        got = _run(nl, a_bus, b_bus, av.ravel(), bv.ravel())
+        assert np.array_equal(got, av.ravel() + bv.ravel())
+
+    @pytest.mark.parametrize("style", sorted(PREFIX_BUILDERS))
+    def test_carry_in(self, style):
+        builder = PREFIX_BUILDERS[style]
+        nl, a_bus, b_bus = _build(builder, 6, carry_in_net=CONST1)
+        values = np.arange(64)
+        av, bv = np.meshgrid(values, values, indexing="ij")
+        got = _run(nl, a_bus, b_bus, av.ravel(), bv.ravel())
+        assert np.array_equal(got, av.ravel() + bv.ravel() + 1)
+
+    @pytest.mark.parametrize("style", sorted(PREFIX_BUILDERS))
+    def test_random_24bit(self, style):
+        builder = PREFIX_BUILDERS[style]
+        nl, a_bus, b_bus = _build(builder, 24)
+        rng = np.random.default_rng(41)
+        av = rng.integers(0, 1 << 24, 500)
+        bv = rng.integers(0, 1 << 24, 500)
+        got = _run(nl, a_bus, b_bus, av, bv)
+        assert np.array_equal(got, av + bv)
+
+    def test_mixed_widths(self):
+        nl = Netlist("adder")
+        a = nl.input_bus("a", 8)
+        b = nl.input_bus("b", 3)
+        total, carry = sklansky_adder(nl, a, b)
+        nl.set_outputs(total + [carry])
+        got = _run(nl, a, b, np.array([255]), np.array([7]))
+        assert int(got[0]) == 262
+
+    def test_carry_select_block_validation(self):
+        nl = Netlist("adder")
+        a = nl.input_bus("a", 4)
+        b = nl.input_bus("b", 4)
+        with pytest.raises(ValueError):
+            carry_select_adder(nl, a, b, block=0)
+
+
+class TestStructure:
+    """The classical trade-offs must emerge from the generated netlists."""
+
+    @staticmethod
+    def _metrics(builder, width=32):
+        nl, _, _ = _build(builder, width)
+        nl.prune()
+        timing = analyze_timing(nl)
+        return nl.gate_count, timing.critical_path_ps
+
+    def test_prefix_beats_ripple_in_depth(self):
+        from repro.circuits.adders import ripple_adder
+
+        _, ripple_delay = self._metrics(ripple_adder)
+        for builder in (sklansky_adder, kogge_stone_adder, brent_kung_adder):
+            _, prefix_delay = self._metrics(builder)
+            assert prefix_delay < ripple_delay / 2
+
+    def test_ripple_smallest(self):
+        from repro.circuits.adders import ripple_adder
+
+        ripple_gates, _ = self._metrics(ripple_adder)
+        for builder in (sklansky_adder, kogge_stone_adder, brent_kung_adder):
+            gates, _ = self._metrics(builder)
+            assert gates > ripple_gates
+
+    def test_kogge_stone_biggest_prefix(self):
+        ks_gates, _ = self._metrics(kogge_stone_adder)
+        bk_gates, _ = self._metrics(brent_kung_adder)
+        sk_gates, _ = self._metrics(sklansky_adder)
+        assert ks_gates > sk_gates >= bk_gates
+
+    def test_brent_kung_deeper_than_sklansky(self):
+        _, bk_delay = self._metrics(brent_kung_adder)
+        _, sk_delay = self._metrics(sklansky_adder)
+        assert bk_delay >= sk_delay
+
+    def test_styles_registry_complete(self):
+        assert set(ADDER_STYLES) == {
+            "ripple", "sklansky", "kogge-stone", "brent-kung", "carry-select"
+        }
+        assert all(fn is not None for fn in ADDER_STYLES.values())

@@ -1,0 +1,95 @@
+"""Tests for the Fig. 1 error profiles and Fig. 2 segment analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.exhaustive import error_grid, exhaustive_metrics
+from repro.analysis.profiles import (
+    ascii_heatmap,
+    profile,
+    segment_mean_errors,
+)
+from repro.core.factors import compute_factors
+from repro.core.realm import RealmMultiplier
+from repro.multipliers.accurate import AccurateMultiplier
+from repro.multipliers.mitchell import MitchellMultiplier
+
+
+class TestErrorGrid:
+    def test_values_match_direct_computation(self):
+        calm = MitchellMultiplier()
+        values, approx, errors = error_grid(calm, 10, 20)
+        assert values.tolist() == list(range(10, 21))
+        i, j = 3, 7
+        a, b = values[i], values[j]
+        assert approx[i, j] == int(calm.multiply(a, b))
+        assert errors[i, j] == pytest.approx(
+            (int(calm.multiply(a, b)) - a * b) / (a * b)
+        )
+
+    def test_rejects_zero_lo(self):
+        with pytest.raises(ValueError):
+            error_grid(MitchellMultiplier(), 0, 10)
+        with pytest.raises(ValueError):
+            error_grid(MitchellMultiplier(), 10, 5)
+
+    def test_accurate_grid_is_zero(self):
+        _, _, errors = error_grid(AccurateMultiplier(), 32, 64)
+        assert np.all(errors == 0)
+
+
+class TestExhaustiveMetrics:
+    def test_matches_grid(self):
+        calm = MitchellMultiplier(bitwidth=8)
+        metrics = exhaustive_metrics(calm, lo=1)
+        _, _, errors = error_grid(calm, 1, 255)
+        assert metrics.bias == pytest.approx(errors.mean() * 100)
+        assert metrics.peak_min == pytest.approx(errors.min() * 100)
+
+
+class TestProfile:
+    def test_fig1_statistics(self):
+        # Fig. 1 range {32..255}: cALM's profile keeps its signature stats
+        summary = profile(MitchellMultiplier())
+        assert summary.errors.shape == (224, 224)
+        assert summary.peak_error == pytest.approx(11.11, abs=0.15)
+        assert summary.bias == pytest.approx(-3.85, abs=0.15)
+
+    def test_realm_profile_beats_calm(self):
+        realm = profile(RealmMultiplier(m=16, t=0))
+        calm = profile(MitchellMultiplier())
+        assert realm.mean_error < calm.mean_error / 5
+        assert realm.peak_error < calm.peak_error / 3
+
+
+class TestAsciiHeatmap:
+    def test_shape_and_charset(self):
+        _, _, errors = error_grid(MitchellMultiplier(), 32, 255)
+        art = ascii_heatmap(errors, width=32)
+        lines = art.splitlines()
+        assert len(lines) == 32
+        assert all(len(line) == 32 for line in lines)
+
+    def test_all_zero_grid(self):
+        art = ascii_heatmap(np.zeros((16, 16)), width=8)
+        assert set("".join(art.splitlines())) == {" "}
+
+
+class TestSegmentMeans:
+    def test_calm_segment_means_track_factors(self):
+        # the per-segment mean error of cALM is what the s_ij factors
+        # cancel: both peak on the anti-diagonal
+        means = segment_mean_errors(MitchellMultiplier(), m=4)
+        factors = compute_factors(4)
+        assert np.all(means < 0)
+        worst_segment = np.unravel_index(np.argmin(means), means.shape)
+        largest_factor = np.unravel_index(np.argmax(factors), factors.shape)
+        assert worst_segment[0] + worst_segment[1] == 3  # anti-diagonal
+        assert largest_factor[0] + largest_factor[1] == 3
+
+    def test_realm_collapses_segment_means(self):
+        calm_means = segment_mean_errors(MitchellMultiplier(), m=4)
+        realm_means = segment_mean_errors(RealmMultiplier(m=4, t=0), m=4)
+        assert np.abs(realm_means).max() < np.abs(calm_means).max() / 5

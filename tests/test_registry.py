@@ -1,0 +1,87 @@
+"""Tests for the named-configuration registry and the paper data tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import paper
+from repro.multipliers.registry import (
+    REGISTRY,
+    TABLE1_IDS,
+    build,
+    iter_multipliers,
+    names,
+)
+
+
+class TestRegistry:
+    def test_all_designs_buildable(self):
+        for name in names():
+            multiplier = build(name)
+            assert multiplier.bitwidth == 16
+            assert int(multiplier.multiply(0, 0)) == 0
+
+    def test_bitwidth_forwarded(self):
+        assert build("calm", bitwidth=8).bitwidth == 8
+        assert build("realm4-t0", bitwidth=12).bitwidth == 12
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            build("realm32-t0")
+
+    def test_table1_ids_exclude_accurate(self):
+        assert "accurate" not in TABLE1_IDS
+        assert set(TABLE1_IDS) | {"accurate"} == set(REGISTRY)
+
+    def test_expected_families_present(self):
+        expected = {
+            "accurate", "calm", "implm-ea", "essm8",
+            "realm16-t0", "realm8-t9", "realm4-t5",
+            "mbm-t0", "mbm-t9",
+            "alm-maa-m3", "alm-soa-m12",
+            "intalp-l1", "intalp-l2",
+            "am1-nb13", "am2-nb5",
+            "drum-k8", "drum-k4",
+            "ssm-m10", "ssm-m8",
+        }
+        assert expected <= set(REGISTRY)
+
+    def test_design_count_matches_table1(self):
+        # 30 REALM + 1 cALM + 1 ImpLM + 6 MBM + 10 ALM + 2 IntALP +
+        # 6 AM + 5 DRUM + 3 SSM + 1 ESSM = 65 approximate designs
+        assert len(TABLE1_IDS) == 65
+
+    def test_iter_multipliers(self):
+        pairs = list(iter_multipliers(("calm", "drum-k8")))
+        assert [name for name, _ in pairs] == ["calm", "drum-k8"]
+        assert pairs[1][1].name == "DRUM (k=8)"
+
+    def test_display_names_match_paper_style(self):
+        assert build("realm16-t3").name == "REALM16 (t=3)"
+        assert build("alm-soa-m11").name == "ALM-SOA (m=11)"
+        assert build("essm8").name == "ESSM8 (m=8)"
+        assert build("implm-ea").name == "ImpLM (EA)"
+
+
+class TestPaperData:
+    def test_table1_covers_all_registry_designs(self):
+        assert set(paper.TABLE1) == set(TABLE1_IDS)
+
+    def test_reference_point(self):
+        assert paper.ACCURATE_AREA_UM2 == pytest.approx(1898.1)
+        assert paper.ACCURATE_POWER_UW == pytest.approx(821.9)
+
+    def test_headline_rows_complete(self):
+        # the rows every bench quotes must be fully legible
+        for name in ("realm16-t0", "realm4-t9", "calm", "drum-k8", "mbm-t0"):
+            row = paper.TABLE1[name]
+            assert None not in row
+
+    def test_table2_shape(self):
+        assert set(paper.TABLE2_PSNR) == set(paper.TABLE2_IMAGES)
+        for image in paper.TABLE2_IMAGES:
+            assert set(paper.TABLE2_PSNR[image]) == set(paper.TABLE2_MULTIPLIERS)
+
+    def test_table2_accurate_psnr_band(self):
+        for image in paper.TABLE2_IMAGES:
+            assert 30.0 <= paper.TABLE2_PSNR[image]["accurate"] <= 33.0

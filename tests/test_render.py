@@ -1,0 +1,71 @@
+"""Tests for the PGM figure renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.render import render_heatmap, render_histogram, save_pgm
+
+
+def _read_pgm(path):
+    data = path.read_bytes()
+    assert data.startswith(b"P5\n")
+    header, rest = data.split(b"255\n", 1)
+    dims = header.split(b"\n")[1].split()
+    width, height = int(dims[0]), int(dims[1])
+    pixels = np.frombuffer(rest, dtype=np.uint8).reshape(height, width)
+    return pixels
+
+
+class TestSavePgm:
+    def test_roundtrip(self, tmp_path):
+        pixels = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        path = save_pgm(pixels, tmp_path / "t.pgm")
+        assert np.array_equal(_read_pgm(path), pixels)
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_pgm(np.zeros(4), tmp_path / "t.pgm")
+        with pytest.raises(ValueError):
+            save_pgm(np.full((2, 2), 300.0), tmp_path / "t.pgm")
+
+
+class TestHeatmap:
+    def test_signed_midpoint(self, tmp_path):
+        surface = np.array([[-1.0, 0.0], [0.0, 1.0]])
+        path = render_heatmap(surface, tmp_path / "h.pgm", scale=1)
+        pixels = _read_pgm(path)
+        assert pixels[0, 0] < 10  # most negative -> black
+        assert pixels[1, 1] == 255  # most positive -> white
+        assert abs(int(pixels[0, 1]) - 128) <= 1  # zero -> mid-gray
+
+    def test_scale(self, tmp_path):
+        surface = np.zeros((4, 4))
+        path = render_heatmap(surface, tmp_path / "h.pgm", scale=3)
+        assert _read_pgm(path).shape == (12, 12)
+
+    def test_fig1_surface_renders(self, tmp_path):
+        from repro.analysis.profiles import profile
+        from repro.multipliers.mitchell import MitchellMultiplier
+
+        summary = profile(MitchellMultiplier(), 32, 96)
+        path = render_heatmap(summary.errors, tmp_path / "calm.pgm", scale=1)
+        pixels = _read_pgm(path)
+        assert pixels.shape == summary.errors.shape
+        # Mitchell never overestimates: no pixel brighter than mid-gray+1
+        assert pixels.max() <= 129
+
+
+class TestHistogram:
+    def test_bar_heights(self, tmp_path):
+        density = np.array([0.0, 0.5, 1.0])
+        path = render_histogram(density, tmp_path / "b.pgm", height=10, bar_width=2)
+        pixels = _read_pgm(path)
+        assert pixels.shape == (10, 6)
+        assert pixels[:, 0:2].sum() == 0  # empty bin
+        assert pixels[0, 4] == 255  # full-height bin reaches the top
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            render_histogram(np.zeros((2, 2)), tmp_path / "b.pgm")

@@ -1,0 +1,39 @@
+"""Unit tests for the scaling-analysis module."""
+
+from __future__ import annotations
+
+from repro.analysis.scaling import bitwidth_scaling, knob_surface
+from repro.core.realm import RealmMultiplier
+
+SAMPLES = 1 << 16
+
+
+class TestBitwidthScaling:
+    def test_width_independence_above_12_bits(self):
+        results = bitwidth_scaling(
+            lambda n: RealmMultiplier(bitwidth=n, m=4, t=0),
+            bitwidths=(12, 16, 20),
+            samples=SAMPLES,
+        )
+        errors = [metrics.mean_error for metrics in results.values()]
+        assert max(errors) - min(errors) < 0.15
+
+    def test_keys_are_bitwidths(self):
+        results = bitwidth_scaling(
+            lambda n: RealmMultiplier(bitwidth=n, m=4, t=0),
+            bitwidths=(10, 12),
+            samples=SAMPLES,
+        )
+        assert sorted(results) == [10, 12]
+
+
+class TestKnobSurface:
+    def test_grid_shape_and_monotonicity(self):
+        results = knob_surface(
+            m_values=(4, 8), t_values=(0, 8), samples=SAMPLES
+        )
+        assert set(results) == {(4, 0), (4, 8), (8, 0), (8, 8)}
+        # monotone in M at fixed t
+        assert results[(8, 0)].mean_error < results[(4, 0)].mean_error
+        # t=8 never better than t=0
+        assert results[(4, 8)].mean_error >= results[(4, 0)].mean_error - 0.02

@@ -1,0 +1,123 @@
+"""Tests for netlist serialization and the equivalence checker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.realm_rtl import realm_netlist
+from repro.circuits.wallace import wallace_netlist
+from repro.logic.netlist import Netlist
+from repro.logic.serialize import check_equivalence, from_json, to_json
+from repro.logic.sim import evaluate_words
+
+
+class TestJsonRoundtrip:
+    def test_function_preserved(self):
+        original = wallace_netlist(8)
+        original.prune()
+        restored = from_json(to_json(original))
+        rng = np.random.default_rng(71)
+        a = rng.integers(0, 256, 500)
+        b = rng.integers(0, 256, 500)
+        got = evaluate_words(
+            restored, [restored.inputs[:8], restored.inputs[8:]], [a, b]
+        )
+        assert np.array_equal(got, a * b)
+
+    def test_structure_preserved(self):
+        original = realm_netlist(8, m=4, t=1)
+        restored = from_json(to_json(original))
+        assert restored.gate_count == original.gate_count
+        assert restored.area() == pytest.approx(original.area())
+        assert restored.name == original.name
+        assert restored.inputs == original.inputs
+        assert restored.outputs == original.outputs
+
+    def test_restored_netlist_extensible(self):
+        original = Netlist("t")
+        a, b = original.new_input("a"), original.new_input("b")
+        original.set_outputs([original.add("AND2", a, b)])
+        restored = from_json(to_json(original))
+        extra = restored.add("OR2", restored.inputs[0], restored.inputs[1])
+        restored.set_outputs(restored.outputs + [extra])
+        assert restored.gate_count == 2
+
+    def test_rejects_bad_format(self):
+        with pytest.raises(ValueError):
+            from_json('{"format": 99}')
+
+    def test_rejects_undriven_gate_input(self):
+        text = to_json(wallace_netlist(2))
+        import json
+
+        document = json.loads(text)
+        document["gates"][0]["inputs"] = [99999, 2]
+        with pytest.raises(ValueError):
+            from_json(json.dumps(document))
+
+    def test_rejects_undriven_output(self):
+        import json
+
+        document = json.loads(to_json(wallace_netlist(2)))
+        document["outputs"] = [424242]
+        with pytest.raises(ValueError):
+            from_json(json.dumps(document))
+
+
+class TestEquivalenceChecker:
+    def test_exhaustive_pass(self):
+        netlist = wallace_netlist(4)
+        netlist.prune()
+        result = check_equivalence(
+            netlist,
+            lambda a, b: a * b,
+            [netlist.inputs[:4], netlist.inputs[4:]],
+        )
+        assert result
+        assert result.vectors_checked == 256
+        assert result.counterexample is None
+
+    def test_random_mode_pass(self):
+        netlist = wallace_netlist(12)
+        netlist.prune()
+        result = check_equivalence(
+            netlist,
+            lambda a, b: a.astype(np.int64) * b,
+            [netlist.inputs[:12], netlist.inputs[12:]],
+        )
+        assert result
+        assert result.vectors_checked > 4000
+
+    def test_counterexample_reported(self):
+        netlist = wallace_netlist(3)
+        netlist.prune()
+        result = check_equivalence(
+            netlist,
+            lambda a, b: a * b + (a == 5) * (b == 5),  # wrong at (5, 5)
+            [netlist.inputs[:3], netlist.inputs[3:]],
+        )
+        assert not result
+        assert result.counterexample == (5, 5)
+        assert result.got == 25
+        assert result.expected == 26
+
+    def test_netlist_vs_netlist(self):
+        first = wallace_netlist(6)
+        first.prune()
+        from repro.circuits.booth import booth_netlist
+
+        second = booth_netlist(6)
+        result = check_equivalence(
+            first, second, [first.inputs[:6], first.inputs[6:]]
+        )
+        assert result
+
+    def test_netlist_reference_width_mismatch(self):
+        first = wallace_netlist(4)
+        first.prune()
+        second = wallace_netlist(6)
+        with pytest.raises(ValueError):
+            check_equivalence(
+                first, second, [first.inputs[:4], first.inputs[4:]]
+            )

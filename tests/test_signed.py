@@ -1,0 +1,124 @@
+"""Tests for the signed wrapper and the DSP helpers (paper Section III-C)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.realm import RealmMultiplier
+from repro.multipliers.accurate import AccurateMultiplier
+from repro.multipliers.signed import SignedMultiplier, convolve2d, dot_product
+
+
+def accurate_signed(bitwidth: int = 16) -> SignedMultiplier:
+    return SignedMultiplier(AccurateMultiplier, bitwidth=bitwidth)
+
+
+class TestSignedMultiplier:
+    def test_exhaustive_small(self):
+        signed = accurate_signed(bitwidth=6)
+        values = np.arange(-32, 32)
+        a, b = np.meshgrid(values, values, indexing="ij")
+        assert np.array_equal(signed.multiply(a.ravel(), b.ravel()), a.ravel() * b.ravel())
+
+    def test_most_negative_operand(self):
+        # |-2^(N-1)| needs N bits: the widened core must handle it
+        signed = accurate_signed(bitwidth=16)
+        assert int(signed.multiply(-32768, -32768)) == 32768 * 32768
+        assert int(signed.multiply(-32768, 32767)) == -32768 * 32767
+
+    def test_range_validation(self):
+        signed = accurate_signed(bitwidth=16)
+        with pytest.raises(ValueError):
+            signed.multiply(32768, 1)
+        with pytest.raises(ValueError):
+            signed.multiply(1, -32769)
+
+    def test_approximate_core_sign_structure(self):
+        signed = SignedMultiplier(lambda n: RealmMultiplier(bitwidth=n, m=8), 16)
+        a = np.array([-300, 300, -300, 300])
+        b = np.array([-41, -41, 41, 41])
+        products = signed.multiply(a, b)
+        assert (np.sign(products) == [1, -1, -1, 1]).all()
+        # magnitude independent of signs (sign-magnitude property)
+        assert len(set(np.abs(products).tolist())) == 1
+
+    def test_name_and_repr(self):
+        signed = SignedMultiplier(lambda n: RealmMultiplier(bitwidth=n, m=4), 16)
+        assert "REALM4" in signed.name
+        assert "SignedMultiplier" in repr(signed)
+
+    def test_bad_factory_rejected(self):
+        with pytest.raises(ValueError):
+            SignedMultiplier(lambda n: AccurateMultiplier(8), bitwidth=16)
+
+    @given(
+        st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1),
+        st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_sign_magnitude_property(self, a, b):
+        signed = SignedMultiplier(lambda n: RealmMultiplier(bitwidth=n, m=16), 16)
+        product = int(signed.multiply(a, b))
+        # |-(2**15)| exceeds the signed interface; the widened unsigned
+        # core is the right oracle for the magnitude
+        magnitude = int(signed.core.multiply(abs(a), abs(b)))
+        expected_sign = -1 if (a < 0) != (b < 0) and magnitude != 0 else 1
+        assert product == expected_sign * magnitude
+
+
+class TestDotProduct:
+    def test_matches_numpy_with_accurate_core(self):
+        rng = np.random.default_rng(5)
+        a = rng.integers(-1000, 1000, 64)
+        b = rng.integers(-1000, 1000, 64)
+        signed = accurate_signed()
+        assert int(dot_product(signed, a, b)) == int(np.dot(a, b))
+
+    def test_shape_mismatch(self):
+        signed = accurate_signed()
+        with pytest.raises(ValueError):
+            dot_product(signed, np.zeros(3), np.zeros(4))
+
+    def test_approximate_close(self):
+        rng = np.random.default_rng(6)
+        a = rng.integers(1, 1 << 12, 256)
+        b = rng.integers(1, 1 << 12, 256)
+        signed = SignedMultiplier(lambda n: RealmMultiplier(bitwidth=n, m=16), 16)
+        approx = int(dot_product(signed, a, b))
+        exact = int(np.dot(a, b))
+        assert abs(approx - exact) / exact < 0.01
+
+
+class TestConvolve2d:
+    def test_matches_scipy_style_valid_conv(self):
+        rng = np.random.default_rng(7)
+        image = rng.integers(0, 256, (12, 12))
+        kernel = np.array([[1, 0, -1], [2, 0, -2], [1, 0, -1]])
+        signed = accurate_signed()
+        out = convolve2d(signed, image, kernel)
+        expected = np.zeros((10, 10), dtype=np.int64)
+        for i in range(10):
+            for j in range(10):
+                expected[i, j] = int(np.sum(image[i : i + 3, j : j + 3] * kernel))
+        assert np.array_equal(out, expected)
+
+    def test_kernel_too_big(self):
+        signed = accurate_signed()
+        with pytest.raises(ValueError):
+            convolve2d(signed, np.zeros((2, 2)), np.ones((3, 3)))
+
+    def test_sobel_with_realm_close_to_exact(self):
+        rng = np.random.default_rng(8)
+        image = rng.integers(0, 256, (16, 16))
+        kernel = np.array([[1, 2, 1], [0, 0, 0], [-1, -2, -1]])
+        exact = convolve2d(accurate_signed(), image, kernel)
+        approx = convolve2d(
+            SignedMultiplier(lambda n: RealmMultiplier(bitwidth=n, m=16), 16),
+            image,
+            kernel,
+        )
+        # kernel taps are tiny so products are near-exact
+        assert np.abs(approx - exact).max() <= np.abs(exact).max() * 0.05 + 4

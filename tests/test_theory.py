@@ -1,0 +1,65 @@
+"""Tests closing the loop between the paper's math and its experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.montecarlo import characterize
+from repro.core.realm import RealmMultiplier
+from repro.core.theory import mitchell_bias, predict_metrics
+
+
+class TestMitchellTheory:
+    def test_bias_is_minus_3_85(self):
+        assert mitchell_bias() == pytest.approx(-3.85, abs=0.005)
+
+
+class TestRealmTheory:
+    @pytest.mark.parametrize(
+        "m,expected",
+        [
+            # Table I's t=0 rows: (bias, ME, var, peak_min, peak_max)
+            (4, (-0.02, 1.38, 3.07, -5.71, 5.21)),
+            (8, (-0.05, 0.75, 0.92, -3.70, 2.88)),
+            (16, (0.01, 0.42, 0.28, -2.08, 1.79)),
+        ],
+    )
+    def test_predicts_table1_rows(self, m, expected):
+        theory = predict_metrics(m, q=6)
+        bias, mean_error, variance, peak_min, peak_max = expected
+        assert theory.bias == pytest.approx(bias, abs=0.04)
+        assert theory.mean_error == pytest.approx(mean_error, abs=0.01)
+        assert theory.variance == pytest.approx(variance, abs=0.02)
+        assert theory.peak_min == pytest.approx(peak_min, abs=0.03)
+        assert theory.peak_max == pytest.approx(peak_max, abs=0.03)
+
+    def test_ideal_factors_zero_bias(self):
+        # Eq. 8 forces the average error of every segment to zero, so the
+        # unquantized design is exactly unbiased
+        # tolerance reflects the Gauss-Legendre residual across the
+        # anti-diagonal kink, ~1e-6 percent
+        theory = predict_metrics(8, q=None)
+        assert theory.bias == pytest.approx(0.0, abs=1e-4)
+
+    def test_quantization_costs_accuracy(self):
+        coarse = predict_metrics(16, q=4)
+        fine = predict_metrics(16, q=None)
+        assert coarse.mean_error > fine.mean_error
+
+    def test_matches_monte_carlo(self):
+        # the MC estimate must converge on the integral
+        theory = predict_metrics(8, q=6)
+        measured = characterize(RealmMultiplier(m=8, t=0), samples=1 << 21)
+        assert measured.mean_error == pytest.approx(theory.mean_error, abs=0.01)
+        assert measured.bias == pytest.approx(theory.bias, abs=0.02)
+        assert measured.variance == pytest.approx(theory.variance, abs=0.02)
+
+    def test_error_shrinks_with_m(self):
+        errors = [predict_metrics(m, q=None).mean_error for m in (1, 2, 4, 8, 16)]
+        assert all(a > b for a, b in zip(errors, errors[1:]))
+        # each doubling of M roughly halves the mean error (first-order
+        # behavior of piecewise-constant correction of a smooth surface)
+        assert errors[2] / errors[3] == pytest.approx(2.0, abs=0.5)
+
+    def test_cached(self):
+        assert predict_metrics(4) is predict_metrics(4)

@@ -1,0 +1,145 @@
+"""Tests for the Verilog exporter, including a semantic round trip.
+
+Without an HDL simulator available, the round-trip test re-interprets the
+emitted continuous assigns with a miniature expression evaluator and
+checks the recovered module against the original netlist's simulation on
+random vectors — i.e. the Verilog text itself is what gets verified, not
+just its syntax.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.circuits.realm_rtl import realm_netlist
+from repro.circuits.wallace import wallace_netlist
+from repro.logic.netlist import Netlist
+from repro.logic.sim import evaluate_words, int_to_bus
+from repro.logic.verilog import to_verilog
+
+_ASSIGN = re.compile(r"^\s*assign\s+(\w+)\s*=\s*(.+);$")
+
+
+def _evaluate_expression(expression: str, values: dict[str, np.ndarray]) -> np.ndarray:
+    """Evaluate a single emitted RHS (the exporter's own grammar)."""
+    expression = expression.strip()
+    if expression.startswith("(") and expression.endswith(")"):
+        # strip only if the parens wrap the whole expression
+        depth = 0
+        wraps = True
+        for index, char in enumerate(expression):
+            depth += char == "("
+            depth -= char == ")"
+            if depth == 0 and index < len(expression) - 1:
+                wraps = False
+                break
+        if wraps:
+            return _evaluate_expression(expression[1:-1], values)
+
+    def split_top(expr, symbol):
+        depth = 0
+        for index, char in enumerate(expr):
+            depth += char == "("
+            depth -= char == ")"
+            if depth == 0 and char == symbol:
+                return expr[:index], expr[index + 1 :]
+        return None
+
+    ternary = split_top(expression, "?")
+    if ternary is not None:
+        condition, rest = ternary
+        left, right = split_top(rest, ":")
+        return np.where(
+            _evaluate_expression(condition, values),
+            _evaluate_expression(left, values),
+            _evaluate_expression(right, values),
+        )
+    for symbol in ("|", "^", "&"):
+        parts = split_top(expression, symbol)
+        if parts is not None:
+            lhs = _evaluate_expression(parts[0], values)
+            rhs = _evaluate_expression(parts[1], values)
+            return {"|": lhs | rhs, "^": lhs ^ rhs, "&": lhs & rhs}[symbol]
+    if expression.startswith("~"):
+        return ~_evaluate_expression(expression[1:], values)
+    if expression == "1'b0":
+        return np.zeros_like(next(iter(values.values())))
+    if expression == "1'b1":
+        return np.ones_like(next(iter(values.values())))
+    return values[expression]
+
+
+def _interpret_verilog(text: str, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    values = dict(inputs)
+    for line in text.splitlines():
+        match = _ASSIGN.match(line)
+        if match:
+            values[match.group(1)] = _evaluate_expression(match.group(2), values)
+    return values
+
+
+class TestExporter:
+    def test_requires_outputs(self):
+        nl = Netlist("t")
+        nl.new_input("a")
+        with pytest.raises(ValueError):
+            to_verilog(nl)
+
+    def test_module_structure(self):
+        nl = wallace_netlist(4)
+        nl.prune()
+        text = to_verilog(nl, module_name="mult4")
+        assert text.startswith("// generated")
+        assert "module mult4 (" in text
+        assert text.rstrip().endswith("endmodule")
+        assert text.count("input  wire") == 8
+        assert text.count("output wire") == 8
+
+    def test_identifier_sanitization(self):
+        nl = Netlist("weird name!")
+        a = nl.new_input("a[0]")
+        nl.set_outputs([nl.add("INV", a)])
+        text = to_verilog(nl)
+        assert "a[0]" not in text  # brackets are not valid in plain ids
+        assert "module weird_name_" in text
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: wallace_netlist(6),
+            lambda: realm_netlist(8, m=4, t=1),
+        ],
+        ids=["wallace6", "realm8bit"],
+    )
+    def test_semantic_roundtrip(self, make):
+        netlist = make()
+        if not netlist.gates or not netlist.outputs:
+            pytest.skip("empty netlist")
+        netlist.prune()
+        text = to_verilog(netlist)
+
+        bitwidth = len(netlist.inputs) // 2
+        rng = np.random.default_rng(99)
+        a = rng.integers(0, 1 << bitwidth, 300)
+        b = rng.integers(0, 1 << bitwidth, 300)
+
+        # reference: the library's own simulator
+        want = evaluate_words(
+            netlist, [netlist.inputs[:bitwidth], netlist.inputs[bitwidth:]], [a, b]
+        )
+
+        # reinterpret the emitted Verilog text
+        stimulus = {}
+        bits_a = int_to_bus(a, bitwidth)
+        bits_b = int_to_bus(b, bitwidth)
+        for position in range(bitwidth):
+            stimulus[f"a_{position}_"] = bits_a[:, position]
+            stimulus[f"b_{position}_"] = bits_b[:, position]
+        values = _interpret_verilog(text, stimulus)
+        got = np.zeros(len(a), dtype=np.int64)
+        for position in range(len(netlist.outputs)):
+            got |= values[f"out_{position}"].astype(np.int64) << position
+        assert np.array_equal(got, want)
