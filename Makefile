@@ -2,13 +2,26 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench experiments examples quick clean
+# tier-1 tests + a quick smoke of the parallel and cached Monte-Carlo
+# engine paths (cold pass with 2 workers, then a warm-cache pass)
+VERIFY_ENV = PYTHONPATH=src REPRO_BENCH_SAMPLES=262144 REPRO_BENCH_WORKERS=2 \
+	REPRO_CACHE_DIR=.repro-cache
+
+.PHONY: install test bench experiments examples quick verify clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+verify:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -x -q
+	rm -rf .repro-cache
+	$(VERIFY_ENV) $(PYTHON) -m pytest benchmarks/bench_table1_errors.py --benchmark-only -q
+	@echo "--- warm-cache second pass ---"
+	$(VERIFY_ENV) $(PYTHON) -m pytest benchmarks/bench_table1_errors.py --benchmark-only -q
+	rm -rf .repro-cache
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -27,5 +40,5 @@ quick:
 	$(PYTHON) -m repro table1 --quick
 
 clean:
-	rm -rf build *.egg-info .pytest_cache benchmarks/results
+	rm -rf build *.egg-info .pytest_cache benchmarks/results .repro-cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -10,6 +10,13 @@ Monte-Carlo depth: benches default to 2^20 samples so the whole harness
 runs in minutes; the EXPERIMENTS.md numbers come from the same drivers at
 the paper's 2^24 (see the file header there).  Override with
 ``REPRO_BENCH_SAMPLES``.
+
+Engine knobs: ``REPRO_BENCH_WORKERS`` fans the characterization benches
+out over that many processes, and setting ``REPRO_CACHE_DIR`` turns on
+the on-disk metrics cache (second runs become near-instant).  Results are
+bit-identical at any setting — the engine's substream scheme guarantees
+the same seed produces the same metrics at every chunk size and worker
+count.
 """
 
 from __future__ import annotations
@@ -23,6 +30,9 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 #: Monte-Carlo depth used by the benches (paper: 2^24)
 BENCH_SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES", 1 << 20))
+
+#: process-pool width for the characterization benches (0/unset: serial)
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0")) or None
 
 
 @pytest.fixture(scope="session")

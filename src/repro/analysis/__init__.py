@@ -5,14 +5,31 @@ from .accumulation import AccumulationPoint, accumulation_profile, predicted_flo
 from .designspace import DesignPoint, fig4_front, fig4_points, sweep
 from .scaling import bitwidth_scaling, knob_surface
 from .distribution import Histogram, ascii_histogram, error_histogram
+from .cache import (
+    cache_stats,
+    clear_cache,
+    invalidate,
+    reset_cache_stats,
+    resolve_cache_dir,
+)
 from .exhaustive import error_grid, exhaustive_metrics
-from .metrics import ErrorMetrics, compute_metrics, merge_metrics, relative_errors
+from .metrics import (
+    Accumulator,
+    ErrorMetrics,
+    accumulate_chunk,
+    compute_metrics,
+    merge_accumulators,
+    merge_metrics,
+    relative_errors,
+)
 from .montecarlo import (
+    ENGINE_VERSION,
     characterize,
     characterize_many,
     characterize_workload,
     gaussian_sampler,
     lognormal_sampler,
+    sample_pairs,
 )
 from .pareto import is_dominated, pareto_front
 from .profiles import ProfileSummary, ascii_heatmap, profile, segment_mean_errors
@@ -20,18 +37,24 @@ from .render import render_heatmap, render_histogram, save_pgm
 
 __all__ = [
     "AccumulationPoint",
+    "Accumulator",
     "DesignPoint",
+    "ENGINE_VERSION",
     "ErrorMetrics",
     "Histogram",
     "ProfileSummary",
+    "accumulate_chunk",
     "ascii_heatmap",
     "ascii_histogram",
     "accumulation_profile",
     "bitwidth_scaling",
+    "cache_stats",
     "characterize",
     "characterize_many",
     "characterize_workload",
+    "clear_cache",
     "gaussian_sampler",
+    "invalidate",
     "lognormal_sampler",
     "compute_metrics",
     "error_grid",
@@ -40,6 +63,7 @@ __all__ = [
     "fig4_front",
     "fig4_points",
     "is_dominated",
+    "merge_accumulators",
     "merge_metrics",
     "knob_surface",
     "pareto_front",
@@ -47,7 +71,10 @@ __all__ = [
     "profile",
     "render_heatmap",
     "render_histogram",
+    "reset_cache_stats",
+    "resolve_cache_dir",
     "save_pgm",
+    "sample_pairs",
     "relative_errors",
     "segment_mean_errors",
     "sweep",

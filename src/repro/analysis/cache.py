@@ -1,0 +1,174 @@
+"""Content-addressed on-disk cache for Monte-Carlo error metrics.
+
+Characterizing all Table I configurations at the paper's 2^24 depth costs
+minutes of CPU; the metrics themselves are a few hundred bytes.  This
+cache keys each :class:`~repro.analysis.metrics.ErrorMetrics` by a SHA-256
+digest of the complete run description — engine version, multiplier
+fingerprint (see :func:`repro.multipliers.registry.fingerprint`), input
+kind, bitwidth, seed and sample count — so a hit is guaranteed to describe
+the exact run being requested, and any change to a knob (``M``, ``t``,
+``q``, seed, samples, engine) lands on a different key.
+
+Layout: one ``<key>.json`` file per entry under the cache directory,
+holding ``{"payload": <the keyed description>, "metrics": <fields>}``.
+Floats survive the JSON round-trip bit-exactly (``repr`` semantics), so a
+cache hit compares equal to the recomputed object.  Corrupt or truncated
+files are treated as misses and silently recomputed/overwritten.
+
+The directory is resolved per call:
+
+* ``cache=False`` — caching off;
+* ``cache=None`` (default) — on only if ``REPRO_CACHE_DIR`` is set;
+* ``cache=True`` — ``REPRO_CACHE_DIR`` or the user cache directory
+  (``$XDG_CACHE_HOME``/``~/.cache`` + ``repro-realm/metrics``);
+* a path — that directory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+
+from .metrics import ErrorMetrics
+
+__all__ = [
+    "CACHE_ENV",
+    "CacheStats",
+    "cache_key",
+    "cache_stats",
+    "clear_cache",
+    "default_cache_dir",
+    "invalidate",
+    "load_metrics",
+    "reset_cache_stats",
+    "resolve_cache_dir",
+    "store_metrics",
+]
+
+#: environment override for the cache directory (also the global opt-in)
+CACHE_ENV = "REPRO_CACHE_DIR"
+
+_METRIC_FIELDS = tuple(field.name for field in dataclasses.fields(ErrorMetrics))
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Process-wide hit/miss/store counters for run instrumentation."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.stores)
+
+
+_STATS = CacheStats()
+
+
+def cache_stats() -> CacheStats:
+    """A copy of the global counters (hits/misses/stores this process)."""
+    return _STATS.snapshot()
+
+
+def reset_cache_stats() -> None:
+    _STATS.hits = _STATS.misses = _STATS.stores = 0
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$XDG_CACHE_HOME``/``~/.cache`` + ``repro-realm/metrics``."""
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg) if xdg else pathlib.Path.home() / ".cache"
+    return base / "repro-realm" / "metrics"
+
+
+def resolve_cache_dir(cache) -> pathlib.Path | None:
+    """Map a ``cache`` argument to a directory, or ``None`` for no caching."""
+    if cache is False:
+        return None
+    if cache is None or cache is True:
+        env = os.environ.get(CACHE_ENV)
+        if env:
+            return pathlib.Path(env)
+        return default_cache_dir() if cache is True else None
+    return pathlib.Path(cache)
+
+
+def cache_key(payload: dict) -> str:
+    """Stable content address of a run description (canonical-JSON SHA-256)."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _entry_path(directory: pathlib.Path, key: str) -> pathlib.Path:
+    return pathlib.Path(directory) / f"{key}.json"
+
+
+def load_metrics(directory, key: str) -> ErrorMetrics | None:
+    """The cached metrics for ``key``, or ``None`` (missing or corrupt)."""
+    path = _entry_path(directory, key)
+    try:
+        data = json.loads(path.read_text())
+        fields = data["metrics"]
+        if set(fields) != set(_METRIC_FIELDS):
+            raise ValueError("unexpected metric fields")
+        values = {}
+        for name in _METRIC_FIELDS:
+            value = fields[name]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(f"non-numeric metric field {name!r}")
+            values[name] = int(value) if name == "samples" else float(value)
+        metrics = ErrorMetrics(**values)
+    except (OSError, ValueError, KeyError, TypeError):
+        # missing, unreadable, truncated or hand-edited entries all fall
+        # back to recomputation; store_metrics repairs the file afterwards
+        _STATS.misses += 1
+        return None
+    _STATS.hits += 1
+    return metrics
+
+
+def store_metrics(directory, key: str, metrics: ErrorMetrics, payload: dict) -> None:
+    """Atomically persist one entry (write-temp-then-rename)."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = _entry_path(directory, key)
+    text = json.dumps(
+        {"payload": payload, "metrics": dataclasses.asdict(metrics)},
+        sort_keys=True,
+        indent=1,
+    )
+    temp = path.with_suffix(f".tmp{os.getpid()}")
+    temp.write_text(text + "\n")
+    os.replace(temp, path)
+    _STATS.stores += 1
+
+
+def invalidate(key: str, cache=True) -> bool:
+    """Drop one entry; returns whether a file was removed."""
+    directory = resolve_cache_dir(cache)
+    if directory is None:
+        return False
+    try:
+        _entry_path(directory, key).unlink()
+        return True
+    except FileNotFoundError:
+        return False
+
+
+def clear_cache(cache=True) -> int:
+    """Drop every entry in the resolved directory; returns the count."""
+    directory = resolve_cache_dir(cache)
+    if directory is None or not directory.is_dir():
+        return 0
+    removed = 0
+    for path in directory.glob("*.json"):
+        try:
+            path.unlink()
+            removed += 1
+        except FileNotFoundError:
+            pass
+    return removed

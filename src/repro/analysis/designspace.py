@@ -19,7 +19,7 @@ import dataclasses
 from .. import paper
 from ..multipliers.registry import TABLE1_IDS, build
 from .metrics import ErrorMetrics
-from .montecarlo import characterize
+from .montecarlo import characterize_many
 from .pareto import pareto_front
 
 __all__ = ["DesignPoint", "sweep", "fig4_points", "fig4_front"]
@@ -64,15 +64,33 @@ def sweep(
     samples: int = 1 << 22,
     seed: int = 2020,
     source: str = "model",
+    *,
+    workers: int | None = None,
+    cache=None,
+    progress=None,
 ) -> list[DesignPoint]:
-    """Characterize error and synthesis cost for each design."""
-    points = []
+    """Characterize error and synthesis cost for each design.
+
+    The Monte-Carlo engine options (``workers``/``cache``/``progress``)
+    are forwarded to :func:`repro.analysis.montecarlo.characterize_many`,
+    so the whole sweep fans out across designs and reuses cached metrics.
+    """
+    chosen = []
     for name in ids:
         columns = _synthesis_columns(name, source)
-        if columns is None:
-            continue
-        multiplier = build(name)
-        metrics = characterize(multiplier, samples=samples, seed=seed)
+        if columns is not None:
+            chosen.append((name, build(name), columns))
+    measured = characterize_many(
+        [(name, multiplier) for name, multiplier, _ in chosen],
+        samples=samples,
+        seed=seed,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+    )
+    points = []
+    for name, multiplier, columns in chosen:
+        metrics = measured[name]
         peak = max(abs(metrics.peak_min), abs(metrics.peak_max))
         points.append(
             DesignPoint(

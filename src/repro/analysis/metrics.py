@@ -25,7 +25,15 @@ import math
 
 import numpy as np
 
-__all__ = ["ErrorMetrics", "relative_errors", "compute_metrics", "merge_metrics"]
+__all__ = [
+    "Accumulator",
+    "ErrorMetrics",
+    "relative_errors",
+    "compute_metrics",
+    "accumulate_chunk",
+    "merge_accumulators",
+    "merge_metrics",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -100,8 +108,15 @@ def compute_metrics(
 
 
 @dataclasses.dataclass
-class _Accumulator:
-    """Streaming moments so 2^24-sample runs never hold all errors at once."""
+class Accumulator:
+    """Streaming moments so 2^24-sample runs never hold all errors at once.
+
+    Accumulators are the merge unit of the characterization engine: each
+    input block produces one (see :func:`accumulate_chunk`), and merging
+    them in block order reproduces the serial float operations exactly, so
+    results are bit-identical at any chunk size or worker count.  The
+    dataclass is plain picklable state, safe to ship across processes.
+    """
 
     count: int = 0
     total: float = 0.0
@@ -123,6 +138,18 @@ class _Accumulator:
         self.total_abs_err += abs_err_sum
         self.all_count += batch
 
+    def merge(self, other: "Accumulator") -> None:
+        """Fold another accumulator in; addition order defines the result
+        bit-exactly, so callers must merge in canonical block order."""
+        self.count += other.count
+        self.total += other.total
+        self.total_abs += other.total_abs
+        self.total_sq += other.total_sq
+        self.total_abs_err += other.total_abs_err
+        self.peak_min = min(self.peak_min, other.peak_min)
+        self.peak_max = max(self.peak_max, other.peak_max)
+        self.all_count += other.all_count
+
     def finalize(self, max_product: int) -> ErrorMetrics:
         if self.count == 0:
             raise ValueError("no nonzero products to characterize")
@@ -139,15 +166,33 @@ class _Accumulator:
         )
 
 
+#: backward-compatible alias for the pre-engine private name
+_Accumulator = Accumulator
+
+
+def accumulate_chunk(approx: np.ndarray, exact: np.ndarray) -> Accumulator:
+    """Streaming statistics of one ``(approx, exact)`` product batch."""
+    acc = Accumulator()
+    errors, _ = relative_errors(approx, exact)
+    abs_err = np.abs(np.asarray(approx, dtype=np.float64) - exact)
+    acc.update(errors, float(abs_err.sum()), int(np.asarray(exact).size))
+    return acc
+
+
+def merge_accumulators(accumulators) -> Accumulator:
+    """Sequentially fold accumulators (in iteration order) into one."""
+    total = Accumulator()
+    for acc in accumulators:
+        total.merge(acc)
+    return total
+
+
 def merge_metrics(chunks, max_product: int) -> ErrorMetrics:
     """Combine per-chunk ``(approx, exact)`` batches into one metric set.
 
     ``chunks`` yields ``(approx, exact)`` array pairs; used by the
     Monte-Carlo engine to characterize 2^24 samples in bounded memory.
     """
-    acc = _Accumulator()
-    for approx, exact in chunks:
-        errors, _ = relative_errors(approx, exact)
-        abs_err = np.abs(np.asarray(approx, dtype=np.float64) - exact)
-        acc.update(errors, float(abs_err.sum()), int(np.asarray(exact).size))
-    return acc.finalize(max_product)
+    return merge_accumulators(
+        accumulate_chunk(approx, exact) for approx, exact in chunks
+    ).finalize(max_product)

@@ -2,18 +2,46 @@
 
 The paper draws 2^24 input pairs uniformly from ``{0, ..., 2**16 - 1}``
 and reports the error statistics of every design against the accurate
-product.  :func:`characterize` reproduces that, chunked so memory stays
-bounded and seeded so every run is identical.
+product.  :func:`characterize` reproduces that with a deterministic
+substream engine (see :mod:`repro.analysis.parallel`): operands are drawn
+in fixed 2^16-sample blocks, block ``i`` from
+``np.random.default_rng([seed, i])``, and per-block accumulators merge in
+block order.  The guarantees:
+
+* the input stream is a pure function of ``(seed, samples)``;
+* the resulting :class:`ErrorMetrics` are **bit-identical** at any
+  ``chunk`` size and any ``workers`` count;
+* the same ``seed`` drives identical inputs into every design, so
+  cross-design comparisons are noise-free.
+
+Runs can be fanned out across processes (``workers=``) and memoized in a
+content-addressed on-disk cache (``cache=``, see
+:mod:`repro.analysis.cache`); ``progress=`` receives event dicts with
+per-run wall time, throughput and cache outcome.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import time
+
 import numpy as np
 
 from ..multipliers.base import Multiplier
-from .metrics import ErrorMetrics, merge_metrics
+from ..multipliers.registry import fingerprint
+from .cache import cache_key, cache_stats, load_metrics, resolve_cache_dir, store_metrics
+from .metrics import ErrorMetrics
+from .parallel import (
+    block_plan,
+    draw_uniform_block,
+    run_blocked,
+    uniform_task,
+    workload_task,
+)
 
 __all__ = [
+    "ENGINE_VERSION",
+    "PAPER_SAMPLES",
     "characterize",
     "characterize_many",
     "characterize_workload",
@@ -25,16 +53,107 @@ __all__ = [
 #: the paper's sample count
 PAPER_SAMPLES = 1 << 24
 
+#: bump on any change to the input stream or accumulation scheme; part of
+#: every cache key, so stale entries can never be replayed
+ENGINE_VERSION = 2
+
 _CHUNK = 1 << 20
 
 
-def sample_pairs(
-    bitwidth: int, samples: int, seed: int = 2020
-) -> "np.random.Generator":
-    """Seeded generator for uniform operand pairs (shared across designs)."""
-    if samples < 1:
-        raise ValueError(f"samples must be >= 1, got {samples}")
-    return np.random.default_rng(seed)
+def sample_pairs(bitwidth: int, samples: int, seed: int = 2020):
+    """Yield the engine's uniform ``(a, b)`` operand blocks for one run.
+
+    This is the exact input stream :func:`characterize` feeds every
+    design: ``samples`` pairs i.i.d. uniform over ``[0, 2**bitwidth)``,
+    delivered as int64 array blocks of at most 2^16 pairs, depending only
+    on ``(seed, samples)``.
+    """
+    if bitwidth < 1:
+        raise ValueError(f"bitwidth must be >= 1, got {bitwidth}")
+    plan = block_plan(samples)  # validates samples
+
+    def blocks():
+        for index, count in plan:
+            yield draw_uniform_block(bitwidth, seed, index, count)
+
+    return blocks()
+
+
+def _max_product(multiplier: Multiplier) -> int:
+    return ((1 << multiplier.bitwidth) - 1) ** 2
+
+
+def _emit(progress, **event) -> None:
+    if progress is not None:
+        progress(event)
+
+
+def _uniform_payload(multiplier: Multiplier, samples: int, seed: int) -> dict:
+    return {
+        "engine": ENGINE_VERSION,
+        "kind": "uniform",
+        "design": fingerprint(multiplier),
+        "bitwidth": multiplier.bitwidth,
+        "samples": samples,
+        "seed": seed,
+    }
+
+
+def _run_cached(
+    multiplier: Multiplier,
+    payload: dict | None,
+    task,
+    task_args: tuple,
+    samples: int,
+    chunk: int,
+    workers,
+    cache,
+    progress,
+    label: str,
+) -> ErrorMetrics:
+    """Cache lookup -> blocked engine run -> cache store, with telemetry."""
+    directory = resolve_cache_dir(cache) if payload is not None else None
+    key = cache_key(payload) if directory is not None else None
+    start = time.perf_counter()
+    if directory is not None:
+        hit = load_metrics(directory, key)
+        if hit is not None:
+            _emit(
+                progress,
+                event="done",
+                design=label,
+                samples=samples,
+                seconds=time.perf_counter() - start,
+                cache="hit",
+            )
+            return hit
+
+    def on_progress(done):
+        _emit(
+            progress,
+            event="progress",
+            design=label,
+            samples_done=done,
+            samples_total=samples,
+        )
+
+    accumulator = run_blocked(
+        task, task_args, samples, chunk, workers=workers, on_progress=on_progress
+    )
+    metrics = accumulator.finalize(_max_product(multiplier))
+    elapsed = time.perf_counter() - start
+    if directory is not None:
+        store_metrics(directory, key, metrics, payload)
+    _emit(
+        progress,
+        event="done",
+        design=label,
+        samples=samples,
+        seconds=elapsed,
+        samples_per_sec=samples / elapsed if elapsed > 0 else float("inf"),
+        cache="miss" if directory is not None else "off",
+    )
+    return metrics
 
 
 def characterize(
@@ -42,52 +161,146 @@ def characterize(
     samples: int = PAPER_SAMPLES,
     seed: int = 2020,
     chunk: int = _CHUNK,
+    *,
+    workers: int | None = None,
+    cache=None,
+    progress=None,
 ) -> ErrorMetrics:
     """Monte-Carlo error statistics of one design.
 
     Uses the paper's input model: both operands i.i.d. uniform over the
     full ``N``-bit range, including zero.  The same ``seed`` gives every
     design the identical input stream, so cross-design comparisons are
-    noise-free.
+    noise-free; results are bit-identical at any ``chunk``/``workers``.
+
+    ``workers`` > 1 fans blocks out over a process pool; ``cache`` keys
+    the result on (engine, design fingerprint, bitwidth, seed, samples)
+    and short-circuits repeat runs (see :mod:`repro.analysis.cache`).
     """
-    rng = sample_pairs(multiplier.bitwidth, samples, seed)
-    high = 1 << multiplier.bitwidth
-    max_product = (high - 1) ** 2
+    return _run_cached(
+        multiplier,
+        _uniform_payload(multiplier, samples, seed),
+        uniform_task,
+        (multiplier, seed),
+        samples,
+        chunk,
+        workers,
+        cache,
+        progress,
+        multiplier.name,
+    )
 
-    # draws happen in fixed-size blocks so the input stream depends only on
-    # (seed, samples) — the chunk parameter is purely a memory knob
-    block = 1 << 16
 
-    def draw(n):
-        pieces_a, pieces_b = [], []
-        remaining = n
-        while remaining > 0:
-            take = min(block, remaining)
-            pieces_a.append(rng.integers(0, high, block)[:take])
-            pieces_b.append(rng.integers(0, high, block)[:take])
-            remaining -= take
-        return np.concatenate(pieces_a), np.concatenate(pieces_b)
-
-    def chunks():
-        remaining = samples
-        while remaining > 0:
-            n = min(max(chunk, block), remaining)
-            n = (n // block) * block or n  # whole blocks, except the tail
-            a, b = draw(n)
-            yield multiplier.multiply(a, b), a.astype(np.int64) * b
-            remaining -= n
-
-    return merge_metrics(chunks(), max_product)
+def _serial_design_task(multiplier, samples, seed, chunk):
+    """Whole-design serial characterization (picklable, for design fan-out)."""
+    return run_blocked(
+        uniform_task, (multiplier, seed), samples, chunk
+    ).finalize(_max_product(multiplier))
 
 
 def characterize_many(
     multipliers,
     samples: int = PAPER_SAMPLES,
     seed: int = 2020,
+    chunk: int = _CHUNK,
+    *,
+    workers: int | None = None,
+    cache=None,
+    progress=None,
 ) -> dict[str, ErrorMetrics]:
-    """Characterize ``{name: multiplier}`` or ``(name, multiplier)`` pairs."""
-    items = multipliers.items() if hasattr(multipliers, "items") else multipliers
-    return {name: characterize(mul, samples=samples, seed=seed) for name, mul in items}
+    """Characterize ``{name: multiplier}`` or ``(name, multiplier)`` pairs.
+
+    All engine options are forwarded.  With ``workers`` > 1 the fan-out is
+    per design (one pool task each — the right granularity for Table I's
+    40+ configurations); cache hits are resolved up front and never occupy
+    a worker.  ``progress`` receives one ``{"event": "design", ...}`` dict
+    as each design completes (completion order under workers).
+    """
+    items = list(multipliers.items() if hasattr(multipliers, "items") else multipliers)
+    total = len(items)
+    results: dict[str, ErrorMetrics] = {}
+
+    def emit_design(name, index, seconds, outcome):
+        _emit(
+            progress,
+            event="design",
+            design=name,
+            index=index,
+            total=total,
+            samples=samples,
+            seconds=seconds,
+            cache=outcome,
+        )
+
+    if workers and workers > 1 and total > 1:
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        directory = resolve_cache_dir(cache)
+        pending = []
+        completed = 0
+        for name, multiplier in items:
+            payload = _uniform_payload(multiplier, samples, seed)
+            key = cache_key(payload) if directory is not None else None
+            hit = load_metrics(directory, key) if directory is not None else None
+            if hit is not None:
+                results[name] = hit
+                completed += 1
+                emit_design(name, completed, 0.0, "hit")
+            else:
+                pending.append((name, multiplier, payload, key))
+        if pending:
+            start = time.perf_counter()
+            with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+                futures = {
+                    pool.submit(
+                        _serial_design_task, multiplier, samples, seed, chunk
+                    ): (name, payload, key)
+                    for name, multiplier, payload, key in pending
+                }
+                for future in as_completed(futures):
+                    name, payload, key = futures[future]
+                    metrics = future.result()
+                    if directory is not None:
+                        store_metrics(directory, key, metrics, payload)
+                    results[name] = metrics
+                    completed += 1
+                    emit_design(
+                        name, completed, time.perf_counter() - start,
+                        "miss" if directory is not None else "off",
+                    )
+        return {name: results[name] for name, _ in items}
+
+    for index, (name, multiplier) in enumerate(items, start=1):
+        start = time.perf_counter()
+        before = cache_stats()
+        metrics = characterize(
+            multiplier, samples=samples, seed=seed, chunk=chunk,
+            workers=workers, cache=cache,
+        )
+        results[name] = metrics
+        after = cache_stats()
+        if after.hits > before.hits:
+            outcome = "hit"
+        elif after.misses > before.misses:
+            outcome = "miss"
+        else:
+            outcome = "off"
+        emit_design(name, index, time.perf_counter() - start, outcome)
+    return results
+
+
+def _sampler_fingerprint(sampler) -> dict | None:
+    """A stable description of a sampler, or ``None`` if not cacheable."""
+    describe = getattr(sampler, "fingerprint", None)
+    if callable(describe):
+        return describe()
+    if dataclasses.is_dataclass(sampler) and not isinstance(sampler, type):
+        return {
+            "class": type(sampler).__qualname__,
+            "module": type(sampler).__module__,
+            **dataclasses.asdict(sampler),
+        }
+    return None
 
 
 def characterize_workload(
@@ -96,6 +309,10 @@ def characterize_workload(
     samples: int = PAPER_SAMPLES,
     seed: int = 2020,
     chunk: int = _CHUNK,
+    *,
+    workers: int | None = None,
+    cache=None,
+    progress=None,
 ) -> ErrorMetrics:
     """Error statistics under an application-specific input distribution.
 
@@ -104,45 +321,83 @@ def characterize_workload(
     the effective error.  ``sampler(rng, n)`` must return an ``(a, b)``
     pair of int arrays within the multiplier's operand range — see
     ``gaussian_sampler`` / ``lognormal_sampler`` for ready-made ones.
+
+    The sampler is called once per fixed-size block with that block's
+    substream, so — like :func:`characterize` — the input stream depends
+    only on ``(seed, samples)``, never on ``chunk`` or ``workers``.
+    Caching requires a fingerprintable sampler (the built-in sampler
+    dataclasses are); otherwise the run silently skips the cache.
+    Parallel runs require the sampler to be picklable.
     """
-    rng = np.random.default_rng(seed)
-    max_product = ((1 << multiplier.bitwidth) - 1) ** 2
+    sampler_info = _sampler_fingerprint(sampler)
+    payload = None
+    if sampler_info is not None:
+        payload = {
+            "engine": ENGINE_VERSION,
+            "kind": "workload",
+            "design": fingerprint(multiplier),
+            "sampler": sampler_info,
+            "bitwidth": multiplier.bitwidth,
+            "samples": samples,
+            "seed": seed,
+        }
+    return _run_cached(
+        multiplier,
+        payload,
+        workload_task,
+        (multiplier, sampler, seed),
+        samples,
+        chunk,
+        workers,
+        cache,
+        progress,
+        multiplier.name,
+    )
 
-    def chunks():
-        remaining = samples
-        while remaining > 0:
-            n = min(chunk, remaining)
-            a, b = sampler(rng, n)
-            a = np.asarray(a, dtype=np.int64)
-            b = np.asarray(b, dtype=np.int64)
-            yield multiplier.multiply(a, b), a * b
-            remaining -= n
 
-    return merge_metrics(chunks(), max_product)
+@dataclasses.dataclass(frozen=True)
+class GaussianSampler:
+    """Clipped-Gaussian operand distribution (ML-weight-like magnitudes).
 
+    A frozen dataclass so workload runs can be pickled to worker
+    processes and fingerprinted for the metrics cache.
+    """
 
-def gaussian_sampler(bitwidth: int, mean_fraction: float = 0.25, std_fraction: float = 0.1):
-    """Clipped-Gaussian operand distribution (ML-weight-like magnitudes)."""
-    high = (1 << bitwidth) - 1
-    mean = mean_fraction * high
-    std = std_fraction * high
+    bitwidth: int
+    mean_fraction: float = 0.25
+    std_fraction: float = 0.1
 
-    def sample(rng: np.random.Generator, n: int):
+    def __call__(self, rng: np.random.Generator, n: int):
+        high = (1 << self.bitwidth) - 1
+        mean = self.mean_fraction * high
+        std = self.std_fraction * high
         a = np.clip(np.rint(rng.normal(mean, std, n)), 0, high).astype(np.int64)
         b = np.clip(np.rint(rng.normal(mean, std, n)), 0, high).astype(np.int64)
         return a, b
 
-    return sample
 
-
-def lognormal_sampler(bitwidth: int, sigma: float = 1.5):
+@dataclasses.dataclass(frozen=True)
+class LognormalSampler:
     """Heavy-tailed operands (audio/DCT-coefficient-like magnitudes)."""
-    high = (1 << bitwidth) - 1
-    scale = high / np.exp(3.0 * sigma)
 
-    def sample(rng: np.random.Generator, n: int):
-        a = np.clip(np.rint(rng.lognormal(0.0, sigma, n) * scale), 0, high)
-        b = np.clip(np.rint(rng.lognormal(0.0, sigma, n) * scale), 0, high)
+    bitwidth: int
+    sigma: float = 1.5
+
+    def __call__(self, rng: np.random.Generator, n: int):
+        high = (1 << self.bitwidth) - 1
+        scale = high / np.exp(3.0 * self.sigma)
+        a = np.clip(np.rint(rng.lognormal(0.0, self.sigma, n) * scale), 0, high)
+        b = np.clip(np.rint(rng.lognormal(0.0, self.sigma, n) * scale), 0, high)
         return a.astype(np.int64), b.astype(np.int64)
 
-    return sample
+
+def gaussian_sampler(
+    bitwidth: int, mean_fraction: float = 0.25, std_fraction: float = 0.1
+) -> GaussianSampler:
+    """Clipped-Gaussian operand distribution (ML-weight-like magnitudes)."""
+    return GaussianSampler(bitwidth, mean_fraction, std_fraction)
+
+
+def lognormal_sampler(bitwidth: int, sigma: float = 1.5) -> LognormalSampler:
+    """Heavy-tailed operands (audio/DCT-coefficient-like magnitudes)."""
+    return LognormalSampler(bitwidth, sigma)

@@ -1,0 +1,139 @@
+"""Deterministic substreams and process-pool fan-out for characterization.
+
+The Monte-Carlo engine draws operands in fixed :data:`BLOCK`-sample blocks,
+each from its own counter-based substream
+``np.random.default_rng([seed, block_index])``.  Because a block's content
+depends only on ``(seed, block_index)`` — never on who computed the blocks
+before it — any block can be produced independently, in any process, and
+the full input stream is a pure function of ``(seed, samples)``.
+
+Per-block :class:`~repro.analysis.metrics.Accumulator` objects are merged
+in ascending block order, which pins the floating-point addition order, so
+the resulting :class:`~repro.analysis.metrics.ErrorMetrics` are
+bit-identical at any ``chunk`` size and any ``workers`` count.  ``chunk``
+is purely a batching knob: how many blocks one task (and one inter-process
+message) covers.
+"""
+
+from __future__ import annotations
+
+import functools
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from .metrics import Accumulator, accumulate_chunk
+
+__all__ = [
+    "BLOCK",
+    "substream",
+    "block_plan",
+    "group_blocks",
+    "draw_uniform_block",
+    "uniform_task",
+    "workload_task",
+    "run_blocked",
+]
+
+#: fixed draw granularity (samples per substream); changing this changes
+#: the input stream — bump ``montecarlo.ENGINE_VERSION`` if you do
+BLOCK = 1 << 16
+
+
+def substream(seed: int, index: int) -> np.random.Generator:
+    """The independent generator of block ``index`` for a run seed."""
+    return np.random.default_rng([seed, index])
+
+
+def block_plan(samples: int) -> list[tuple[int, int]]:
+    """The canonical ``(block_index, count)`` partition of a run.
+
+    Every block is :data:`BLOCK` samples except a possibly-shorter tail, so
+    the partition — and therefore the stream — depends only on ``samples``.
+    """
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    full, tail = divmod(samples, BLOCK)
+    plan = [(index, BLOCK) for index in range(full)]
+    if tail:
+        plan.append((full, tail))
+    return plan
+
+
+def group_blocks(
+    blocks: list[tuple[int, int]], chunk: int
+) -> list[list[tuple[int, int]]]:
+    """Group consecutive blocks into per-task batches of ``~chunk`` samples."""
+    per_task = max(1, chunk // BLOCK)
+    return [blocks[i : i + per_task] for i in range(0, len(blocks), per_task)]
+
+
+def draw_uniform_block(
+    bitwidth: int, seed: int, index: int, count: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Uniform i.i.d. operand pair arrays for one block (paper input model)."""
+    rng = substream(seed, index)
+    high = 1 << bitwidth
+    return rng.integers(0, high, count), rng.integers(0, high, count)
+
+
+def uniform_task(multiplier, seed: int, blocks) -> list[Accumulator]:
+    """Per-block accumulators for uniform operands (picklable worker body)."""
+    out = []
+    for index, count in blocks:
+        a, b = draw_uniform_block(multiplier.bitwidth, seed, index, count)
+        out.append(accumulate_chunk(multiplier.multiply(a, b), a * b))
+    return out
+
+
+def workload_task(multiplier, sampler, seed: int, blocks) -> list[Accumulator]:
+    """Per-block accumulators for a custom operand distribution.
+
+    ``sampler`` must be picklable (a plain function or one of the sampler
+    dataclasses in :mod:`repro.analysis.montecarlo`) to run with workers.
+    """
+    out = []
+    for index, count in blocks:
+        a, b = sampler(substream(seed, index), count)
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        out.append(accumulate_chunk(multiplier.multiply(a, b), a * b))
+    return out
+
+
+def run_blocked(
+    task,
+    task_args: tuple,
+    samples: int,
+    chunk: int,
+    workers: int | None = None,
+    on_progress=None,
+) -> Accumulator:
+    """Execute ``task(*task_args, blocks)`` over the canonical partition.
+
+    Serial when ``workers`` is falsy or 1, else fanned out over a
+    :class:`ProcessPoolExecutor`.  Accumulators always merge in block
+    order, so the result is independent of the execution strategy.
+    ``on_progress(samples_done)`` fires after each task batch.
+    """
+    groups = group_blocks(block_plan(samples), chunk)
+    bound = functools.partial(task, *task_args)
+    total = Accumulator()
+    done = 0
+
+    def fold(group, accumulators):
+        nonlocal done
+        for acc in accumulators:
+            total.merge(acc)
+        done += sum(count for _, count in group)
+        if on_progress is not None:
+            on_progress(done)
+
+    if workers and workers > 1 and len(groups) > 1:
+        with ProcessPoolExecutor(max_workers=min(workers, len(groups))) as pool:
+            for group, accumulators in zip(groups, pool.map(bound, groups)):
+                fold(group, accumulators)
+    else:
+        for group in groups:
+            fold(group, bound(group))
+    return total

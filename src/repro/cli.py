@@ -22,6 +22,7 @@ import sys
 import numpy as np
 
 from . import experiments, paper
+from .analysis.cache import cache_stats
 from .analysis.distribution import ascii_histogram
 from .analysis.montecarlo import characterize
 from .analysis.profiles import ascii_heatmap
@@ -32,6 +33,69 @@ QUICK_SAMPLES = 1 << 18
 
 def _samples(args) -> int:
     return QUICK_SAMPLES if args.quick else args.samples
+
+
+def _engine_options(args) -> dict:
+    """Monte-Carlo engine knobs shared by the characterization commands."""
+    cache = False if getattr(args, "no_cache", False) else getattr(args, "cache", None)
+    return {
+        "workers": getattr(args, "workers", None),
+        "cache": cache,
+        "progress": _progress_printer(args),
+    }
+
+
+def _progress_printer(args):
+    if not getattr(args, "progress", False):
+        return None
+
+    def emit(event):
+        kind = event.get("event")
+        if kind == "design":
+            print(
+                f"[{event['index']}/{event['total']}] {event['design']}: "
+                f"{event['seconds']:.2f}s (cache {event['cache']})",
+                file=sys.stderr,
+            )
+        elif kind == "done":
+            rate = event.get("samples_per_sec")
+            rate_text = f"  {rate / 1e6:.2f} Msamples/s" if rate else ""
+            print(
+                f"{event['design']}: {event['samples']} samples in "
+                f"{event['seconds']:.2f}s{rate_text} (cache {event['cache']})",
+                file=sys.stderr,
+            )
+
+    return emit
+
+
+class _RunSummary:
+    """Prints wall time, throughput and cache hit/miss counts on exit."""
+
+    def __init__(self, samples: int | None = None):
+        self.samples = samples
+
+    def __enter__(self):
+        import time
+
+        self.start = time.perf_counter()
+        self.stats = cache_stats()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        import time
+
+        if exc_type is not None:
+            return
+        elapsed = time.perf_counter() - self.start
+        after = cache_stats()
+        hits = after.hits - self.stats.hits
+        misses = after.misses - self.stats.misses
+        parts = [f"wall {elapsed:.2f}s"]
+        if self.samples and elapsed > 0:
+            parts.append(f"{self.samples / elapsed / 1e6:.2f} Msamples/s/design")
+        parts.append(f"cache {hits} hit / {misses} miss")
+        print("# " + "  ".join(parts), file=sys.stderr)
 
 
 def cmd_list(args) -> int:
@@ -66,7 +130,8 @@ def cmd_factors(args) -> int:
 
 def cmd_characterize(args) -> int:
     multiplier = build(args.design)
-    metrics = characterize(multiplier, samples=_samples(args))
+    with _RunSummary(_samples(args)):
+        metrics = characterize(multiplier, samples=_samples(args), **_engine_options(args))
     print(f"{multiplier.name}: {metrics}")
     reference = paper.TABLE1.get(args.design)
     if reference is not None:
@@ -80,7 +145,9 @@ def cmd_characterize(args) -> int:
 
 
 def cmd_table1(args) -> int:
-    print(experiments.table1_text(samples=_samples(args)))
+    with _RunSummary(_samples(args)):
+        text = experiments.table1_text(samples=_samples(args), **_engine_options(args))
+    print(text)
     return 0
 
 
@@ -126,7 +193,10 @@ def cmd_fig3(args) -> int:
 
 
 def cmd_fig4(args) -> int:
-    data = experiments.fig4_designspace(source=args.source, samples=_samples(args))
+    with _RunSummary(_samples(args)):
+        data = experiments.fig4_designspace(
+            source=args.source, samples=_samples(args), **_engine_options(args)
+        )
     print(f"design space ({args.source} synthesis numbers):")
     rows = [
         (
@@ -315,6 +385,29 @@ def make_parser() -> argparse.ArgumentParser:
     def common(p):
         p.add_argument("--samples", type=int, default=experiments.DEFAULT_SAMPLES)
         p.add_argument("--quick", action="store_true", help="small Monte-Carlo run")
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="parallel worker processes for the Monte-Carlo engine",
+        )
+        p.add_argument(
+            "--cache",
+            nargs="?",
+            const=True,
+            default=None,
+            metavar="DIR",
+            help="metrics cache directory (bare flag: $REPRO_CACHE_DIR or "
+            "the user cache dir; default: only if $REPRO_CACHE_DIR is set)",
+        )
+        p.add_argument(
+            "--no-cache", action="store_true", help="disable the metrics cache"
+        )
+        p.add_argument(
+            "--progress",
+            action="store_true",
+            help="print per-design progress/throughput to stderr",
+        )
 
     sub.add_parser("list").set_defaults(func=cmd_list)
 

@@ -16,7 +16,7 @@ import numpy as np
 from . import paper
 from .analysis.designspace import DesignPoint, fig4_front, fig4_points, sweep
 from .analysis.distribution import Histogram, error_histogram
-from .analysis.montecarlo import characterize
+from .analysis.montecarlo import characterize, characterize_many
 from .analysis.profiles import (
     FIG1_RANGE,
     FIG2_RANGE,
@@ -87,12 +87,29 @@ def table1_errors(
     samples: int = DEFAULT_SAMPLES,
     ids: Sequence[str] = TABLE1_IDS,
     seed: int = 2020,
+    *,
+    workers: int | None = None,
+    cache=None,
+    progress=None,
 ) -> list[dict]:
-    """Error columns of Table I: measured next to the published values."""
+    """Error columns of Table I: measured next to the published values.
+
+    ``workers`` fans the designs out over a process pool and ``cache``
+    memoizes per-design metrics on disk (see ``repro.analysis.cache``);
+    ``progress`` receives one event dict per completed design.
+    """
+    designs = [(name, build(name)) for name in ids]
+    measured = characterize_many(
+        designs,
+        samples=samples,
+        seed=seed,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+    )
     rows = []
-    for name in ids:
-        multiplier = build(name)
-        metrics = characterize(multiplier, samples=samples, seed=seed)
+    for name, multiplier in designs:
+        metrics = measured[name]
         reference = paper.TABLE1.get(name)
         rows.append(
             {
@@ -133,9 +150,21 @@ def table1_synthesis(ids: Sequence[str] = TABLE1_IDS) -> list[dict]:
     return rows
 
 
-def table1_text(samples: int = DEFAULT_SAMPLES, ids=TABLE1_IDS) -> str:
+def table1_text(
+    samples: int = DEFAULT_SAMPLES,
+    ids=TABLE1_IDS,
+    *,
+    workers: int | None = None,
+    cache=None,
+    progress=None,
+) -> str:
     """Rendered Table I: measured vs. paper for every column."""
-    errors = {r["name"]: r for r in table1_errors(samples, ids)}
+    errors = {
+        r["name"]: r
+        for r in table1_errors(
+            samples, ids, workers=workers, cache=cache, progress=progress
+        )
+    }
     synthesis = {r["name"]: r for r in table1_synthesis(ids)}
     headers = [
         "design", "areaR%", "(paper)", "powR%", "(paper)",
@@ -251,10 +280,21 @@ def fig3_hardware(m: int = 16, t: int = 0) -> dict:
 
 
 def fig4_designspace(
-    source: str = "paper", samples: int = DEFAULT_SAMPLES
+    source: str = "paper",
+    samples: int = DEFAULT_SAMPLES,
+    *,
+    workers: int | None = None,
+    cache=None,
+    progress=None,
 ) -> dict:
     """Fig. 4: the four panels' points and Pareto fronts."""
-    points = sweep(samples=samples, source=source)
+    points = sweep(
+        samples=samples,
+        source=source,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+    )
     kept = fig4_points(points)
     fronts = {
         f"{efficiency}-{error}": fig4_front(points, efficiency, error)

@@ -13,7 +13,12 @@ CLI and the tests all construct identical instances.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+
 from collections.abc import Callable, Iterator
+
+import numpy as np
 
 from .accurate import AccurateMultiplier
 from .alm import AlmMaa, AlmSoa
@@ -30,6 +35,7 @@ __all__ = [
     "REGISTRY",
     "TABLE1_IDS",
     "build",
+    "fingerprint",
     "names",
     "iter_multipliers",
 ]
@@ -97,6 +103,59 @@ def build(name: str, bitwidth: int = 16) -> Multiplier:
             f"unknown multiplier {name!r}; known: {', '.join(REGISTRY)}"
         ) from None
     return factory(bitwidth)
+
+
+def _describe_value(value):
+    """JSON-stable description of one configuration attribute."""
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            key: _describe_value(item)
+            for key, item in dataclasses.asdict(value).items()
+        }
+    if isinstance(value, np.ndarray):
+        digest = hashlib.sha256(np.ascontiguousarray(value).tobytes())
+        return {
+            "ndarray": digest.hexdigest(),
+            "dtype": str(value.dtype),
+            "shape": list(value.shape),
+        }
+    if isinstance(value, (tuple, list)):
+        return [_describe_value(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _describe_value(item) for key, item in sorted(value.items())}
+    if callable(value) and hasattr(value, "__qualname__"):
+        # default repr embeds a memory address, which is not stable across
+        # processes; the qualified name is
+        module = getattr(value, "__module__", "?")
+        return {"callable": f"{module}.{value.__qualname__}"}
+    return repr(value)
+
+
+def fingerprint(multiplier: Multiplier) -> dict:
+    """Stable, JSON-serializable description of a multiplier configuration.
+
+    Covers the class identity, bitwidth and every instance attribute
+    (scalars directly, dataclass configs field by field, arrays as SHA-256
+    content digests), so two instances fingerprint equally iff they
+    compute the same function.  The metrics cache keys on this.
+    """
+    info: dict = {
+        "class": type(multiplier).__qualname__,
+        "module": type(multiplier).__module__,
+        "bitwidth": multiplier.bitwidth,
+        "name": multiplier.name,
+    }
+    for key, value in sorted(vars(multiplier).items()):
+        if key == "bitwidth":
+            continue
+        info[key] = _describe_value(value)
+    return info
 
 
 def iter_multipliers(

@@ -1,0 +1,176 @@
+"""Tests for the on-disk metrics cache and config fingerprinting."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.cache import (
+    cache_key,
+    cache_stats,
+    clear_cache,
+    invalidate,
+    load_metrics,
+    reset_cache_stats,
+    resolve_cache_dir,
+)
+from repro.analysis.montecarlo import (
+    characterize,
+    characterize_workload,
+    gaussian_sampler,
+)
+from repro.core.realm import RealmMultiplier
+from repro.multipliers.accurate import AccurateMultiplier
+from repro.multipliers.registry import build, fingerprint
+
+#: multiply-call counter shared by CountingAccurate instances; module-level
+#: so the instances carry no mutable attributes into their fingerprints
+CALLS = {"n": 0}
+
+
+class CountingAccurate(AccurateMultiplier):
+    def _multiply(self, a, b):
+        CALLS["n"] += 1
+        return super()._multiply(a, b)
+
+
+class TestCacheRoundtrip:
+    def test_hit_skips_multiply_and_equals_miss(self, tmp_path):
+        multiplier = CountingAccurate()
+        CALLS["n"] = 0
+        first = characterize(multiplier, samples=1 << 14, cache=tmp_path)
+        assert CALLS["n"] > 0
+        CALLS["n"] = 0
+        second = characterize(multiplier, samples=1 << 14, cache=tmp_path)
+        assert CALLS["n"] == 0  # served from disk, multiply never ran
+        assert second == first  # bit-exact float round-trip through JSON
+
+    def test_stats_count_hits_and_misses(self, tmp_path):
+        reset_cache_stats()
+        multiplier = RealmMultiplier(m=4)
+        characterize(multiplier, samples=1 << 13, cache=tmp_path)
+        characterize(multiplier, samples=1 << 13, cache=tmp_path)
+        stats = cache_stats()
+        assert stats.misses == 1
+        assert stats.hits == 1
+        assert stats.stores == 1
+
+    def test_progress_reports_cache_outcome(self, tmp_path):
+        events = []
+        multiplier = RealmMultiplier(m=4)
+        characterize(
+            multiplier, samples=1 << 13, cache=tmp_path, progress=events.append
+        )
+        characterize(
+            multiplier, samples=1 << 13, cache=tmp_path, progress=events.append
+        )
+        outcomes = [e["cache"] for e in events if e["event"] == "done"]
+        assert outcomes == ["miss", "hit"]
+
+    def test_corrupted_entry_falls_back_to_recompute(self, tmp_path):
+        multiplier = RealmMultiplier(m=4)
+        first = characterize(multiplier, samples=1 << 13, cache=tmp_path)
+        (entry,) = tmp_path.glob("*.json")
+        entry.write_text("{not json")
+        second = characterize(multiplier, samples=1 << 13, cache=tmp_path)
+        assert second == first
+        # the entry was repaired and now loads cleanly
+        assert json.loads(entry.read_text())["metrics"]["samples"] > 0
+
+    def test_rejects_entry_with_wrong_fields(self, tmp_path):
+        multiplier = RealmMultiplier(m=4)
+        first = characterize(multiplier, samples=1 << 13, cache=tmp_path)
+        (entry,) = tmp_path.glob("*.json")
+        data = json.loads(entry.read_text())
+        data["metrics"].pop("bias")
+        entry.write_text(json.dumps(data))
+        key = entry.stem
+        assert load_metrics(tmp_path, key) is None
+        assert characterize(multiplier, samples=1 << 13, cache=tmp_path) == first
+
+    def test_workload_runs_cache_too(self, tmp_path):
+        realm = RealmMultiplier(m=4)
+        sampler = gaussian_sampler(16)
+        first = characterize_workload(
+            realm, sampler, samples=1 << 13, cache=tmp_path
+        )
+        reset_cache_stats()
+        second = characterize_workload(
+            realm, sampler, samples=1 << 13, cache=tmp_path
+        )
+        assert second == first
+        assert cache_stats().hits == 1
+
+    def test_unfingerprintable_sampler_skips_cache(self, tmp_path):
+        realm = RealmMultiplier(m=4)
+        high = (1 << 16) - 1
+
+        def sampler(rng, n):  # a closure: no stable fingerprint
+            return rng.integers(0, high, n), rng.integers(0, high, n)
+
+        characterize_workload(realm, sampler, samples=1 << 13, cache=tmp_path)
+        assert list(tmp_path.glob("*.json")) == []
+
+
+class TestCacheKeys:
+    def test_key_changes_with_design_knobs_and_seed(self, tmp_path):
+        # (M, t, q) and seed all land on distinct entries
+        runs = [
+            (RealmMultiplier(m=8, t=0), 2020),
+            (RealmMultiplier(m=4, t=0), 2020),
+            (RealmMultiplier(m=8, t=3), 2020),
+            (RealmMultiplier(m=8, t=0, q=5), 2020),
+            (RealmMultiplier(m=8, t=0), 7),
+        ]
+        for multiplier, seed in runs:
+            characterize(multiplier, samples=1 << 12, seed=seed, cache=tmp_path)
+        assert len(list(tmp_path.glob("*.json"))) == len(runs)
+
+    def test_key_changes_with_samples(self):
+        base = {"design": fingerprint(RealmMultiplier(m=8)), "seed": 2020}
+        assert cache_key({**base, "samples": 1 << 12}) != cache_key(
+            {**base, "samples": 1 << 13}
+        )
+
+    def test_fingerprint_distinguishes_registry_designs(self):
+        prints = [json.dumps(fingerprint(build(name)), sort_keys=True)
+                  for name in ("realm16-t0", "realm16-t1", "calm", "drum-k6", "drum-k5")]
+        assert len(set(prints)) == len(prints)
+
+    def test_fingerprint_is_stable_across_instances(self):
+        assert fingerprint(RealmMultiplier(m=8, t=2)) == fingerprint(
+            RealmMultiplier(m=8, t=2)
+        )
+
+    def test_fingerprint_has_no_memory_addresses(self):
+        # function-valued attributes (e.g. ALM's adder) must describe by
+        # qualified name, or keys churn on every process
+        for name in ("alm-soa-m9", "alm-maa-m3"):
+            assert " at 0x" not in json.dumps(fingerprint(build(name)))
+
+
+class TestCacheResolution:
+    def test_off_by_default_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert resolve_cache_dir(None) is None
+        assert resolve_cache_dir(False) is None
+
+    def test_env_var_opts_in_globally(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert resolve_cache_dir(None) == tmp_path
+        characterize(RealmMultiplier(m=4), samples=1 << 12)
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_explicit_false_beats_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        characterize(RealmMultiplier(m=4), samples=1 << 12, cache=False)
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_invalidate_and_clear(self, tmp_path):
+        multiplier = RealmMultiplier(m=4)
+        characterize(multiplier, samples=1 << 12, cache=tmp_path)
+        characterize(multiplier, samples=1 << 13, cache=tmp_path)
+        (entry, _) = sorted(tmp_path.glob("*.json"))
+        assert invalidate(entry.stem, cache=tmp_path) is True
+        assert invalidate(entry.stem, cache=tmp_path) is False
+        assert clear_cache(tmp_path) == 1
+        assert list(tmp_path.glob("*.json")) == []

@@ -4,7 +4,15 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis.montecarlo import characterize, characterize_many
+import numpy as np
+
+from repro.analysis.montecarlo import (
+    characterize,
+    characterize_many,
+    characterize_workload,
+    gaussian_sampler,
+    sample_pairs,
+)
 from repro.core.realm import RealmMultiplier
 from repro.multipliers.accurate import AccurateMultiplier
 from repro.multipliers.mitchell import MitchellMultiplier
@@ -30,11 +38,24 @@ class TestCharacterize:
         assert metrics.peak_min == 0.0 and metrics.peak_max == 0.0
 
     def test_chunking_does_not_change_result(self):
+        # exact invariance: per-block accumulators merge in block order,
+        # so chunk is purely a batching knob
         calm = MitchellMultiplier()
         whole = characterize(calm, samples=1 << 16, chunk=1 << 16)
         pieces = characterize(calm, samples=1 << 16, chunk=1 << 12)
-        assert whole.bias == pytest.approx(pieces.bias, rel=1e-12)
-        assert whole.samples == pieces.samples
+        assert whole == pieces
+
+    def test_workers_bit_identical(self):
+        realm = RealmMultiplier(m=4)
+        serial = characterize(realm, samples=1 << 17, seed=5, workers=1)
+        parallel = characterize(realm, samples=1 << 17, seed=5, workers=2)
+        assert serial == parallel
+
+    def test_workers_and_chunk_commute(self):
+        calm = MitchellMultiplier()
+        a = characterize(calm, samples=(1 << 17) + 123, chunk=1 << 16, workers=2)
+        b = characterize(calm, samples=(1 << 17) + 123, chunk=1 << 18)
+        assert a == b
 
     def test_sample_counting_excludes_zero_products(self):
         metrics = characterize(AccurateMultiplier(), samples=1 << 14)
@@ -63,3 +84,78 @@ class TestCharacterizeMany:
             samples=1 << 14,
         )
         assert results["a"] == results["b"]
+
+    def test_forwards_chunk_and_workers(self):
+        designs = {"realm": RealmMultiplier(m=4), "calm": MitchellMultiplier()}
+        serial = characterize_many(designs, samples=1 << 16, chunk=1 << 12)
+        parallel = characterize_many(
+            designs, samples=1 << 16, chunk=1 << 12, workers=2
+        )
+        assert serial == parallel
+        # and the results are the same as characterizing one by one
+        assert serial["realm"] == characterize(designs["realm"], samples=1 << 16)
+
+    def test_per_design_progress_callback(self):
+        designs = {"a": MitchellMultiplier(), "b": AccurateMultiplier()}
+        events = []
+        characterize_many(designs, samples=1 << 14, progress=events.append)
+        assert [e["design"] for e in events] == ["a", "b"]
+        for event in events:
+            assert event["event"] == "design"
+            assert event["total"] == 2
+            assert event["seconds"] >= 0.0
+
+    def test_parallel_progress_covers_every_design(self):
+        designs = {"a": MitchellMultiplier(), "b": AccurateMultiplier()}
+        events = []
+        characterize_many(
+            designs, samples=1 << 14, workers=2, progress=events.append
+        )
+        assert sorted(e["design"] for e in events) == ["a", "b"]
+
+
+class TestSamplePairs:
+    def test_yields_operand_blocks(self):
+        blocks = list(sample_pairs(8, 100_000, seed=1))
+        assert sum(a.size for a, _ in blocks) == 100_000
+        assert all(a.size == b.size for a, b in blocks)
+        for a, b in blocks:
+            assert a.min() >= 0 and b.min() >= 0
+            assert a.max() < 256 and b.max() < 256  # bitwidth respected
+
+    def test_deterministic_and_seeded(self):
+        first = [a for a, _ in sample_pairs(16, 1 << 17, seed=9)]
+        second = [a for a, _ in sample_pairs(16, 1 << 17, seed=9)]
+        other = [a for a, _ in sample_pairs(16, 1 << 17, seed=10)]
+        assert all(np.array_equal(x, y) for x, y in zip(first, second))
+        assert not all(np.array_equal(x, y) for x, y in zip(first, other))
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            list(sample_pairs(16, 0))
+        with pytest.raises(ValueError):
+            list(sample_pairs(0, 16))
+
+
+class TestCharacterizeWorkload:
+    def test_chunk_invariant(self):
+        # regression: the workload stream must depend only on (seed,
+        # samples) — the chunk memory knob used to change the inputs
+        realm = RealmMultiplier(m=4)
+        sampler = gaussian_sampler(16)
+        small = characterize_workload(
+            realm, sampler, samples=1 << 16, seed=3, chunk=1 << 12
+        )
+        large = characterize_workload(
+            realm, sampler, samples=1 << 16, seed=3, chunk=1 << 20
+        )
+        assert small == large
+
+    def test_workers_bit_identical(self):
+        realm = RealmMultiplier(m=4)
+        sampler = gaussian_sampler(16)
+        serial = characterize_workload(realm, sampler, samples=1 << 16, seed=3)
+        parallel = characterize_workload(
+            realm, sampler, samples=1 << 16, seed=3, workers=2
+        )
+        assert serial == parallel
