@@ -11,6 +11,14 @@ from .cache import (
     invalidate,
     reset_cache_stats,
     resolve_cache_dir,
+    sweep_stale_temps,
+)
+from .runtime import (
+    BatchFailure,
+    Checkpoint,
+    CorruptResultError,
+    ResiliencePolicy,
+    run_plan,
 )
 from .exhaustive import error_grid, exhaustive_metrics
 from .metrics import (
@@ -38,11 +46,16 @@ from .render import render_heatmap, render_histogram, save_pgm
 __all__ = [
     "AccumulationPoint",
     "Accumulator",
+    "BatchFailure",
+    "Checkpoint",
+    "CorruptResultError",
     "DesignPoint",
     "ENGINE_VERSION",
     "ErrorMetrics",
     "Histogram",
     "ProfileSummary",
+    "ResiliencePolicy",
+    "run_plan",
     "accumulate_chunk",
     "ascii_heatmap",
     "ascii_histogram",
@@ -78,4 +91,5 @@ __all__ = [
     "relative_errors",
     "segment_mean_errors",
     "sweep",
+    "sweep_stale_temps",
 ]

@@ -31,6 +31,7 @@ import hashlib
 import json
 import os
 import pathlib
+import time
 
 from .metrics import ErrorMetrics
 
@@ -46,10 +47,15 @@ __all__ = [
     "reset_cache_stats",
     "resolve_cache_dir",
     "store_metrics",
+    "sweep_stale_temps",
 ]
 
 #: environment override for the cache directory (also the global opt-in)
 CACHE_ENV = "REPRO_CACHE_DIR"
+
+#: temp files older than this are considered orphaned (a writer that died
+#: between write and rename); younger ones may belong to a live writer
+STALE_TEMP_SECONDS = 3600.0
 
 _METRIC_FIELDS = tuple(field.name for field in dataclasses.fields(ErrorMetrics))
 
@@ -131,10 +137,49 @@ def load_metrics(directory, key: str) -> ErrorMetrics | None:
     return metrics
 
 
+def sweep_stale_temps(
+    directory, max_age_seconds: float = STALE_TEMP_SECONDS
+) -> int:
+    """Remove orphaned ``*.tmp<pid>`` files; returns how many were removed.
+
+    Writers that die between ``write_text`` and ``os.replace`` leave
+    their temp file behind forever (every process embeds its own pid in
+    the name, so no later writer reuses it).  Only files older than
+    ``max_age_seconds`` are swept, so a concurrent live writer is never
+    raced.
+    """
+    directory = pathlib.Path(directory)
+    if not directory.is_dir():
+        return 0
+    cutoff = time.time() - max_age_seconds
+    removed = 0
+    for path in directory.glob("*.tmp*"):
+        try:
+            if path.stat().st_mtime < cutoff:
+                path.unlink()
+                removed += 1
+        except FileNotFoundError:
+            pass  # another sweeper got there first
+    return removed
+
+
+#: directories already swept for stale temps by this process
+_SWEPT: set[str] = set()
+
+
+def _init_cache_dir(directory: pathlib.Path) -> None:
+    """Create the directory and (once per process) sweep orphaned temps."""
+    directory.mkdir(parents=True, exist_ok=True)
+    marker = str(directory)
+    if marker not in _SWEPT:
+        _SWEPT.add(marker)
+        sweep_stale_temps(directory)
+
+
 def store_metrics(directory, key: str, metrics: ErrorMetrics, payload: dict) -> None:
     """Atomically persist one entry (write-temp-then-rename)."""
     directory = pathlib.Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
+    _init_cache_dir(directory)
     path = _entry_path(directory, key)
     text = json.dumps(
         {"payload": payload, "metrics": dataclasses.asdict(metrics)},
@@ -160,15 +205,24 @@ def invalidate(key: str, cache=True) -> bool:
 
 
 def clear_cache(cache=True) -> int:
-    """Drop every entry in the resolved directory; returns the count."""
+    """Drop every entry in the resolved directory; returns the count.
+
+    Also clears campaign checkpoints (``checkpoints/``) and sweeps
+    orphaned temp files left by writers that died mid-store (the
+    entry count covers entries only, not the swept temps).
+    """
     directory = resolve_cache_dir(cache)
     if directory is None or not directory.is_dir():
         return 0
     removed = 0
-    for path in directory.glob("*.json"):
+    for path in list(directory.glob("*.json")) + list(
+        directory.glob("checkpoints/*.json")
+    ):
         try:
             path.unlink()
             removed += 1
         except FileNotFoundError:
             pass
+    sweep_stale_temps(directory)
+    sweep_stale_temps(directory / "checkpoints")
     return removed

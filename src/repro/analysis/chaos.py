@@ -1,0 +1,225 @@
+"""Deterministic fault injection for the resilient runtime (chaos harness).
+
+The recovery paths in :mod:`repro.analysis.runtime` — retries, pool
+rebuilds, timeouts, degradation — are exactly the code that never runs in
+a healthy environment.  This module makes worker faults *reproducible* so
+tests can prove each path ends in either a bit-identical result or a
+structured error.
+
+A **fault plan** is a list of :class:`FaultSpec`, each targeting the
+batch whose first block index equals ``block`` (optionally restricted to
+one run label via ``design``).  Kinds:
+
+* ``"crash"`` — ``os._exit`` the process (→ ``BrokenProcessPool``); only
+  fires inside worker processes, so degraded in-process execution always
+  survives it (mirroring real OOM-killed workers);
+* ``"hang"`` — sleep ``seconds`` before computing (→ batch timeout);
+* ``"raise"`` — raise :class:`ChaosFault` (an ordinary task error);
+* ``"corrupt"`` — compute the batch, then falsify the first
+  accumulator's sample count (must be caught by result validation).
+
+Each spec fires for its first ``times`` executions, counted across
+processes through lock files in the plan's ``dir`` — so "crash once then
+succeed" is expressible even though retries land in fresh workers.
+
+Activation: :func:`install` for in-process plans, or the
+:data:`CHAOS_ENV` environment variable (inline JSON or a path to a JSON
+file) which worker processes inherit.  With neither set, the runtime's
+task wrapper is the identity function — zero overhead in production.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import os
+import pathlib
+import time
+
+from .metrics import Accumulator
+
+__all__ = [
+    "CHAOS_ENV",
+    "ChaosFault",
+    "ChaosPlan",
+    "FaultSpec",
+    "active_plan",
+    "install",
+    "uninstall",
+    "wrap",
+]
+
+#: environment override: inline JSON plan or a path to a JSON plan file
+CHAOS_ENV = "REPRO_CHAOS"
+
+FAULT_KINDS = ("crash", "hang", "raise", "corrupt")
+
+
+class ChaosFault(RuntimeError):
+    """The injected task error raised by ``kind="raise"`` faults."""
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault.
+
+    ``block`` matches the first block index of a batch; ``design`` (when
+    set) additionally matches the run label (the multiplier display
+    name); ``times`` bounds how many executions fault; ``seconds`` is
+    the ``hang`` duration.
+    """
+
+    kind: str
+    block: int
+    design: str | None = None
+    times: int = 1
+    seconds: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosPlan:
+    """A fault list plus the directory backing the cross-process counters."""
+
+    specs: tuple[FaultSpec, ...]
+    directory: str
+
+    def fault_for(self, block: int, label: str | None) -> tuple[int, FaultSpec] | None:
+        for position, spec in enumerate(self.specs):
+            if spec.block != block:
+                continue
+            if spec.design is not None and spec.design != label:
+                continue
+            return position, spec
+        return None
+
+    def claim(self, position: int, spec: FaultSpec) -> bool:
+        """Atomically take the next firing slot; ``False`` once spent.
+
+        Slot ``n`` is the lock file ``claim-<position>-<n>``; ``O_EXCL``
+        creation makes the count exact even when retries race across
+        worker processes.
+        """
+        directory = pathlib.Path(self.directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        slot = 0
+        while True:
+            path = directory / f"claim-{position}-{slot}"
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                slot += 1
+                continue
+            os.close(fd)
+            return slot < spec.times
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "dir": self.directory,
+                "faults": [dataclasses.asdict(spec) for spec in self.specs],
+            }
+        )
+
+
+_INSTALLED: ChaosPlan | None = None
+
+
+def install(specs, directory) -> ChaosPlan:
+    """Activate an in-process plan (serial runs and the installing process).
+
+    Parallel runs should set :data:`CHAOS_ENV` instead (e.g. to
+    ``plan.to_json()``) so worker processes see the plan too.
+    """
+    global _INSTALLED
+    _INSTALLED = ChaosPlan(tuple(specs), str(directory))
+    return _INSTALLED
+
+
+def uninstall() -> None:
+    global _INSTALLED
+    _INSTALLED = None
+
+
+def _parse_plan(text: str) -> ChaosPlan | None:
+    try:
+        if not text.lstrip().startswith("{"):
+            text = pathlib.Path(text).read_text()
+        data = json.loads(text)
+        specs = tuple(FaultSpec(**spec) for spec in data["faults"])
+        return ChaosPlan(specs, str(data["dir"]))
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def active_plan() -> ChaosPlan | None:
+    """The installed plan, else the environment plan, else ``None``."""
+    if _INSTALLED is not None:
+        return _INSTALLED
+    text = os.environ.get(CHAOS_ENV)
+    if not text:
+        return None
+    return _parse_plan(text)
+
+
+def _in_worker() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+@dataclasses.dataclass
+class _FaultingTask:
+    """Picklable task wrapper that consults the active plan at call time."""
+
+    inner: object
+    label: str | None = None
+
+    def __call__(self, blocks):
+        plan = active_plan()
+        if plan is None or not blocks:
+            return self.inner(blocks)
+        match = plan.fault_for(blocks[0][0], self.label)
+        if match is None:
+            return self.inner(blocks)
+        position, spec = match
+        if spec.kind == "crash" and not _in_worker():
+            # crashes model killed workers; in-process execution survives
+            return self.inner(blocks)
+        if not plan.claim(position, spec):
+            return self.inner(blocks)
+        if spec.kind == "crash":
+            os._exit(17)
+        if spec.kind == "hang":
+            time.sleep(spec.seconds)
+            return self.inner(blocks)
+        if spec.kind == "raise":
+            raise ChaosFault(
+                f"injected fault on batch starting at block {blocks[0][0]}"
+            )
+        # corrupt: compute honestly, then falsify the first accumulator
+        out = list(self.inner(blocks))
+        if out and isinstance(out[0], Accumulator):
+            poisoned = Accumulator(**dataclasses.asdict(out[0]))
+            poisoned.all_count += 1
+            out[0] = poisoned
+        return out
+
+
+def wrap(task, label: str | None = None):
+    """Wrap a bound batch task with fault injection when a plan is active.
+
+    Returns ``task`` unchanged when no plan is installed and the
+    environment variable is unset, so healthy runs pay nothing.
+    """
+    if _INSTALLED is None and not os.environ.get(CHAOS_ENV):
+        return task
+    return _FaultingTask(task, label)

@@ -65,28 +65,46 @@ def sweep(
     seed: int = 2020,
     source: str = "model",
     *,
+    chunk: int | None = None,
     workers: int | None = None,
     cache=None,
     progress=None,
+    max_retries: int | None = None,
+    batch_timeout: float | None = None,
+    policy=None,
+    checkpoint: bool = False,
+    resume: bool = False,
 ) -> list[DesignPoint]:
     """Characterize error and synthesis cost for each design.
 
-    The Monte-Carlo engine options (``workers``/``cache``/``progress``)
-    are forwarded to :func:`repro.analysis.montecarlo.characterize_many`,
-    so the whole sweep fans out across designs and reuses cached metrics.
+    The Monte-Carlo engine options (``workers``/``cache``/``progress``
+    plus the resilience knobs ``max_retries``/``batch_timeout``/
+    ``policy``/``checkpoint``/``resume``) are forwarded to
+    :func:`repro.analysis.montecarlo.characterize_many`, so the whole
+    sweep fans out across designs, reuses cached metrics, survives
+    worker faults, and — with ``checkpoint``/``resume`` — an
+    interrupted sweep restarted with ``resume=True`` recomputes only
+    the unfinished blocks/designs.
     """
     chosen = []
     for name in ids:
         columns = _synthesis_columns(name, source)
         if columns is not None:
             chosen.append((name, build(name), columns))
+    engine = {} if chunk is None else {"chunk": chunk}
     measured = characterize_many(
         [(name, multiplier) for name, multiplier, _ in chosen],
         samples=samples,
         seed=seed,
         workers=workers,
+        **engine,
         cache=cache,
         progress=progress,
+        max_retries=max_retries,
+        batch_timeout=batch_timeout,
+        policy=policy,
+        checkpoint=checkpoint,
+        resume=resume,
     )
     points = []
     for name, multiplier, columns in chosen:

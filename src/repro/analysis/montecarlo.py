@@ -17,7 +17,12 @@ block order.  The guarantees:
 Runs can be fanned out across processes (``workers=``) and memoized in a
 content-addressed on-disk cache (``cache=``, see
 :mod:`repro.analysis.cache`); ``progress=`` receives event dicts with
-per-run wall time, throughput and cache outcome.
+per-run wall time, throughput and cache outcome.  Long campaigns survive
+worker faults: batches retry with backoff (``max_retries=``), hung
+workers time out (``batch_timeout=``), broken pools rebuild and
+eventually degrade to serial execution, and per-block state can
+checkpoint to disk and resume (``checkpoint=``/``resume=``) — see
+:mod:`repro.analysis.runtime` for the guarantees.
 """
 
 from __future__ import annotations
@@ -38,6 +43,7 @@ from .parallel import (
     uniform_task,
     workload_task,
 )
+from .runtime import Checkpoint, ResiliencePolicy
 
 __all__ = [
     "ENGINE_VERSION",
@@ -83,6 +89,59 @@ def _max_product(multiplier: Multiplier) -> int:
     return ((1 << multiplier.bitwidth) - 1) ** 2
 
 
+def _validate_engine_args(samples, chunk, workers) -> None:
+    """Clear errors at the API boundary, before any fan-out machinery."""
+    if not isinstance(samples, (int, np.integer)) or isinstance(samples, bool):
+        raise ValueError(f"samples must be an integer, got {samples!r}")
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    if not isinstance(chunk, (int, np.integer)) or isinstance(chunk, bool):
+        raise ValueError(f"chunk must be an integer, got {chunk!r}")
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    if workers is not None and workers < 0:
+        raise ValueError(
+            f"workers must be None or a non-negative integer, got {workers}"
+        )
+
+
+def _resolve_policy(policy, max_retries, batch_timeout) -> ResiliencePolicy | None:
+    """Fold the convenience knobs into a policy (``None`` = runtime default)."""
+    if policy is not None:
+        if max_retries is not None or batch_timeout is not None:
+            raise ValueError(
+                "pass either policy= or max_retries=/batch_timeout=, not both"
+            )
+        return policy
+    overrides = {}
+    if max_retries is not None:
+        overrides["max_retries"] = max_retries
+    if batch_timeout is not None:
+        overrides["batch_timeout"] = batch_timeout
+    return ResiliencePolicy(**overrides) if overrides else None
+
+
+def _resolve_checkpoint(
+    checkpoint, resume, directory, payload
+) -> Checkpoint | None:
+    """A :class:`Checkpoint` under the cache dir, or ``None`` when off.
+
+    Checkpoints reuse the cache's content-addressing scheme: the key is
+    :func:`cache_key` of the exact run payload, so resumed state can
+    never leak between different designs, seeds or sample counts.
+    """
+    if not (checkpoint or resume):
+        return None
+    if payload is None:
+        raise ValueError(
+            "checkpointing requires a fingerprintable run description "
+            "(this sampler has no stable fingerprint)"
+        )
+    if directory is None:
+        directory = resolve_cache_dir(True)
+    return Checkpoint(directory, cache_key(payload), payload)
+
+
 def _emit(progress, **event) -> None:
     if progress is not None:
         progress(event)
@@ -110,6 +169,9 @@ def _run_cached(
     cache,
     progress,
     label: str,
+    policy: ResiliencePolicy | None = None,
+    checkpoint: bool = False,
+    resume: bool = False,
 ) -> ErrorMetrics:
     """Cache lookup -> blocked engine run -> cache store, with telemetry."""
     directory = resolve_cache_dir(cache) if payload is not None else None
@@ -137,8 +199,21 @@ def _run_cached(
             samples_total=samples,
         )
 
+    def on_event(event):
+        _emit(progress, design=label, **event)
+
     accumulator = run_blocked(
-        task, task_args, samples, chunk, workers=workers, on_progress=on_progress
+        task,
+        task_args,
+        samples,
+        chunk,
+        workers=workers,
+        on_progress=on_progress,
+        policy=policy,
+        checkpoint=_resolve_checkpoint(checkpoint, resume, directory, payload),
+        resume=resume,
+        on_event=on_event,
+        label=label,
     )
     metrics = accumulator.finalize(_max_product(multiplier))
     elapsed = time.perf_counter() - start
@@ -165,18 +240,30 @@ def characterize(
     workers: int | None = None,
     cache=None,
     progress=None,
+    max_retries: int | None = None,
+    batch_timeout: float | None = None,
+    policy: ResiliencePolicy | None = None,
+    checkpoint: bool = False,
+    resume: bool = False,
 ) -> ErrorMetrics:
     """Monte-Carlo error statistics of one design.
 
     Uses the paper's input model: both operands i.i.d. uniform over the
     full ``N``-bit range, including zero.  The same ``seed`` gives every
     design the identical input stream, so cross-design comparisons are
-    noise-free; results are bit-identical at any ``chunk``/``workers``.
+    noise-free; results are bit-identical at any ``chunk``/``workers``
+    — and under any retry/rebuild/degradation recovery path.
 
     ``workers`` > 1 fans blocks out over a process pool; ``cache`` keys
     the result on (engine, design fingerprint, bitwidth, seed, samples)
     and short-circuits repeat runs (see :mod:`repro.analysis.cache`).
+    ``max_retries``/``batch_timeout`` (or a full
+    :class:`~repro.analysis.runtime.ResiliencePolicy` via ``policy``)
+    tune failure handling; ``checkpoint=True`` persists per-block state
+    under the cache dir and ``resume=True`` skips blocks a previous
+    interrupted run already finished.
     """
+    _validate_engine_args(samples, chunk, workers)
     return _run_cached(
         multiplier,
         _uniform_payload(multiplier, samples, seed),
@@ -188,13 +275,35 @@ def characterize(
         cache,
         progress,
         multiplier.name,
+        policy=_resolve_policy(policy, max_retries, batch_timeout),
+        checkpoint=checkpoint,
+        resume=resume,
     )
 
 
-def _serial_design_task(multiplier, samples, seed, chunk):
+def _serial_design_task(
+    multiplier,
+    samples,
+    seed,
+    chunk,
+    policy=None,
+    checkpoint_dir=None,
+    payload=None,
+    resume=False,
+):
     """Whole-design serial characterization (picklable, for design fan-out)."""
+    ckpt = None
+    if checkpoint_dir is not None and payload is not None:
+        ckpt = Checkpoint(checkpoint_dir, cache_key(payload), payload)
     return run_blocked(
-        uniform_task, (multiplier, seed), samples, chunk
+        uniform_task,
+        (multiplier, seed),
+        samples,
+        chunk,
+        policy=policy,
+        checkpoint=ckpt,
+        resume=resume,
+        label=multiplier.name,
     ).finalize(_max_product(multiplier))
 
 
@@ -207,6 +316,11 @@ def characterize_many(
     workers: int | None = None,
     cache=None,
     progress=None,
+    max_retries: int | None = None,
+    batch_timeout: float | None = None,
+    policy: ResiliencePolicy | None = None,
+    checkpoint: bool = False,
+    resume: bool = False,
 ) -> dict[str, ErrorMetrics]:
     """Characterize ``{name: multiplier}`` or ``(name, multiplier)`` pairs.
 
@@ -215,7 +329,18 @@ def characterize_many(
     40+ configurations); cache hits are resolved up front and never occupy
     a worker.  ``progress`` receives one ``{"event": "design", ...}`` dict
     as each design completes (completion order under workers).
+
+    A design whose pool task dies (crashed worker, exhausted in-worker
+    retries) is recomputed serially in this process after the others
+    finish — one faulty design degrades gracefully instead of discarding
+    the whole campaign.  ``checkpoint``/``resume`` give every design its
+    own content-addressed per-block checkpoint, so an interrupted sweep
+    restarted with ``resume=True`` recomputes only unfinished designs
+    (finished ones are cache hits) and, within those, only unfinished
+    blocks.
     """
+    _validate_engine_args(samples, chunk, workers)
+    policy = _resolve_policy(policy, max_retries, batch_timeout)
     items = list(multipliers.items() if hasattr(multipliers, "items") else multipliers)
     total = len(items)
     results: dict[str, ErrorMetrics] = {}
@@ -236,6 +361,9 @@ def characterize_many(
         from concurrent.futures import ProcessPoolExecutor, as_completed
 
         directory = resolve_cache_dir(cache)
+        checkpoint_dir = None
+        if checkpoint or resume:
+            checkpoint_dir = directory if directory is not None else resolve_cache_dir(True)
         pending = []
         completed = 0
         for name, multiplier in items:
@@ -250,16 +378,25 @@ def characterize_many(
                 pending.append((name, multiplier, payload, key))
         if pending:
             start = time.perf_counter()
+            failed = []
             with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
                 futures = {
                     pool.submit(
-                        _serial_design_task, multiplier, samples, seed, chunk
-                    ): (name, payload, key)
+                        _serial_design_task, multiplier, samples, seed, chunk,
+                        policy, checkpoint_dir, payload, resume,
+                    ): (name, multiplier, payload, key)
                     for name, multiplier, payload, key in pending
                 }
                 for future in as_completed(futures):
-                    name, payload, key = futures[future]
-                    metrics = future.result()
+                    name, multiplier, payload, key = futures[future]
+                    try:
+                        metrics = future.result()
+                    except Exception as exc:
+                        # the design's pool task died (crashed worker or
+                        # exhausted in-worker retries): recompute serially
+                        # in this process after the pool drains
+                        failed.append((name, multiplier, payload, key, exc))
+                        continue
                     if directory is not None:
                         store_metrics(directory, key, metrics, payload)
                     results[name] = metrics
@@ -268,6 +405,25 @@ def characterize_many(
                         name, completed, time.perf_counter() - start,
                         "miss" if directory is not None else "off",
                     )
+            for name, multiplier, payload, key, exc in failed:
+                _emit(
+                    progress,
+                    event="design-fallback",
+                    design=name,
+                    cause=str(exc),
+                )
+                metrics = _serial_design_task(
+                    multiplier, samples, seed, chunk,
+                    policy, checkpoint_dir, payload, resume,
+                )
+                if directory is not None:
+                    store_metrics(directory, key, metrics, payload)
+                results[name] = metrics
+                completed += 1
+                emit_design(
+                    name, completed, time.perf_counter() - start,
+                    "miss" if directory is not None else "off",
+                )
         return {name: results[name] for name, _ in items}
 
     for index, (name, multiplier) in enumerate(items, start=1):
@@ -275,7 +431,8 @@ def characterize_many(
         before = cache_stats()
         metrics = characterize(
             multiplier, samples=samples, seed=seed, chunk=chunk,
-            workers=workers, cache=cache,
+            workers=workers, cache=cache, progress=None,
+            policy=policy, checkpoint=checkpoint, resume=resume,
         )
         results[name] = metrics
         after = cache_stats()
@@ -313,6 +470,11 @@ def characterize_workload(
     workers: int | None = None,
     cache=None,
     progress=None,
+    max_retries: int | None = None,
+    batch_timeout: float | None = None,
+    policy: ResiliencePolicy | None = None,
+    checkpoint: bool = False,
+    resume: bool = False,
 ) -> ErrorMetrics:
     """Error statistics under an application-specific input distribution.
 
@@ -329,6 +491,7 @@ def characterize_workload(
     dataclasses are); otherwise the run silently skips the cache.
     Parallel runs require the sampler to be picklable.
     """
+    _validate_engine_args(samples, chunk, workers)
     sampler_info = _sampler_fingerprint(sampler)
     payload = None
     if sampler_info is not None:
@@ -352,6 +515,9 @@ def characterize_workload(
         cache,
         progress,
         multiplier.name,
+        policy=_resolve_policy(policy, max_retries, batch_timeout),
+        checkpoint=checkpoint,
+        resume=resume,
     )
 
 

@@ -13,12 +13,15 @@ the resulting :class:`~repro.analysis.metrics.ErrorMetrics` are
 bit-identical at any ``chunk`` size and any ``workers`` count.  ``chunk``
 is purely a batching knob: how many blocks one task (and one inter-process
 message) covers.
+
+Because every block is a pure function of ``(seed, block_index)``, any
+block can be recomputed anywhere — the failure-handling layer in
+:mod:`repro.analysis.runtime` (retries, timeouts, pool rebuilds,
+serial degradation, checkpoint/resume) leans on exactly this property:
+no recovery path can change the result.
 """
 
 from __future__ import annotations
-
-import functools
-from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
@@ -64,6 +67,8 @@ def group_blocks(
     blocks: list[tuple[int, int]], chunk: int
 ) -> list[list[tuple[int, int]]]:
     """Group consecutive blocks into per-task batches of ``~chunk`` samples."""
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
     per_task = max(1, chunk // BLOCK)
     return [blocks[i : i + per_task] for i in range(0, len(blocks), per_task)]
 
@@ -108,32 +113,37 @@ def run_blocked(
     chunk: int,
     workers: int | None = None,
     on_progress=None,
+    *,
+    policy=None,
+    checkpoint=None,
+    resume: bool = False,
+    on_event=None,
+    label: str = "run",
 ) -> Accumulator:
     """Execute ``task(*task_args, blocks)`` over the canonical partition.
 
     Serial when ``workers`` is falsy or 1, else fanned out over a
-    :class:`ProcessPoolExecutor`.  Accumulators always merge in block
-    order, so the result is independent of the execution strategy.
-    ``on_progress(samples_done)`` fires after each task batch.
+    process pool by the resilient runtime (see
+    :mod:`repro.analysis.runtime`), which retries failed batches,
+    rebuilds broken pools, degrades to serial execution and honours
+    ``checkpoint``/``resume``.  Accumulators always merge in block
+    order, so the result is independent of the execution strategy *and*
+    of any recovery path taken.  ``on_progress(samples_done)`` fires
+    after each task batch; ``on_event`` receives retry/degradation event
+    dicts.
     """
-    groups = group_blocks(block_plan(samples), chunk)
-    bound = functools.partial(task, *task_args)
-    total = Accumulator()
-    done = 0
+    from .runtime import run_plan
 
-    def fold(group, accumulators):
-        nonlocal done
-        for acc in accumulators:
-            total.merge(acc)
-        done += sum(count for _, count in group)
-        if on_progress is not None:
-            on_progress(done)
-
-    if workers and workers > 1 and len(groups) > 1:
-        with ProcessPoolExecutor(max_workers=min(workers, len(groups))) as pool:
-            for group, accumulators in zip(groups, pool.map(bound, groups)):
-                fold(group, accumulators)
-    else:
-        for group in groups:
-            fold(group, bound(group))
-    return total
+    return run_plan(
+        task,
+        task_args,
+        block_plan(samples),
+        chunk,
+        workers=workers,
+        policy=policy,
+        checkpoint=checkpoint,
+        resume=resume,
+        on_progress=on_progress,
+        on_event=on_event,
+        label=label,
+    )

@@ -1,0 +1,440 @@
+"""Resilient execution layer for the characterization engine.
+
+:mod:`repro.analysis.parallel` makes a Monte-Carlo campaign a pure
+function of ``(seed, samples)``: every block can be recomputed anywhere,
+by any process, with a bit-identical result.  This module exploits that
+purity to make the fan-out *survivable*:
+
+* **bounded retries** — a batch whose task raises (or returns a corrupt
+  result) is re-executed up to ``max_retries`` times, with exponential
+  backoff and decorrelated jitter between attempts (injectable
+  sleep/jitter hooks keep tests deterministic);
+* **per-batch timeouts** — ``batch_timeout`` bounds how long the parent
+  waits for one batch result; a hung worker forfeits its pool;
+* **pool rebuilds** — a ``BrokenProcessPool`` (worker killed by a crash,
+  OOM or signal) rebuilds the pool and resubmits the unfinished batches
+  instead of discarding the campaign;
+* **graceful degradation** — after ``max_pool_rebuilds`` rebuilds the
+  run falls back to in-process serial execution of the remaining
+  batches, which is slower but cannot be killed by worker faults;
+* **checkpoint/resume** — completed per-block accumulators are
+  periodically persisted (content-addressed like the metrics cache, see
+  :class:`Checkpoint`), so a restarted campaign recomputes only the
+  unfinished blocks.
+
+Because accumulators always merge in ascending block order, none of the
+recovery paths can change the result: a run that completes — retried,
+rebuilt, degraded or resumed — returns :class:`ErrorMetrics` bit-identical
+to an undisturbed serial run.  A run that cannot complete raises
+:class:`BatchFailure`, which names the exact blocks and the last cause.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import json
+import os
+import pathlib
+import random
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+
+from .metrics import Accumulator
+
+__all__ = [
+    "BatchFailure",
+    "Checkpoint",
+    "CorruptResultError",
+    "ResiliencePolicy",
+    "run_plan",
+    "validate_batch",
+]
+
+#: bump on any change to the checkpoint file layout
+CHECKPOINT_VERSION = 1
+
+_ACC_FIELDS = tuple(field.name for field in dataclasses.fields(Accumulator))
+_ACC_INT_FIELDS = ("count", "all_count")
+
+
+def _default_jitter(low: float, high: float) -> float:
+    return random.uniform(low, high)
+
+
+@dataclasses.dataclass(frozen=True)
+class ResiliencePolicy:
+    """Retry/timeout/degradation knobs for one campaign.
+
+    ``sleep`` and ``jitter`` are injectable for deterministic tests:
+    ``sleep(seconds)`` replaces :func:`time.sleep` and ``jitter(low,
+    high)`` replaces the uniform draw of the decorrelated-jitter backoff.
+    Leave both ``None`` for production behaviour (the defaults are
+    picklable, so a policy can ride along to worker processes).
+    """
+
+    max_retries: int = 2
+    batch_timeout: float | None = None
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    max_pool_rebuilds: int = 2
+    sleep: object | None = None
+    jitter: object | None = None
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.batch_timeout is not None and not self.batch_timeout > 0:
+            raise ValueError(
+                f"batch_timeout must be positive, got {self.batch_timeout}"
+            )
+        if self.backoff_base < 0 or self.backoff_cap < self.backoff_base:
+            raise ValueError(
+                f"need 0 <= backoff_base <= backoff_cap, got "
+                f"{self.backoff_base}/{self.backoff_cap}"
+            )
+        if self.max_pool_rebuilds < 0:
+            raise ValueError(
+                f"max_pool_rebuilds must be >= 0, got {self.max_pool_rebuilds}"
+            )
+
+    def next_delay(self, previous: float) -> float:
+        """Decorrelated-jitter backoff: ``min(cap, U(base, 3*previous))``."""
+        uniform = self.jitter if self.jitter is not None else _default_jitter
+        high = max(self.backoff_base, 3.0 * previous)
+        return min(self.backoff_cap, uniform(self.backoff_base, high))
+
+    def pause(self, seconds: float) -> None:
+        if seconds > 0:
+            (self.sleep if self.sleep is not None else time.sleep)(seconds)
+
+
+class CorruptResultError(ValueError):
+    """A task returned accumulators that cannot describe its batch."""
+
+
+class BatchFailure(RuntimeError):
+    """A batch exhausted its retry budget; names the precise blocks.
+
+    Attributes: ``label`` (the run/design label), ``blocks`` (the
+    ``(block_index, count)`` pairs of the failed batch), ``attempts``
+    and ``cause`` (string describing the last failure).
+    """
+
+    def __init__(self, label: str, blocks, attempts: int, cause: str):
+        self.label = label
+        self.blocks = list(blocks)
+        self.attempts = attempts
+        self.cause = cause
+        first, last = self.blocks[0][0], self.blocks[-1][0]
+        samples = sum(count for _, count in self.blocks)
+        super().__init__(
+            f"characterization batch blocks[{first}..{last}] "
+            f"({len(self.blocks)} block(s), {samples} samples) of {label!r} "
+            f"failed after {attempts} attempt(s): {cause}"
+        )
+
+
+def validate_batch(blocks, accumulators) -> None:
+    """Reject results that cannot be the batch's true accumulators.
+
+    A worker returning garbage (truncated lists, wrong types, sample
+    counts that do not match the batch) must surface as a retriable
+    failure, never as a silently wrong merged metric.
+    """
+    if not isinstance(accumulators, (list, tuple)):
+        raise CorruptResultError(
+            f"batch result must be a list of accumulators, got "
+            f"{type(accumulators).__name__}"
+        )
+    if len(accumulators) != len(blocks):
+        raise CorruptResultError(
+            f"batch covers {len(blocks)} block(s) but returned "
+            f"{len(accumulators)} accumulator(s)"
+        )
+    for (index, count), acc in zip(blocks, accumulators):
+        if not isinstance(acc, Accumulator):
+            raise CorruptResultError(
+                f"block {index}: expected an Accumulator, got "
+                f"{type(acc).__name__}"
+            )
+        if acc.all_count != count or not 0 <= acc.count <= count:
+            raise CorruptResultError(
+                f"block {index}: accumulator covers {acc.all_count} samples "
+                f"({acc.count} nonzero), expected {count}"
+            )
+
+
+@dataclasses.dataclass
+class Checkpoint:
+    """Periodic persistence of completed per-block accumulators.
+
+    Lives under ``<directory>/checkpoints/<key>.json`` where ``key`` is
+    the same content address the metrics cache would use for the run
+    (engine version, design fingerprint, seed, samples ...), so a
+    checkpoint can never be replayed into a different campaign.  The
+    file stores the full run payload plus one accumulator state per
+    completed block; floats survive the JSON round trip bit-exactly.
+    ``every`` batches between saves bounds the rewrite cost.
+    """
+
+    directory: pathlib.Path
+    key: str
+    payload: dict
+    every: int = 1
+
+    @property
+    def path(self) -> pathlib.Path:
+        return pathlib.Path(self.directory) / "checkpoints" / f"{self.key}.json"
+
+    def load(self) -> dict[int, Accumulator]:
+        """Completed ``{block_index: Accumulator}``, or ``{}`` if absent,
+        corrupt, or written for a different run description."""
+        try:
+            data = json.loads(self.path.read_text())
+            if data.get("version") != CHECKPOINT_VERSION:
+                return {}
+            if data.get("payload") != self.payload:
+                return {}
+            out: dict[int, Accumulator] = {}
+            for index, state in data["blocks"].items():
+                if set(state) != set(_ACC_FIELDS):
+                    return {}
+                values = {
+                    name: int(state[name]) if name in _ACC_INT_FIELDS
+                    else float(state[name])
+                    for name in _ACC_FIELDS
+                }
+                out[int(index)] = Accumulator(**values)
+            return out
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            return {}
+
+    def save(self, blocks: dict[int, Accumulator]) -> None:
+        """Atomically persist the completed blocks (write-temp-then-rename)."""
+        path = self.path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(
+            {
+                "version": CHECKPOINT_VERSION,
+                "payload": self.payload,
+                "blocks": {
+                    str(index): dataclasses.asdict(blocks[index])
+                    for index in sorted(blocks)
+                },
+            },
+            sort_keys=True,
+        )
+        temp = path.with_suffix(f".tmp{os.getpid()}")
+        temp.write_text(text + "\n")
+        os.replace(temp, path)
+
+    def discard(self) -> None:
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def _event(on_event, **fields) -> None:
+    if on_event is not None:
+        on_event(fields)
+
+
+def run_plan(
+    task,
+    task_args: tuple,
+    plan: list[tuple[int, int]],
+    chunk: int,
+    *,
+    workers: int | None = None,
+    policy: ResiliencePolicy | None = None,
+    checkpoint: Checkpoint | None = None,
+    resume: bool = False,
+    on_progress=None,
+    on_event=None,
+    label: str = "run",
+) -> Accumulator:
+    """Execute ``task(*task_args, blocks)`` over ``plan`` resiliently.
+
+    ``plan`` is the canonical ``(block_index, count)`` partition from
+    :func:`repro.analysis.parallel.block_plan`.  Batches retry, pools
+    rebuild and execution degrades to serial per the ``policy`` (see the
+    module docstring); completed blocks checkpoint through
+    ``checkpoint`` and are skipped when ``resume`` is true.  The merged
+    accumulator is built in ascending block order, so the result is
+    bit-identical to an undisturbed serial run no matter which recovery
+    paths fired.  ``on_progress(samples_done)`` reports cumulative
+    samples; ``on_event(dict)`` receives retry / pool-rebuild /
+    degraded / resume event dicts.
+
+    Note the per-batch timeout only guards the *parallel* path: once
+    degraded to in-process execution a batch cannot be preempted.
+    """
+    from .chaos import wrap as chaos_wrap
+    from .parallel import group_blocks
+
+    policy = policy if policy is not None else ResiliencePolicy()
+    bound = chaos_wrap(functools.partial(task, *task_args), label=label)
+
+    done: dict[int, Accumulator] = {}
+    if checkpoint is not None and resume:
+        counts = dict(plan)
+        loaded = checkpoint.load()
+        done = {
+            index: acc
+            for index, acc in loaded.items()
+            if counts.get(index) == acc.all_count
+        }
+    samples_done = sum(acc.all_count for acc in done.values())
+    if done:
+        _event(
+            on_event,
+            event="resume",
+            blocks_done=len(done),
+            samples_done=samples_done,
+        )
+        if on_progress is not None:
+            on_progress(samples_done)
+
+    groups = group_blocks([b for b in plan if b[0] not in done], chunk)
+
+    attempts: dict[int, int] = {}
+    prev_delay: dict[int, float] = {}
+    completed_batches = 0
+
+    def record(group, accumulators):
+        nonlocal samples_done, completed_batches
+        for (index, _), acc in zip(group, accumulators):
+            done[index] = acc
+        samples_done += sum(count for _, count in group)
+        completed_batches += 1
+        if checkpoint is not None and completed_batches % checkpoint.every == 0:
+            checkpoint.save(done)
+        if on_progress is not None:
+            on_progress(samples_done)
+
+    def fail(group, cause) -> None:
+        """Charge one failed attempt; raise when the budget is spent."""
+        first = group[0][0]
+        attempts[first] = attempts.get(first, 0) + 1
+        if attempts[first] > policy.max_retries:
+            raise BatchFailure(label, group, attempts[first], str(cause))
+        delay = policy.next_delay(prev_delay.get(first, policy.backoff_base))
+        prev_delay[first] = delay
+        _event(
+            on_event,
+            event="retry",
+            batch=first,
+            attempt=attempts[first],
+            delay=delay,
+            cause=str(cause),
+        )
+        policy.pause(delay)
+
+    def run_serial(serial_groups):
+        for group in serial_groups:
+            while True:
+                try:
+                    accumulators = bound(group)
+                    validate_batch(group, accumulators)
+                except Exception as exc:
+                    fail(group, exc)
+                    continue
+                record(group, accumulators)
+                break
+
+    if workers and workers > 1 and len(groups) > 1:
+        _run_pooled(bound, groups, workers, policy, record, fail, run_serial, on_event)
+    else:
+        run_serial(groups)
+
+    total = Accumulator()
+    for index in sorted(done):
+        total.merge(done[index])
+    if checkpoint is not None:
+        checkpoint.discard()
+    return total
+
+
+def _run_pooled(bound, groups, workers, policy, record, fail, run_serial, on_event):
+    """The process-pool path: timeouts, pool rebuilds, degradation."""
+    pending = list(groups)
+    recorded: set[int] = set()
+
+    def keep(group, accumulators):
+        record(group, accumulators)
+        recorded.add(group[0][0])
+
+    rebuilds = 0
+    degraded = False
+    pool = None
+    try:
+        while pending:
+            if degraded:
+                run_serial(pending)
+                pending = []
+                break
+            if pool is None:
+                pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
+            compromised = False
+            try:
+                futures = [(group, pool.submit(bound, group)) for group in pending]
+            except BrokenProcessPool:
+                futures = []
+                compromised = True
+                rebuilds += 1
+                _event(
+                    on_event, event="pool-rebuild", rebuilds=rebuilds,
+                    cause="worker crashed before submission",
+                )
+                if rebuilds > policy.max_pool_rebuilds:
+                    degraded = True
+                    _event(
+                        on_event, event="degraded", rebuilds=rebuilds,
+                        cause="worker crashed before submission",
+                    )
+            for group, future in futures:
+                try:
+                    accumulators = future.result(timeout=policy.batch_timeout)
+                    validate_batch(group, accumulators)
+                except (BrokenProcessPool, FutureTimeout) as exc:
+                    timed_out = isinstance(exc, FutureTimeout)
+                    cause = (
+                        f"no result within {policy.batch_timeout}s"
+                        if timed_out
+                        else "worker crashed (BrokenProcessPool)"
+                    )
+                    rebuilds += 1
+                    _event(
+                        on_event, event="pool-rebuild", rebuilds=rebuilds,
+                        batch=group[0][0], cause=cause,
+                    )
+                    if rebuilds > policy.max_pool_rebuilds:
+                        degraded = True
+                        _event(
+                            on_event, event="degraded", rebuilds=rebuilds,
+                            cause=cause,
+                        )
+                    elif timed_out:
+                        # a hang is charged to the batch; a crashed pool is
+                        # not, since any neighbour batch may be to blame
+                        fail(group, cause)
+                    compromised = True
+                    break
+                except Exception as exc:  # the task itself failed: retriable
+                    fail(group, exc)
+                else:
+                    keep(group, accumulators)
+            if compromised and pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = None
+            pending = [g for g in pending if g[0][0] not in recorded]
+        if pool is not None:
+            pool.shutdown(wait=True)
+            pool = None
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)

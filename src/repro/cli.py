@@ -35,13 +35,40 @@ def _samples(args) -> int:
     return QUICK_SAMPLES if args.quick else args.samples
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if not value > 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
 def _engine_options(args) -> dict:
     """Monte-Carlo engine knobs shared by the characterization commands."""
     cache = False if getattr(args, "no_cache", False) else getattr(args, "cache", None)
+    resume = getattr(args, "resume", False)
     return {
         "workers": getattr(args, "workers", None),
         "cache": cache,
         "progress": _progress_printer(args),
+        "max_retries": getattr(args, "max_retries", None),
+        "batch_timeout": getattr(args, "batch_timeout", None),
+        # --resume implies checkpointing, else there is nothing to resume to
+        "checkpoint": getattr(args, "checkpoint", False) or resume,
+        "resume": resume,
     }
 
 
@@ -63,6 +90,37 @@ def _progress_printer(args):
             print(
                 f"{event['design']}: {event['samples']} samples in "
                 f"{event['seconds']:.2f}s{rate_text} (cache {event['cache']})",
+                file=sys.stderr,
+            )
+        elif kind == "retry":
+            print(
+                f"{event['design']}: retrying batch@{event['batch']} "
+                f"(attempt {event['attempt']}, backoff {event['delay']:.2f}s): "
+                f"{event['cause']}",
+                file=sys.stderr,
+            )
+        elif kind == "pool-rebuild":
+            print(
+                f"{event['design']}: rebuilding worker pool "
+                f"(#{event['rebuilds']}): {event['cause']}",
+                file=sys.stderr,
+            )
+        elif kind == "degraded":
+            print(
+                f"{event['design']}: degraded to serial execution after "
+                f"{event['rebuilds']} pool rebuilds ({event['cause']})",
+                file=sys.stderr,
+            )
+        elif kind == "resume":
+            print(
+                f"{event['design']}: resumed {event['blocks_done']} block(s) "
+                f"({event['samples_done']} samples) from checkpoint",
+                file=sys.stderr,
+            )
+        elif kind == "design-fallback":
+            print(
+                f"{event['design']}: worker task failed, recomputing "
+                f"serially: {event['cause']}",
                 file=sys.stderr,
             )
 
@@ -383,13 +441,41 @@ def make_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p):
-        p.add_argument("--samples", type=int, default=experiments.DEFAULT_SAMPLES)
+        p.add_argument(
+            "--samples", type=_positive_int, default=experiments.DEFAULT_SAMPLES
+        )
         p.add_argument("--quick", action="store_true", help="small Monte-Carlo run")
         p.add_argument(
             "--workers",
-            type=int,
+            type=_positive_int,
             default=None,
             help="parallel worker processes for the Monte-Carlo engine",
+        )
+        p.add_argument(
+            "--max-retries",
+            type=_nonnegative_int,
+            default=None,
+            help="re-executions allowed per failed batch (default 2)",
+        )
+        p.add_argument(
+            "--batch-timeout",
+            type=_positive_float,
+            default=None,
+            metavar="SECONDS",
+            help="seconds to wait for one parallel batch before declaring "
+            "the worker hung and rebuilding the pool",
+        )
+        p.add_argument(
+            "--checkpoint",
+            action="store_true",
+            help="periodically persist per-block state under the cache dir "
+            "so an interrupted run can be resumed",
+        )
+        p.add_argument(
+            "--resume",
+            action="store_true",
+            help="skip blocks/designs a previous interrupted run already "
+            "finished (implies --checkpoint)",
         )
         p.add_argument(
             "--cache",

@@ -91,12 +91,19 @@ def table1_errors(
     workers: int | None = None,
     cache=None,
     progress=None,
+    max_retries: int | None = None,
+    batch_timeout: float | None = None,
+    checkpoint: bool = False,
+    resume: bool = False,
 ) -> list[dict]:
     """Error columns of Table I: measured next to the published values.
 
     ``workers`` fans the designs out over a process pool and ``cache``
     memoizes per-design metrics on disk (see ``repro.analysis.cache``);
-    ``progress`` receives one event dict per completed design.
+    ``progress`` receives one event dict per completed design.  The
+    resilience knobs (``max_retries``/``batch_timeout``/``checkpoint``/
+    ``resume``) forward to the engine, so a long campaign survives
+    worker faults and can resume after an interruption.
     """
     designs = [(name, build(name)) for name in ids]
     measured = characterize_many(
@@ -106,6 +113,10 @@ def table1_errors(
         workers=workers,
         cache=cache,
         progress=progress,
+        max_retries=max_retries,
+        batch_timeout=batch_timeout,
+        checkpoint=checkpoint,
+        resume=resume,
     )
     rows = []
     for name, multiplier in designs:
@@ -157,12 +168,18 @@ def table1_text(
     workers: int | None = None,
     cache=None,
     progress=None,
+    max_retries: int | None = None,
+    batch_timeout: float | None = None,
+    checkpoint: bool = False,
+    resume: bool = False,
 ) -> str:
     """Rendered Table I: measured vs. paper for every column."""
     errors = {
         r["name"]: r
         for r in table1_errors(
-            samples, ids, workers=workers, cache=cache, progress=progress
+            samples, ids, workers=workers, cache=cache, progress=progress,
+            max_retries=max_retries, batch_timeout=batch_timeout,
+            checkpoint=checkpoint, resume=resume,
         )
     }
     synthesis = {r["name"]: r for r in table1_synthesis(ids)}
@@ -286,6 +303,10 @@ def fig4_designspace(
     workers: int | None = None,
     cache=None,
     progress=None,
+    max_retries: int | None = None,
+    batch_timeout: float | None = None,
+    checkpoint: bool = False,
+    resume: bool = False,
 ) -> dict:
     """Fig. 4: the four panels' points and Pareto fronts."""
     points = sweep(
@@ -294,6 +315,10 @@ def fig4_designspace(
         workers=workers,
         cache=cache,
         progress=progress,
+        max_retries=max_retries,
+        batch_timeout=batch_timeout,
+        checkpoint=checkpoint,
+        resume=resume,
     )
     kept = fig4_points(points)
     fronts = {

@@ -3,8 +3,11 @@
 from __future__ import annotations
 
 import json
+import os
+import time
 
 from repro.analysis.cache import (
+    STALE_TEMP_SECONDS,
     cache_key,
     cache_stats,
     clear_cache,
@@ -12,6 +15,7 @@ from repro.analysis.cache import (
     load_metrics,
     reset_cache_stats,
     resolve_cache_dir,
+    sweep_stale_temps,
 )
 from repro.analysis.montecarlo import (
     characterize,
@@ -174,3 +178,50 @@ class TestCacheResolution:
         assert invalidate(entry.stem, cache=tmp_path) is False
         assert clear_cache(tmp_path) == 1
         assert list(tmp_path.glob("*.json")) == []
+
+
+def _backdate(path, age_seconds):
+    past = time.time() - age_seconds
+    os.utime(path, (past, past))
+
+
+class TestStaleTempSweep:
+    """Orphaned ``*.tmp<pid>`` files (a writer that died between write
+    and rename) must be garbage-collected, never a live writer's file."""
+
+    def test_sweeps_only_old_temps(self, tmp_path):
+        orphan = tmp_path / "aaa.tmp123"
+        orphan.write_text("x")
+        _backdate(orphan, STALE_TEMP_SECONDS + 60)
+        live = tmp_path / "bbb.tmp456"
+        live.write_text("y")  # a concurrent writer: too young to sweep
+        entry = tmp_path / "ccc.json"
+        entry.write_text("{}")
+        assert sweep_stale_temps(tmp_path) == 1
+        assert not orphan.exists()
+        assert live.exists() and entry.exists()
+
+    def test_missing_directory_is_a_noop(self, tmp_path):
+        assert sweep_stale_temps(tmp_path / "never-created") == 0
+
+    def test_cache_init_sweeps_orphans(self, tmp_path):
+        orphan = tmp_path / "dead.tmp999"
+        orphan.write_text("x")
+        _backdate(orphan, STALE_TEMP_SECONDS + 60)
+        # the first store into this directory garbage-collects it
+        characterize(RealmMultiplier(m=4), samples=1 << 12, cache=tmp_path)
+        assert not orphan.exists()
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_clear_cache_drops_checkpoints_and_temps(self, tmp_path):
+        characterize(RealmMultiplier(m=4), samples=1 << 12, cache=tmp_path)
+        ckpt_dir = tmp_path / "checkpoints"
+        ckpt_dir.mkdir()
+        (ckpt_dir / "run.json").write_text("{}")
+        orphan = ckpt_dir / "run.tmp1"
+        orphan.write_text("x")
+        _backdate(orphan, STALE_TEMP_SECONDS + 60)
+        assert clear_cache(tmp_path) == 2  # the entry + the checkpoint
+        assert list(tmp_path.glob("*.json")) == []
+        assert not (ckpt_dir / "run.json").exists()
+        assert not orphan.exists()

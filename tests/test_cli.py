@@ -137,6 +137,89 @@ class TestExtensionCommands:
         assert code == 0
         assert "cALM-div16" in out
 
+class TestResilienceFlags:
+    @pytest.mark.parametrize(
+        "flag,value",
+        [
+            ("--max-retries", "-1"),
+            ("--batch-timeout", "0"),
+            ("--batch-timeout", "-2.5"),
+            ("--samples", "0"),
+            ("--samples", "-4"),
+            ("--workers", "0"),
+            ("--workers", "-2"),
+        ],
+    )
+    def test_rejects_nonsensical_values(self, capsys, flag, value):
+        with pytest.raises(SystemExit):
+            main(["characterize", "calm", "--quick", flag, value])
+        assert "error" in capsys.readouterr().err
+
+    def test_characterize_accepts_resilience_flags(self, capsys):
+        code, out = run_cli(
+            capsys, "characterize", "calm", "--quick",
+            "--max-retries", "0", "--batch-timeout", "60",
+        )
+        assert code == 0
+        assert "cALM" in out
+
+    def test_resume_implies_checkpoint(self):
+        import argparse
+
+        from repro.cli import _engine_options
+
+        args = argparse.Namespace(resume=True)
+        options = _engine_options(args)
+        assert options["checkpoint"] is True
+        assert options["resume"] is True
+        assert _engine_options(argparse.Namespace())["checkpoint"] is False
+
+    def test_checkpoint_run_leaves_no_state_behind(self, capsys, tmp_path):
+        code, _ = run_cli(
+            capsys, "characterize", "drum-k8", "--quick",
+            "--cache", str(tmp_path), "--checkpoint",
+        )
+        assert code == 0
+        # the run finished, so its checkpoint was discarded
+        assert not list(tmp_path.glob("checkpoints/*.json"))
+
+    def test_progress_reports_injected_retry(self, capsys, tmp_path, monkeypatch):
+        from repro.analysis.chaos import CHAOS_ENV, ChaosPlan, FaultSpec
+
+        plan = ChaosPlan(
+            (FaultSpec(kind="raise", block=0, times=1),), str(tmp_path)
+        )
+        monkeypatch.setenv(CHAOS_ENV, plan.to_json())
+        code = main(["characterize", "calm", "--quick", "--progress"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "retrying batch@0" in captured.err
+        assert "injected fault" in captured.err
+
+    def test_progress_printer_formats_resilience_events(self, capsys):
+        import argparse
+
+        from repro.cli import _progress_printer
+
+        emit = _progress_printer(argparse.Namespace(progress=True))
+        emit({"event": "retry", "design": "X", "batch": 3, "attempt": 1,
+              "delay": 0.15, "cause": "boom"})
+        emit({"event": "pool-rebuild", "design": "X", "rebuilds": 1,
+              "cause": "crashed"})
+        emit({"event": "degraded", "design": "X", "rebuilds": 3,
+              "cause": "crashed"})
+        emit({"event": "resume", "design": "X", "blocks_done": 2,
+              "samples_done": 131072})
+        emit({"event": "design-fallback", "design": "X", "cause": "died"})
+        err = capsys.readouterr().err
+        assert "retrying batch@3 (attempt 1, backoff 0.15s): boom" in err
+        assert "rebuilding worker pool (#1)" in err
+        assert "degraded to serial execution after 3 pool rebuilds" in err
+        assert "resumed 2 block(s) (131072 samples) from checkpoint" in err
+        assert "worker task failed, recomputing serially: died" in err
+
+
+class TestVerilogExtras:
     def test_verilog_with_testbench(self, capsys, tmp_path):
         target = tmp_path / "dut.v"
         code, out = run_cli(

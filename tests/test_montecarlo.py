@@ -68,6 +68,44 @@ class TestCharacterize:
             characterize(AccurateMultiplier(), samples=0)
 
 
+class TestArgumentValidation:
+    """Nonsensical engine arguments fail loudly at the API boundary,
+    before any pool or cache machinery runs."""
+
+    def test_rejects_negative_samples(self):
+        with pytest.raises(ValueError, match="samples"):
+            characterize(AccurateMultiplier(), samples=-5)
+
+    def test_rejects_non_integer_samples(self):
+        with pytest.raises(ValueError, match="samples"):
+            characterize(AccurateMultiplier(), samples=True)
+        with pytest.raises(ValueError, match="samples"):
+            characterize(AccurateMultiplier(), samples=2.5)
+
+    def test_rejects_bad_chunk(self):
+        with pytest.raises(ValueError, match="chunk"):
+            characterize(AccurateMultiplier(), samples=1 << 12, chunk=0)
+
+    def test_rejects_negative_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            characterize(AccurateMultiplier(), samples=1 << 12, workers=-1)
+
+    def test_characterize_many_validates_too(self):
+        with pytest.raises(ValueError, match="samples"):
+            characterize_many({"a": AccurateMultiplier()}, samples=0)
+
+    def test_rejects_policy_and_knob_conflict(self):
+        from repro.analysis.runtime import ResiliencePolicy
+
+        with pytest.raises(ValueError, match="not both"):
+            characterize(
+                AccurateMultiplier(),
+                samples=1 << 12,
+                policy=ResiliencePolicy(),
+                max_retries=1,
+            )
+
+
 class TestCharacterizeMany:
     def test_dict_and_pairs(self):
         designs = {"calm": MitchellMultiplier(), "acc": AccurateMultiplier()}

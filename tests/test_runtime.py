@@ -1,0 +1,364 @@
+"""Tests for the resilient execution layer (``repro.analysis.runtime``).
+
+The invariant under test everywhere: a run that completes — retried,
+rebuilt, degraded or resumed — produces an accumulator bit-identical to
+an undisturbed serial run, and a run that cannot complete raises a
+:class:`BatchFailure` naming the exact blocks.  Failure injection here is
+done with plain in-test task wrappers; the cross-process chaos harness
+has its own suite in ``test_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import Accumulator
+from repro.analysis.parallel import BLOCK, block_plan, group_blocks, uniform_task
+from repro.analysis.runtime import (
+    BatchFailure,
+    Checkpoint,
+    CorruptResultError,
+    ResiliencePolicy,
+    run_plan,
+    validate_batch,
+)
+from repro.multipliers.mitchell import MitchellMultiplier
+
+#: three blocks — two full, one short tail — one block per batch
+SAMPLES = 2 * BLOCK + 1234
+CHUNK = BLOCK
+SEED = 11
+
+#: a policy that never actually sleeps (tests stay fast and deterministic)
+FAST = dict(sleep=lambda s: None, jitter=lambda low, high: low)
+
+
+def clean_run(multiplier, samples=SAMPLES, seed=SEED) -> Accumulator:
+    """The undisturbed serial reference every recovery path must match."""
+    return run_plan(uniform_task, (multiplier, seed), block_plan(samples), CHUNK)
+
+
+class FlakyTask:
+    """``uniform_task`` that fails its target batch a set number of times."""
+
+    def __init__(self, fails=0, block=0, make_error=None):
+        self.fails = fails
+        self.block = block
+        self.make_error = make_error or (lambda: RuntimeError("transient fault"))
+        self.calls: list[int] = []
+
+    def __call__(self, multiplier, seed, blocks):
+        self.calls.append(blocks[0][0])
+        if blocks[0][0] == self.block and self.fails > 0:
+            self.fails -= 1
+            raise self.make_error()
+        return uniform_task(multiplier, seed, blocks)
+
+
+class TestResiliencePolicy:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            ResiliencePolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(batch_timeout=0)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(batch_timeout=-1.5)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(backoff_base=-0.1)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(backoff_base=1.0, backoff_cap=0.5)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(max_pool_rebuilds=-1)
+
+    def test_next_delay_decorrelated_jitter(self):
+        # jitter pinned to the upper bound: delay_n = min(cap, 3*delay_{n-1})
+        policy = ResiliencePolicy(
+            backoff_base=0.05, backoff_cap=2.0, jitter=lambda low, high: high
+        )
+        delays = []
+        previous = policy.backoff_base
+        for _ in range(5):
+            previous = policy.next_delay(previous)
+            delays.append(previous)
+        assert delays == pytest.approx([0.15, 0.45, 1.35, 2.0, 2.0])
+
+    def test_next_delay_lower_bound_is_base(self):
+        policy = ResiliencePolicy(
+            backoff_base=0.05, backoff_cap=2.0, jitter=lambda low, high: low
+        )
+        assert policy.next_delay(1.0) == pytest.approx(0.05)
+
+    def test_pause_uses_injected_sleep(self):
+        slept = []
+        policy = ResiliencePolicy(sleep=slept.append)
+        policy.pause(0.25)
+        policy.pause(0.0)  # zero never sleeps
+        assert slept == [0.25]
+
+
+class TestValidateBatch:
+    BLOCKS = [(0, 10), (1, 5)]
+
+    @staticmethod
+    def _acc(count):
+        acc = Accumulator()
+        acc.count = count
+        acc.all_count = count
+        return acc
+
+    def test_accepts_matching_accumulators(self):
+        validate_batch(self.BLOCKS, [self._acc(10), self._acc(5)])
+
+    def test_rejects_non_list(self):
+        with pytest.raises(CorruptResultError, match="list of accumulators"):
+            validate_batch(self.BLOCKS, None)
+
+    def test_rejects_truncated_result(self):
+        with pytest.raises(CorruptResultError, match="2 block"):
+            validate_batch(self.BLOCKS, [self._acc(10)])
+
+    def test_rejects_wrong_element_type(self):
+        with pytest.raises(CorruptResultError, match="expected an Accumulator"):
+            validate_batch(self.BLOCKS, [self._acc(10), {"count": 5}])
+
+    def test_rejects_wrong_sample_count(self):
+        with pytest.raises(CorruptResultError, match="block 1"):
+            validate_batch(self.BLOCKS, [self._acc(10), self._acc(6)])
+
+    def test_rejects_inconsistent_nonzero_count(self):
+        bad = self._acc(10)
+        bad.count = 11  # more nonzero samples than samples
+        with pytest.raises(CorruptResultError, match="block 0"):
+            validate_batch(self.BLOCKS, [bad, self._acc(5)])
+
+
+class TestBatchFailure:
+    def test_names_the_blocks_and_cause(self):
+        error = BatchFailure(
+            "REALM16 (t=0)", [(3, BLOCK), (4, 100)], attempts=3, cause="boom"
+        )
+        assert error.label == "REALM16 (t=0)"
+        assert error.blocks == [(3, BLOCK), (4, 100)]
+        assert error.attempts == 3
+        message = str(error)
+        assert "blocks[3..4]" in message
+        assert f"{BLOCK + 100} samples" in message
+        assert "'REALM16 (t=0)'" in message
+        assert "3 attempt(s)" in message
+        assert "boom" in message
+
+
+class TestCheckpoint:
+    PAYLOAD = {"kind": "test", "seed": SEED, "samples": SAMPLES}
+
+    def _checkpoint(self, tmp_path, **kwargs):
+        return Checkpoint(tmp_path, "deadbeef", dict(self.PAYLOAD), **kwargs)
+
+    def test_round_trip_bit_exact(self, tmp_path):
+        blocks = uniform_task(MitchellMultiplier(), SEED, [(0, BLOCK), (1, 77)])
+        state = {0: blocks[0], 1: blocks[1], 2: Accumulator()}
+        ckpt = self._checkpoint(tmp_path)
+        ckpt.save(state)
+        loaded = ckpt.load()
+        # dataclass equality is field-by-field float equality — bit-exact
+        # round trip through JSON, including the empty block's infinities
+        assert loaded == state
+        assert loaded[2].peak_min == math.inf
+        assert loaded[2].peak_max == -math.inf
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert self._checkpoint(tmp_path).load() == {}
+
+    def test_corrupt_file_loads_empty(self, tmp_path):
+        ckpt = self._checkpoint(tmp_path)
+        ckpt.save({0: Accumulator()})
+        ckpt.path.write_text("{not json")
+        assert ckpt.load() == {}
+
+    def test_payload_mismatch_loads_empty(self, tmp_path):
+        ckpt = self._checkpoint(tmp_path)
+        ckpt.save({0: Accumulator()})
+        other = Checkpoint(tmp_path, "deadbeef", {**self.PAYLOAD, "seed": 12})
+        assert other.load() == {}
+
+    def test_version_mismatch_loads_empty(self, tmp_path, monkeypatch):
+        ckpt = self._checkpoint(tmp_path)
+        ckpt.save({0: Accumulator()})
+        monkeypatch.setattr("repro.analysis.runtime.CHECKPOINT_VERSION", 2)
+        assert ckpt.load() == {}
+
+    def test_discard_is_idempotent(self, tmp_path):
+        ckpt = self._checkpoint(tmp_path)
+        ckpt.save({0: Accumulator()})
+        assert ckpt.path.exists()
+        ckpt.discard()
+        ckpt.discard()
+        assert not ckpt.path.exists()
+
+
+class TestRunPlanSerial:
+    def test_matches_plain_serial_run(self):
+        calm = MitchellMultiplier()
+        resilient = run_plan(
+            uniform_task,
+            (calm, SEED),
+            block_plan(SAMPLES),
+            CHUNK,
+            policy=ResiliencePolicy(**FAST),
+        )
+        assert resilient == clean_run(calm)
+
+    def test_retry_then_success_is_bit_identical(self):
+        calm = MitchellMultiplier()
+        flaky = FlakyTask(fails=2, block=1)
+        slept = []
+        events = []
+        policy = ResiliencePolicy(
+            max_retries=2, sleep=slept.append, jitter=lambda low, high: high
+        )
+        result = run_plan(
+            flaky,
+            (calm, SEED),
+            block_plan(SAMPLES),
+            CHUNK,
+            policy=policy,
+            on_event=events.append,
+        )
+        assert result == clean_run(calm)
+        assert flaky.calls == [0, 1, 1, 1, 2]
+        retries = [e for e in events if e["event"] == "retry"]
+        assert [e["attempt"] for e in retries] == [1, 2]
+        assert all("transient fault" in e["cause"] for e in retries)
+        # one decorrelated-jitter pause per retry, growing 3x up to the cap
+        assert slept == pytest.approx([0.15, 0.45])
+
+    def test_retry_exhaustion_raises_batch_failure(self):
+        flaky = FlakyTask(fails=99, block=1)
+        with pytest.raises(BatchFailure) as excinfo:
+            run_plan(
+                flaky,
+                (MitchellMultiplier(), SEED),
+                block_plan(SAMPLES),
+                CHUNK,
+                policy=ResiliencePolicy(max_retries=1, **FAST),
+            )
+        failure = excinfo.value
+        assert failure.blocks == [(1, BLOCK)]
+        assert failure.attempts == 2  # initial try + one retry
+        assert "blocks[1..1]" in str(failure)
+
+    def test_corrupt_result_is_retried_not_merged(self):
+        calm = MitchellMultiplier()
+
+        class CorruptOnce:
+            def __init__(self):
+                self.armed = True
+
+            def __call__(self, multiplier, seed, blocks):
+                out = uniform_task(multiplier, seed, blocks)
+                if self.armed and blocks[0][0] == 0:
+                    self.armed = False
+                    out[0].all_count += 1  # lies about its sample coverage
+                return out
+
+        events = []
+        result = run_plan(
+            CorruptOnce(),
+            (calm, SEED),
+            block_plan(SAMPLES),
+            CHUNK,
+            policy=ResiliencePolicy(max_retries=2, **FAST),
+            on_event=events.append,
+        )
+        assert result == clean_run(calm)
+        retries = [e for e in events if e["event"] == "retry"]
+        assert len(retries) == 1
+        assert "block 0" in retries[0]["cause"]
+
+    def test_checkpoint_saved_on_failure_and_resumed(self, tmp_path):
+        calm = MitchellMultiplier()
+        payload = {"kind": "test-resume", "seed": SEED, "samples": SAMPLES}
+        ckpt = Checkpoint(tmp_path, "abc123", payload)
+        bomb = FlakyTask(fails=99, block=2)
+        with pytest.raises(BatchFailure):
+            run_plan(
+                bomb,
+                (calm, SEED),
+                block_plan(SAMPLES),
+                CHUNK,
+                policy=ResiliencePolicy(max_retries=0, **FAST),
+                checkpoint=ckpt,
+            )
+        assert ckpt.path.exists()  # blocks 0 and 1 persisted
+
+        counting = FlakyTask()
+        events = []
+        resumed = run_plan(
+            counting,
+            (calm, SEED),
+            block_plan(SAMPLES),
+            CHUNK,
+            checkpoint=Checkpoint(tmp_path, "abc123", dict(payload)),
+            resume=True,
+            on_event=events.append,
+        )
+        # only the interrupted block was recomputed, result is bit-identical
+        assert counting.calls == [2]
+        assert resumed == clean_run(calm)
+        assert events[0]["event"] == "resume"
+        assert events[0]["blocks_done"] == 2
+        assert not ckpt.path.exists()  # discarded after a clean finish
+
+    def test_resume_ignores_checkpoint_for_other_plan(self, tmp_path):
+        calm = MitchellMultiplier()
+        payload = {"kind": "test-stale", "samples": SAMPLES}
+        stale = Checkpoint(tmp_path, "key", payload)
+        # a checkpointed block whose sample count disagrees with the plan
+        wrong = Accumulator()
+        wrong.count = wrong.all_count = 17
+        stale.save({0: wrong})
+        counting = FlakyTask()
+        result = run_plan(
+            counting,
+            (calm, SEED),
+            block_plan(SAMPLES),
+            CHUNK,
+            checkpoint=Checkpoint(tmp_path, "key", dict(payload)),
+            resume=True,
+        )
+        assert counting.calls == [0, 1, 2]  # nothing was trusted
+        assert result == clean_run(calm)
+
+    def test_checkpoint_discarded_on_clean_success(self, tmp_path):
+        calm = MitchellMultiplier()
+        ckpt = Checkpoint(tmp_path, "clean", {"kind": "t"})
+        run_plan(
+            uniform_task, (calm, SEED), block_plan(SAMPLES), CHUNK, checkpoint=ckpt
+        )
+        assert not ckpt.path.exists()
+        assert not list((tmp_path / "checkpoints").glob("*.tmp*"))
+
+    def test_progress_reports_cumulative_samples(self):
+        seen = []
+        run_plan(
+            uniform_task,
+            (MitchellMultiplier(), SEED),
+            block_plan(SAMPLES),
+            CHUNK,
+            on_progress=seen.append,
+        )
+        assert seen == [BLOCK, 2 * BLOCK, SAMPLES]
+
+
+class TestGroupBlocks:
+    def test_rejects_bad_chunk(self):
+        with pytest.raises(ValueError, match="chunk must be >= 1"):
+            group_blocks([(0, BLOCK)], 0)
+
+    def test_partitions_in_order(self):
+        plan = block_plan(3 * BLOCK + 5)
+        groups = group_blocks(plan, 2 * BLOCK)
+        assert [len(g) for g in groups] == [2, 2]
+        assert [g[0][0] for g in groups] == [0, 2]
