@@ -7,13 +7,17 @@ PYTHON ?= python3
 VERIFY_ENV = PYTHONPATH=src REPRO_BENCH_SAMPLES=262144 REPRO_BENCH_WORKERS=2 \
 	REPRO_CACHE_DIR=.repro-cache
 
-.PHONY: install test bench experiments examples quick verify clean
+.PHONY: install test nightly bench experiments examples quick verify clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# exhaustive 256x256 model-vs-RTL sweep (what the scheduled CI job runs)
+nightly:
+	PYTHONPATH=src REPRO_NIGHTLY=1 $(PYTHON) -m pytest tests/test_rtl_equivalence.py -m nightly
 
 verify:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -x -q

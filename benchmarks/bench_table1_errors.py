@@ -8,7 +8,7 @@ i.i.d. operands over the full 16-bit range, errors vs. the exact product.
 
 from __future__ import annotations
 
-from conftest import BENCH_SAMPLES, BENCH_WORKERS, run_once
+from conftest import BENCH_SAMPLES, BENCH_WORKERS, attach_phases, run_once
 
 from repro import paper
 from repro.experiments import format_table, table1_errors
@@ -53,10 +53,16 @@ def _render(rows) -> str:
 
 def _bench_family(benchmark, record_result, family: str):
     ids = FAMILIES[family]
-    rows = run_once(
+    rows, snapshot = run_once(
         benchmark,
-        lambda: table1_errors(samples=BENCH_SAMPLES, ids=ids, workers=BENCH_WORKERS),
+        lambda: table1_errors(
+            samples=BENCH_SAMPLES,
+            ids=ids,
+            workers=BENCH_WORKERS,
+            with_telemetry=True,
+        ),
     )
+    attach_phases(benchmark, snapshot)
     record_result(f"table1_errors_{family}", _render(rows))
 
 

@@ -41,6 +41,21 @@ def results_dir() -> pathlib.Path:
     return RESULTS_DIR
 
 
+def attach_phases(benchmark, snapshot) -> None:
+    """Store a telemetry snapshot's per-phase breakdown in the bench JSON.
+
+    pytest-benchmark serializes ``extra_info`` into ``--benchmark-json``
+    output, so saved runs carry where the wall time went (sampling vs.
+    finalization vs. cache traffic), not just the total.
+    """
+    benchmark.extra_info["phases"] = {
+        name: {"count": stat.count, "wall_s": round(stat.wall, 6)}
+        for name, stat in sorted(snapshot.phases.items())
+    }
+    if snapshot.counters:
+        benchmark.extra_info["counters"] = dict(sorted(snapshot.counters.items()))
+
+
 @pytest.fixture
 def record_result(results_dir):
     """Print a result block and persist it under benchmarks/results/."""

@@ -18,7 +18,17 @@ from .runtime import (
     Checkpoint,
     CorruptResultError,
     ResiliencePolicy,
+    monotonic_progress,
     run_plan,
+)
+from .telemetry import (
+    Telemetry,
+    TelemetrySnapshot,
+    PhaseStat,
+    format_summary,
+    merge_workers,
+    summarize_trace,
+    tracing,
 )
 from .exhaustive import error_grid, exhaustive_metrics
 from .metrics import (
@@ -53,8 +63,11 @@ __all__ = [
     "ENGINE_VERSION",
     "ErrorMetrics",
     "Histogram",
+    "PhaseStat",
     "ProfileSummary",
     "ResiliencePolicy",
+    "Telemetry",
+    "TelemetrySnapshot",
     "run_plan",
     "accumulate_chunk",
     "ascii_heatmap",
@@ -78,6 +91,11 @@ __all__ = [
     "is_dominated",
     "merge_accumulators",
     "merge_metrics",
+    "merge_workers",
+    "monotonic_progress",
+    "format_summary",
+    "summarize_trace",
+    "tracing",
     "knob_surface",
     "pareto_front",
     "predicted_floor",

@@ -33,6 +33,7 @@ import os
 import pathlib
 import time
 
+from . import telemetry
 from .metrics import ErrorMetrics
 
 __all__ = [
@@ -132,8 +133,10 @@ def load_metrics(directory, key: str) -> ErrorMetrics | None:
         # missing, unreadable, truncated or hand-edited entries all fall
         # back to recomputation; store_metrics repairs the file afterwards
         _STATS.misses += 1
+        telemetry.get().counter("cache.misses")
         return None
     _STATS.hits += 1
+    telemetry.get().counter("cache.hits")
     return metrics
 
 
@@ -190,6 +193,7 @@ def store_metrics(directory, key: str, metrics: ErrorMetrics, payload: dict) -> 
     temp.write_text(text + "\n")
     os.replace(temp, path)
     _STATS.stores += 1
+    telemetry.get().counter("cache.stores")
 
 
 def invalidate(key: str, cache=True) -> bool:

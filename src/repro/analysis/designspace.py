@@ -18,6 +18,7 @@ import dataclasses
 
 from .. import paper
 from ..multipliers.registry import TABLE1_IDS, build
+from . import telemetry
 from .metrics import ErrorMetrics
 from .montecarlo import characterize_many
 from .pareto import pareto_front
@@ -74,6 +75,7 @@ def sweep(
     policy=None,
     checkpoint: bool = False,
     resume: bool = False,
+    with_telemetry: bool = False,
 ) -> list[DesignPoint]:
     """Characterize error and synthesis cost for each design.
 
@@ -84,8 +86,19 @@ def sweep(
     sweep fans out across designs, reuses cached metrics, survives
     worker faults, and — with ``checkpoint``/``resume`` — an
     interrupted sweep restarted with ``resume=True`` recomputes only
-    the unfinished blocks/designs.
+    the unfinished blocks/designs.  ``with_telemetry=True`` returns
+    ``(points, TelemetrySnapshot)`` with the sweep's per-phase timings
+    and counters (see :mod:`repro.analysis.telemetry`).
     """
+    if with_telemetry:
+        with telemetry.recording() as rec:
+            points = sweep(
+                ids, samples=samples, seed=seed, source=source, chunk=chunk,
+                workers=workers, cache=cache, progress=progress,
+                max_retries=max_retries, batch_timeout=batch_timeout,
+                policy=policy, checkpoint=checkpoint, resume=resume,
+            )
+        return points, rec.snapshot
     chosen = []
     for name in ids:
         columns = _synthesis_columns(name, source)

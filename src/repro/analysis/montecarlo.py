@@ -34,6 +34,7 @@ import numpy as np
 
 from ..multipliers.base import Multiplier
 from ..multipliers.registry import fingerprint
+from . import telemetry
 from .cache import cache_key, cache_stats, load_metrics, resolve_cache_dir, store_metrics
 from .metrics import ErrorMetrics
 from .parallel import (
@@ -147,6 +148,19 @@ def _emit(progress, **event) -> None:
         progress(event)
 
 
+def _recorded(run):
+    """Run ``run()`` capturing a telemetry delta; returns ``(result, snapshot)``.
+
+    Backs the ``with_telemetry=True`` keyword of the public entry points:
+    the snapshot holds only what this call recorded (counters and phase
+    stats delta against the surrounding registry state) and works even
+    with telemetry disabled, via a temporary in-memory registry.
+    """
+    with telemetry.recording() as rec:
+        result = run()
+    return result, rec.snapshot
+
+
 def _uniform_payload(multiplier: Multiplier, samples: int, seed: int) -> dict:
     return {
         "engine": ENGINE_VERSION,
@@ -174,51 +188,58 @@ def _run_cached(
     resume: bool = False,
 ) -> ErrorMetrics:
     """Cache lookup -> blocked engine run -> cache store, with telemetry."""
+    tele = telemetry.get()
     directory = resolve_cache_dir(cache) if payload is not None else None
     key = cache_key(payload) if directory is not None else None
     start = time.perf_counter()
-    if directory is not None:
-        hit = load_metrics(directory, key)
-        if hit is not None:
+    with tele.span("characterize", design=label, samples=samples):
+        if directory is not None:
+            with tele.span("cache.lookup", design=label):
+                hit = load_metrics(directory, key)
+            if hit is not None:
+                _emit(
+                    progress,
+                    event="done",
+                    design=label,
+                    samples=samples,
+                    seconds=time.perf_counter() - start,
+                    cache="hit",
+                )
+                tele.event("mc.done", design=label, samples=samples, cache="hit")
+                return hit
+
+        def on_progress(done):
             _emit(
                 progress,
-                event="done",
+                event="progress",
                 design=label,
-                samples=samples,
-                seconds=time.perf_counter() - start,
-                cache="hit",
+                samples_done=done,
+                samples_total=samples,
             )
-            return hit
 
-    def on_progress(done):
-        _emit(
-            progress,
-            event="progress",
-            design=label,
-            samples_done=done,
-            samples_total=samples,
+        def on_event(event):
+            _emit(progress, design=label, **event)
+
+        accumulator = run_blocked(
+            task,
+            task_args,
+            samples,
+            chunk,
+            workers=workers,
+            on_progress=on_progress,
+            policy=policy,
+            checkpoint=_resolve_checkpoint(checkpoint, resume, directory, payload),
+            resume=resume,
+            on_event=on_event,
+            label=label,
         )
-
-    def on_event(event):
-        _emit(progress, design=label, **event)
-
-    accumulator = run_blocked(
-        task,
-        task_args,
-        samples,
-        chunk,
-        workers=workers,
-        on_progress=on_progress,
-        policy=policy,
-        checkpoint=_resolve_checkpoint(checkpoint, resume, directory, payload),
-        resume=resume,
-        on_event=on_event,
-        label=label,
-    )
-    metrics = accumulator.finalize(_max_product(multiplier))
-    elapsed = time.perf_counter() - start
-    if directory is not None:
-        store_metrics(directory, key, metrics, payload)
+        with tele.span("finalize", design=label):
+            metrics = accumulator.finalize(_max_product(multiplier))
+        elapsed = time.perf_counter() - start
+        if directory is not None:
+            with tele.span("cache.store", design=label):
+                store_metrics(directory, key, metrics, payload)
+    outcome = "miss" if directory is not None else "off"
     _emit(
         progress,
         event="done",
@@ -226,8 +247,13 @@ def _run_cached(
         samples=samples,
         seconds=elapsed,
         samples_per_sec=samples / elapsed if elapsed > 0 else float("inf"),
-        cache="miss" if directory is not None else "off",
+        cache=outcome,
     )
+    tele.event(
+        "mc.done", design=label, samples=samples, seconds=elapsed, cache=outcome
+    )
+    if elapsed > 0:
+        tele.gauge("mc.samples_per_sec", samples / elapsed)
     return metrics
 
 
@@ -245,6 +271,7 @@ def characterize(
     policy: ResiliencePolicy | None = None,
     checkpoint: bool = False,
     resume: bool = False,
+    with_telemetry: bool = False,
 ) -> ErrorMetrics:
     """Monte-Carlo error statistics of one design.
 
@@ -261,8 +288,19 @@ def characterize(
     :class:`~repro.analysis.runtime.ResiliencePolicy` via ``policy``)
     tune failure handling; ``checkpoint=True`` persists per-block state
     under the cache dir and ``resume=True`` skips blocks a previous
-    interrupted run already finished.
+    interrupted run already finished.  ``with_telemetry=True`` returns
+    ``(metrics, TelemetrySnapshot)`` — the per-phase timings and
+    counters this call recorded (see :mod:`repro.analysis.telemetry`).
     """
+    if with_telemetry:
+        return _recorded(
+            lambda: characterize(
+                multiplier, samples=samples, seed=seed, chunk=chunk,
+                workers=workers, cache=cache, progress=progress,
+                max_retries=max_retries, batch_timeout=batch_timeout,
+                policy=policy, checkpoint=checkpoint, resume=resume,
+            )
+        )
     _validate_engine_args(samples, chunk, workers)
     return _run_cached(
         multiplier,
@@ -321,6 +359,7 @@ def characterize_many(
     policy: ResiliencePolicy | None = None,
     checkpoint: bool = False,
     resume: bool = False,
+    with_telemetry: bool = False,
 ) -> dict[str, ErrorMetrics]:
     """Characterize ``{name: multiplier}`` or ``(name, multiplier)`` pairs.
 
@@ -337,8 +376,17 @@ def characterize_many(
     own content-addressed per-block checkpoint, so an interrupted sweep
     restarted with ``resume=True`` recomputes only unfinished designs
     (finished ones are cache hits) and, within those, only unfinished
-    blocks.
+    blocks.  ``with_telemetry=True`` returns ``(results, snapshot)``.
     """
+    if with_telemetry:
+        return _recorded(
+            lambda: characterize_many(
+                multipliers, samples=samples, seed=seed, chunk=chunk,
+                workers=workers, cache=cache, progress=progress,
+                max_retries=max_retries, batch_timeout=batch_timeout,
+                policy=policy, checkpoint=checkpoint, resume=resume,
+            )
+        )
     _validate_engine_args(samples, chunk, workers)
     policy = _resolve_policy(policy, max_retries, batch_timeout)
     items = list(multipliers.items() if hasattr(multipliers, "items") else multipliers)
@@ -355,6 +403,9 @@ def characterize_many(
             samples=samples,
             seconds=seconds,
             cache=outcome,
+        )
+        telemetry.get().event(
+            "mc.design", design=name, index=index, total=total, cache=outcome
         )
 
     if workers and workers > 1 and total > 1:
@@ -405,6 +456,8 @@ def characterize_many(
                         name, completed, time.perf_counter() - start,
                         "miss" if directory is not None else "off",
                     )
+            # the design pool has drained: fold worker telemetry files in
+            telemetry.merge_workers()
             for name, multiplier, payload, key, exc in failed:
                 _emit(
                     progress,
@@ -412,6 +465,9 @@ def characterize_many(
                     design=name,
                     cause=str(exc),
                 )
+                tele = telemetry.get()
+                tele.counter("runtime.design_fallbacks")
+                tele.event("runtime.design-fallback", design=name, cause=str(exc))
                 metrics = _serial_design_task(
                     multiplier, samples, seed, chunk,
                     policy, checkpoint_dir, payload, resume,
@@ -475,6 +531,7 @@ def characterize_workload(
     policy: ResiliencePolicy | None = None,
     checkpoint: bool = False,
     resume: bool = False,
+    with_telemetry: bool = False,
 ) -> ErrorMetrics:
     """Error statistics under an application-specific input distribution.
 
@@ -490,7 +547,17 @@ def characterize_workload(
     Caching requires a fingerprintable sampler (the built-in sampler
     dataclasses are); otherwise the run silently skips the cache.
     Parallel runs require the sampler to be picklable.
+    ``with_telemetry=True`` returns ``(metrics, TelemetrySnapshot)``.
     """
+    if with_telemetry:
+        return _recorded(
+            lambda: characterize_workload(
+                multiplier, sampler, samples=samples, seed=seed, chunk=chunk,
+                workers=workers, cache=cache, progress=progress,
+                max_retries=max_retries, batch_timeout=batch_timeout,
+                policy=policy, checkpoint=checkpoint, resume=resume,
+            )
+        )
     _validate_engine_args(samples, chunk, workers)
     sampler_info = _sampler_fingerprint(sampler)
     payload = None

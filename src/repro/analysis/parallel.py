@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import telemetry
 from .metrics import Accumulator, accumulate_chunk
 
 __all__ = [
@@ -84,10 +85,12 @@ def draw_uniform_block(
 
 def uniform_task(multiplier, seed: int, blocks) -> list[Accumulator]:
     """Per-block accumulators for uniform operands (picklable worker body)."""
+    tele = telemetry.get()
     out = []
     for index, count in blocks:
-        a, b = draw_uniform_block(multiplier.bitwidth, seed, index, count)
-        out.append(accumulate_chunk(multiplier.multiply(a, b), a * b))
+        with tele.span("mc.block", block=index, design=multiplier.name):
+            a, b = draw_uniform_block(multiplier.bitwidth, seed, index, count)
+            out.append(accumulate_chunk(multiplier.multiply(a, b), a * b))
     return out
 
 
@@ -97,12 +100,14 @@ def workload_task(multiplier, sampler, seed: int, blocks) -> list[Accumulator]:
     ``sampler`` must be picklable (a plain function or one of the sampler
     dataclasses in :mod:`repro.analysis.montecarlo`) to run with workers.
     """
+    tele = telemetry.get()
     out = []
     for index, count in blocks:
-        a, b = sampler(substream(seed, index), count)
-        a = np.asarray(a, dtype=np.int64)
-        b = np.asarray(b, dtype=np.int64)
-        out.append(accumulate_chunk(multiplier.multiply(a, b), a * b))
+        with tele.span("mc.block", block=index, design=multiplier.name):
+            a, b = sampler(substream(seed, index), count)
+            a = np.asarray(a, dtype=np.int64)
+            b = np.asarray(b, dtype=np.int64)
+            out.append(accumulate_chunk(multiplier.multiply(a, b), a * b))
     return out
 
 

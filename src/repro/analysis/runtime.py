@@ -42,6 +42,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 
+from . import telemetry
 from .metrics import Accumulator
 
 __all__ = [
@@ -49,6 +50,7 @@ __all__ = [
     "Checkpoint",
     "CorruptResultError",
     "ResiliencePolicy",
+    "monotonic_progress",
     "run_plan",
     "validate_batch",
 ]
@@ -214,22 +216,25 @@ class Checkpoint:
 
     def save(self, blocks: dict[int, Accumulator]) -> None:
         """Atomically persist the completed blocks (write-temp-then-rename)."""
-        path = self.path
-        path.parent.mkdir(parents=True, exist_ok=True)
-        text = json.dumps(
-            {
-                "version": CHECKPOINT_VERSION,
-                "payload": self.payload,
-                "blocks": {
-                    str(index): dataclasses.asdict(blocks[index])
-                    for index in sorted(blocks)
+        tele = telemetry.get()
+        with tele.span("checkpoint.save", blocks=len(blocks)):
+            path = self.path
+            path.parent.mkdir(parents=True, exist_ok=True)
+            text = json.dumps(
+                {
+                    "version": CHECKPOINT_VERSION,
+                    "payload": self.payload,
+                    "blocks": {
+                        str(index): dataclasses.asdict(blocks[index])
+                        for index in sorted(blocks)
+                    },
                 },
-            },
-            sort_keys=True,
-        )
-        temp = path.with_suffix(f".tmp{os.getpid()}")
-        temp.write_text(text + "\n")
-        os.replace(temp, path)
+                sort_keys=True,
+            )
+            temp = path.with_suffix(f".tmp{os.getpid()}")
+            temp.write_text(text + "\n")
+            os.replace(temp, path)
+        tele.counter("runtime.checkpoint_writes")
 
     def discard(self) -> None:
         try:
@@ -238,9 +243,57 @@ class Checkpoint:
             pass
 
 
+#: runtime events that also bump a monotonic telemetry counter
+_EVENT_COUNTERS = {
+    "retry": "runtime.retries",
+    "pool-rebuild": "runtime.pool_rebuilds",
+    "degraded": "runtime.degraded",
+    "resume": "runtime.resumes",
+}
+
+
 def _event(on_event, **fields) -> None:
+    """Deliver one runtime event to the callback *and* to telemetry.
+
+    Every recovery event is mirrored as a structured telemetry event
+    (``runtime.<kind>``), and the countable kinds (retry, pool-rebuild,
+    degraded, resume) bump their monotonic counters — which is what the
+    chaos interplay tests compare against exact fault firing counts.
+    """
+    tele = telemetry.get()
+    if tele.enabled:
+        kind = fields.get("event")
+        counter = _EVENT_COUNTERS.get(kind)
+        if counter is not None:
+            tele.counter(counter)
+        tele.event(
+            f"runtime.{kind}",
+            **{name: value for name, value in fields.items() if name != "event"},
+        )
     if on_event is not None:
         on_event(fields)
+
+
+def monotonic_progress(callback):
+    """Wrap an ``on_progress`` callback so its stream is strictly increasing.
+
+    The runtime's recovery paths (a retried batch completing after a
+    later batch, duplicate delivery after a pool rebuild, resumed state)
+    must never surface as a ``samples_done`` value that repeats or moves
+    backwards.  The wrapper suppresses any report that is not strictly
+    greater than the last delivered value; ``None`` passes through.
+    """
+    if callback is None:
+        return None
+    last = -1
+
+    def report(samples_done):
+        nonlocal last
+        if samples_done > last:
+            last = samples_done
+            callback(samples_done)
+
+    return report
 
 
 def run_plan(
@@ -267,8 +320,12 @@ def run_plan(
     accumulator is built in ascending block order, so the result is
     bit-identical to an undisturbed serial run no matter which recovery
     paths fired.  ``on_progress(samples_done)`` reports cumulative
-    samples; ``on_event(dict)`` receives retry / pool-rebuild /
-    degraded / resume event dicts.
+    samples and is guaranteed strictly increasing (duplicate batch
+    deliveries are deduplicated and regressions clamped, see
+    :func:`monotonic_progress`); ``on_event(dict)`` receives retry /
+    pool-rebuild / degraded / resume event dicts.  Recovery events and
+    per-phase timings also flow into :mod:`repro.analysis.telemetry`
+    when it is enabled.
 
     Note the per-batch timeout only guards the *parallel* path: once
     degraded to in-process execution a batch cannot be preempted.
@@ -278,6 +335,8 @@ def run_plan(
 
     policy = policy if policy is not None else ResiliencePolicy()
     bound = chaos_wrap(functools.partial(task, *task_args), label=label)
+    on_progress = monotonic_progress(on_progress)
+    run_start = time.perf_counter()
 
     done: dict[int, Accumulator] = {}
     if checkpoint is not None and resume:
@@ -299,6 +358,7 @@ def run_plan(
         if on_progress is not None:
             on_progress(samples_done)
 
+    resumed_blocks = len(done)
     groups = group_blocks([b for b in plan if b[0] not in done], chunk)
 
     attempts: dict[int, int] = {}
@@ -307,9 +367,15 @@ def run_plan(
 
     def record(group, accumulators):
         nonlocal samples_done, completed_batches
-        for (index, _), acc in zip(group, accumulators):
+        new_samples = 0
+        for (index, count), acc in zip(group, accumulators):
+            if index in done:
+                continue  # duplicate delivery of an already-merged block
             done[index] = acc
-        samples_done += sum(count for _, count in group)
+            new_samples += count
+        if new_samples == 0:
+            return
+        samples_done += new_samples
         completed_batches += 1
         if checkpoint is not None and completed_batches % checkpoint.every == 0:
             checkpoint.save(done)
@@ -346,8 +412,21 @@ def run_plan(
                 record(group, accumulators)
                 break
 
+    tele = telemetry.get()
     if workers and workers > 1 and len(groups) > 1:
+        busy_before = tele.snapshot().phase("mc.block").wall if tele.enabled else 0.0
+        pool_start = time.perf_counter()
         _run_pooled(bound, groups, workers, policy, record, fail, run_serial, on_event)
+        telemetry.merge_workers(tele)
+        if tele.enabled:
+            pool_elapsed = time.perf_counter() - pool_start
+            busy = tele.snapshot().phase("mc.block").wall - busy_before
+            if pool_elapsed > 0:
+                tele.gauge("pool.workers", workers)
+                tele.gauge(
+                    "pool.utilization",
+                    min(1.0, busy / (pool_elapsed * workers)),
+                )
     else:
         run_serial(groups)
 
@@ -356,6 +435,11 @@ def run_plan(
         total.merge(done[index])
     if checkpoint is not None:
         checkpoint.discard()
+    if tele.enabled:
+        run_elapsed = time.perf_counter() - run_start
+        computed = len(plan) - resumed_blocks
+        if computed and run_elapsed > 0:
+            tele.gauge("runtime.blocks_per_sec", computed / run_elapsed)
     return total
 
 

@@ -9,9 +9,14 @@
     repro-realm table2                    # JPEG PSNR study
     repro-realm fig1 | fig2 | fig3 | fig4 | fig5
     repro-realm characterize realm8-t4    # one design's error metrics
+    repro-realm characterize calm --trace trace.jsonl
+    repro-realm telemetry summarize trace.jsonl
 
 ``--quick`` shrinks the Monte-Carlo depth for fast smoke runs; the
-defaults match the reproduction used in EXPERIMENTS.md.
+defaults match the reproduction used in EXPERIMENTS.md.  ``--trace``
+records a JSONL telemetry trace of the whole command (per-phase wall/CPU
+timings, cache/retry counters — see ``repro.analysis.telemetry``), and
+``telemetry summarize`` renders one as a per-phase table.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ import sys
 import numpy as np
 
 from . import experiments, paper
+from .analysis import telemetry
 from .analysis.cache import cache_stats
 from .analysis.distribution import ascii_histogram
 from .analysis.montecarlo import characterize
@@ -494,6 +500,13 @@ def make_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="print per-design progress/throughput to stderr",
         )
+        p.add_argument(
+            "--trace",
+            default=None,
+            metavar="PATH",
+            help="write a JSONL telemetry trace of this run to PATH "
+            "(summarize it with 'repro-realm telemetry summarize PATH')",
+        )
 
     sub.add_parser("list").set_defaults(func=cmd_list)
 
@@ -574,6 +587,16 @@ def make_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_divide)
 
     p = sub.add_parser(
+        "telemetry", help="inspect JSONL telemetry traces"
+    )
+    tsub = p.add_subparsers(dest="telemetry_command", required=True)
+    ts = tsub.add_parser(
+        "summarize", help="per-phase time/counter table from a trace"
+    )
+    ts.add_argument("path", help="a trace file or a directory of *.jsonl files")
+    ts.set_defaults(func=cmd_telemetry_summarize)
+
+    p = sub.add_parser(
         "explore", help="search the design space under error/cost budgets"
     )
     p.add_argument("--max-me", type=float, help="max mean error %%")
@@ -594,8 +617,23 @@ def make_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def cmd_telemetry_summarize(args) -> int:
+    import pathlib
+
+    source = pathlib.Path(args.path)
+    if not source.exists():
+        print(f"no trace at {source}", file=sys.stderr)
+        return 1
+    print(telemetry.format_summary(telemetry.summarize_trace(source)))
+    return 0
+
+
 def main(argv=None) -> int:
     args = make_parser().parse_args(argv)
+    trace = getattr(args, "trace", None)
+    if trace is not None:
+        with telemetry.tracing(trace):
+            return args.func(args)
     return args.func(args)
 
 

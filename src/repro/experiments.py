@@ -14,6 +14,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from . import paper
+from .analysis import telemetry
 from .analysis.designspace import DesignPoint, fig4_front, fig4_points, sweep
 from .analysis.distribution import Histogram, error_histogram
 from .analysis.montecarlo import characterize, characterize_many
@@ -95,6 +96,7 @@ def table1_errors(
     batch_timeout: float | None = None,
     checkpoint: bool = False,
     resume: bool = False,
+    with_telemetry: bool = False,
 ) -> list[dict]:
     """Error columns of Table I: measured next to the published values.
 
@@ -104,7 +106,18 @@ def table1_errors(
     resilience knobs (``max_retries``/``batch_timeout``/``checkpoint``/
     ``resume``) forward to the engine, so a long campaign survives
     worker faults and can resume after an interruption.
+    ``with_telemetry=True`` returns ``(rows, TelemetrySnapshot)`` with
+    the campaign's per-phase timings and counters.
     """
+    if with_telemetry:
+        with telemetry.recording() as rec:
+            rows = table1_errors(
+                samples, ids, seed, workers=workers, cache=cache,
+                progress=progress, max_retries=max_retries,
+                batch_timeout=batch_timeout, checkpoint=checkpoint,
+                resume=resume,
+            )
+        return rows, rec.snapshot
     designs = [(name, build(name)) for name in ids]
     measured = characterize_many(
         designs,
@@ -307,8 +320,23 @@ def fig4_designspace(
     batch_timeout: float | None = None,
     checkpoint: bool = False,
     resume: bool = False,
+    with_telemetry: bool = False,
 ) -> dict:
-    """Fig. 4: the four panels' points and Pareto fronts."""
+    """Fig. 4: the four panels' points and Pareto fronts.
+
+    ``with_telemetry=True`` adds a ``"telemetry"`` key holding the
+    sweep's :class:`~repro.analysis.telemetry.TelemetrySnapshot`.
+    """
+    if with_telemetry:
+        with telemetry.recording() as rec:
+            result = fig4_designspace(
+                source, samples, workers=workers, cache=cache,
+                progress=progress, max_retries=max_retries,
+                batch_timeout=batch_timeout, checkpoint=checkpoint,
+                resume=resume,
+            )
+        result["telemetry"] = rec.snapshot
+        return result
     points = sweep(
         samples=samples,
         source=source,

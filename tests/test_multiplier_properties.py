@@ -99,6 +99,72 @@ def test_one_is_near_identity(name):
         assert int(multiplier.multiply(1024, 1)) == 1024
 
 
+# designs for which 2^i * 2^j is computed exactly: a power of two has a
+# zero Mitchell fraction, so pure log designs (cALM, ImpLM, IntALP) are
+# exact there, as are the segment/broken-array designs that keep the
+# leading one (SSM/ESSM, AM, ALM-MAA) and the accurate baseline.  REALM
+# and MBM are excluded — their correction LUT / round-up bit perturbs
+# even zero-fraction operands — as are DRUM (unbiasing set bit) and
+# ALM-SOA (set-once approximate adder).
+POW2_EXACT_IDS = [
+    n
+    for n in ALL_IDS
+    if n == "accurate"
+    or n.startswith(("alm-maa", "am1", "am2", "calm", "essm", "implm", "intalp", "ssm"))
+]
+
+# designs the paper guarantees never overestimate: truncation-only
+# datapaths (SSM/ESSM segment truncation, AM broken arrays, cALM's
+# floor-log) always drop weight.  REALM/MBM add correction terms and
+# DRUM rounds up, so they can exceed the exact product.
+UNDERESTIMATE_IDS = [
+    n
+    for n in ALL_IDS
+    if n == "accurate" or n.startswith(("am1", "am2", "calm", "essm", "ssm"))
+]
+
+operand = st.integers(min_value=0, max_value=(1 << 16) - 1)
+exponent = st.integers(min_value=0, max_value=15)
+
+
+class TestRegistryInvariants:
+    """Hypothesis sweeps of the paper-level contracts over the registry."""
+
+    @given(st.sampled_from(COMMUTATIVE_IDS), operand, operand)
+    @settings(max_examples=150, deadline=None)
+    def test_commutative_on_random_operands(self, name, a, b):
+        multiplier = build(name)
+        assert int(multiplier.multiply(a, b)) == int(multiplier.multiply(b, a))
+
+    @given(st.sampled_from(POW2_EXACT_IDS), exponent, exponent)
+    @settings(max_examples=150, deadline=None)
+    def test_power_of_two_products_are_exact(self, name, i, j):
+        # Mitchell's log error vanishes when both fractions are zero
+        multiplier = build(name)
+        assert int(multiplier.multiply(1 << i, 1 << j)) == 1 << (i + j)
+
+    @given(st.sampled_from(ALL_IDS), operand)
+    @settings(max_examples=150, deadline=None)
+    def test_zero_annihilates_any_operand(self, name, x):
+        multiplier = build(name)
+        assert int(multiplier.multiply(x, 0)) == 0
+        assert int(multiplier.multiply(0, x)) == 0
+
+    @given(st.sampled_from(POW2_EXACT_IDS), exponent)
+    @settings(max_examples=120, deadline=None)
+    def test_identity_on_powers_of_two(self, name, i):
+        # 1 is 2^0, so identity multiplication is a pow2-exact product
+        multiplier = build(name)
+        assert int(multiplier.multiply(1 << i, 1)) == 1 << i
+        assert int(multiplier.multiply(1, 1 << i)) == 1 << i
+
+    @given(st.sampled_from(UNDERESTIMATE_IDS), operand, operand)
+    @settings(max_examples=150, deadline=None)
+    def test_truncating_designs_never_overestimate(self, name, a, b):
+        multiplier = build(name)
+        assert int(multiplier.multiply(a, b)) <= a * b
+
+
 class TestScalarArrayConsistency:
     @given(
         st.sampled_from(["realm8-t3", "calm", "drum-k6", "ssm-m9", "intalp-l2"]),

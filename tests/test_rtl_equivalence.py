@@ -5,16 +5,25 @@ configuration, the gate-level netlist (what the synthesis numbers are
 computed from) and the NumPy functional model (what the error numbers are
 computed from) must agree bit for bit on randomized vectors plus the
 corner cases (zeros, ones, powers of two, saturating operands).
+
+At 8 bits the statement is *exhaustive*: every design buildable at that
+width is checked over all 256x256 operand pairs.  The full sweep is
+``nightly``-marked (set ``REPRO_NIGHTLY=1``); a seeded 4k-pair slice of
+the same grid runs in every tier-1 invocation.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.circuits.catalog import NETLISTS, netlist_for
+from repro.circuits.ssm_rtl import essm_netlist, ssm_netlist
 from repro.logic.sim import evaluate_words
 from repro.multipliers.registry import REGISTRY, build
+from repro.multipliers.ssm import EssmMultiplier, SsmMultiplier
 
 CORNERS = np.array(
     [0, 1, 2, 3, 5, 255, 256, 4095, 4096, 32767, 32768, 65534, 65535],
@@ -73,3 +82,104 @@ def test_realm_output_width_covers_overflow(name):
 def test_non_overflowing_designs_use_2n_outputs():
     for name in ("calm", "drum-k8", "ssm-m9", "intalp-l2", "accurate"):
         assert len(netlist_for(name, 16).outputs) == 32
+
+
+# ----------------------------------------------------------------------
+# Exhaustive 8-bit model-vs-RTL sweep
+# ----------------------------------------------------------------------
+
+
+def _eightbit_ids() -> list[str]:
+    """Registry ids whose parameters are valid at 8 bits.
+
+    Some configurations are 16-bit-only (SSM/ESSM segment widths ``m >=
+    8`` need ``m < N``; high-``t`` REALM truncations leave no fraction
+    at ``N = 8``) — their constructors raise ``ValueError`` and they are
+    excluded here, with the families still covered via the custom pairs
+    in ``EXTRA_8BIT_PAIRS``.
+    """
+    names = []
+    for name in sorted(NETLISTS):
+        try:
+            build(name, 8)
+        except ValueError:
+            continue
+        names.append(name)
+    return names
+
+
+EIGHTBIT_IDS = _eightbit_ids()
+
+#: (label, model, netlist) pairs covering the families whose *registry*
+#: parameterizations do not fit in 8 bits (SSM/ESSM need m < 8)
+EXTRA_8BIT_PAIRS = [
+    ("ssm8-m6", SsmMultiplier(8, m=6), ssm_netlist(8, m=6)),
+    ("ssm8-m4", SsmMultiplier(8, m=4), ssm_netlist(8, m=4)),
+    ("essm8-m6", EssmMultiplier(8, m=6), essm_netlist(8, m=6)),
+    ("essm8-m4", EssmMultiplier(8, m=4), essm_netlist(8, m=4)),
+]
+
+
+def _assert_equivalent_8bit(label, model, netlist, a, b):
+    got = evaluate_words(netlist, [netlist.inputs[:8], netlist.inputs[8:]], [a, b])
+    want = model.multiply(a, b)
+    mismatches = np.nonzero(got != want)[0]
+    assert mismatches.size == 0, (
+        f"{label}: {mismatches.size}/{a.size} mismatches, first at "
+        f"a={a[mismatches[0]]}, b={b[mismatches[0]]}: "
+        f"netlist={got[mismatches[0]]} model={want[mismatches[0]]}"
+    )
+
+
+@pytest.fixture(scope="module")
+def slice8(exhaustive8):
+    """A seeded 4096-pair slice of the exhaustive 8-bit grid (tier-1)."""
+    a, b = exhaustive8
+    picks = np.random.default_rng(0x8B17).choice(a.size, 4096, replace=False)
+    return a[picks], b[picks]
+
+
+def test_every_eightbit_family_is_covered():
+    # every RTL family present in the catalog has 8-bit coverage, either
+    # through its registry ids or through a custom pair
+    covered = {build(name, 8).family for name in EIGHTBIT_IDS}
+    covered |= {model.family for _, model, _ in EXTRA_8BIT_PAIRS}
+    targets = {
+        "cALM", "REALM", "DRUM", "SSM", "ESSM", "ImpLM", "IntALP", "AM1", "AM2",
+    }
+    missing = targets - covered
+    assert not missing, f"families without 8-bit equivalence coverage: {missing}"
+
+
+@pytest.mark.parametrize("name", EIGHTBIT_IDS)
+def test_eightbit_slice_matches_model(name, slice8):
+    a, b = slice8
+    _assert_equivalent_8bit(name, build(name, 8), netlist_for(name, 8), a, b)
+
+
+@pytest.mark.parametrize("label, model, netlist", EXTRA_8BIT_PAIRS)
+def test_eightbit_slice_matches_model_extra(label, model, netlist, slice8):
+    a, b = slice8
+    _assert_equivalent_8bit(label, model, netlist, a, b)
+
+
+@pytest.mark.nightly
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_NIGHTLY"),
+    reason="full 256x256 sweep runs in the nightly job (set REPRO_NIGHTLY=1)",
+)
+@pytest.mark.parametrize("name", EIGHTBIT_IDS)
+def test_eightbit_exhaustive_matches_model(name, exhaustive8):
+    a, b = exhaustive8
+    _assert_equivalent_8bit(name, build(name, 8), netlist_for(name, 8), a, b)
+
+
+@pytest.mark.nightly
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_NIGHTLY"),
+    reason="full 256x256 sweep runs in the nightly job (set REPRO_NIGHTLY=1)",
+)
+@pytest.mark.parametrize("label, model, netlist", EXTRA_8BIT_PAIRS)
+def test_eightbit_exhaustive_matches_model_extra(label, model, netlist, exhaustive8):
+    a, b = exhaustive8
+    _assert_equivalent_8bit(label, model, netlist, a, b)

@@ -11,6 +11,7 @@ has its own suite in ``test_chaos.py``.
 from __future__ import annotations
 
 import math
+import os
 
 import pytest
 
@@ -21,6 +22,7 @@ from repro.analysis.runtime import (
     Checkpoint,
     CorruptResultError,
     ResiliencePolicy,
+    monotonic_progress,
     run_plan,
     validate_batch,
 )
@@ -350,6 +352,116 @@ class TestRunPlanSerial:
             on_progress=seen.append,
         )
         assert seen == [BLOCK, 2 * BLOCK, SAMPLES]
+
+
+class FailOnceAcrossProcesses:
+    """A task that fails its target block exactly once, pool-safe.
+
+    Pool submissions pickle the task, so in-object counters reset per
+    worker; an ``O_EXCL`` marker file makes "already fired" visible to
+    every process exactly once.
+    """
+
+    def __init__(self, block, marker):
+        self.block = block
+        self.marker = str(marker)
+
+    def __call__(self, multiplier, seed, blocks):
+        if blocks[0][0] == self.block:
+            try:
+                os.close(os.open(self.marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+            except FileExistsError:
+                pass
+            else:
+                raise RuntimeError("transient fault")
+        return uniform_task(multiplier, seed, blocks)
+
+
+class TestMonotonicProgress:
+    """Regression suite for the ``on_progress`` monotonicity contract:
+    retried/duplicated batch deliveries must never surface as a
+    ``samples_done`` value that repeats or moves backwards."""
+
+    def test_wrapper_suppresses_regressions_and_duplicates(self):
+        seen = []
+        report = monotonic_progress(seen.append)
+        # a retried early block completing after later blocks would,
+        # unclamped, replay lower totals into the callback stream
+        for value in [BLOCK, 2 * BLOCK, BLOCK, 2 * BLOCK, 3 * BLOCK]:
+            report(value)
+        assert seen == [BLOCK, 2 * BLOCK, 3 * BLOCK]
+
+    def test_wrapper_passes_none_through(self):
+        assert monotonic_progress(None) is None
+
+    def test_serial_retry_stream_is_strictly_increasing(self):
+        calm = MitchellMultiplier()
+        flaky = FlakyTask(fails=2, block=0)
+        seen = []
+        result = run_plan(
+            flaky,
+            (calm, SEED),
+            block_plan(SAMPLES),
+            CHUNK,
+            policy=ResiliencePolicy(max_retries=2, **FAST),
+            on_progress=seen.append,
+        )
+        assert result == clean_run(calm)
+        assert seen == sorted(set(seen))  # strictly increasing
+        assert seen[-1] == SAMPLES
+
+    def test_pooled_retry_after_later_block_stays_monotonic(self, tmp_path):
+        """The ISSUE scenario: with workers, a failed early batch is
+        retried and completes *after* later batches have reported — the
+        callback stream must still be strictly increasing and end at the
+        full sample count."""
+        calm = MitchellMultiplier()
+        # block 0 fails on its first execution (the marker file carries
+        # the "already fired" state across worker processes, since each
+        # pool submission pickles its own copy of the task); blocks 1
+        # and 2 complete and report before its retry lands
+        flaky = FailOnceAcrossProcesses(block=0, marker=tmp_path / "fired")
+        seen = []
+        result = run_plan(
+            flaky,
+            (calm, SEED),
+            block_plan(SAMPLES),
+            CHUNK,
+            workers=2,
+            policy=ResiliencePolicy(max_retries=2, **FAST),
+            on_progress=seen.append,
+        )
+        assert result == clean_run(calm)
+        assert len(seen) == 3
+        assert seen == sorted(set(seen))
+        assert seen[-1] == SAMPLES
+
+    def test_resume_then_progress_stays_monotonic(self, tmp_path):
+        calm = MitchellMultiplier()
+        payload = {"kind": "test-monotonic", "seed": SEED, "samples": SAMPLES}
+        bomb = FlakyTask(fails=99, block=2)
+        with pytest.raises(BatchFailure):
+            run_plan(
+                bomb,
+                (calm, SEED),
+                block_plan(SAMPLES),
+                CHUNK,
+                policy=ResiliencePolicy(max_retries=0, **FAST),
+                checkpoint=Checkpoint(tmp_path, "mono", dict(payload)),
+            )
+        seen = []
+        resumed = run_plan(
+            FlakyTask(),
+            (calm, SEED),
+            block_plan(SAMPLES),
+            CHUNK,
+            checkpoint=Checkpoint(tmp_path, "mono", dict(payload)),
+            resume=True,
+            on_progress=seen.append,
+        )
+        assert resumed == clean_run(calm)
+        # the resume report (2 blocks done) then the final total
+        assert seen == [2 * BLOCK, SAMPLES]
 
 
 class TestGroupBlocks:
