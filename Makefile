@@ -7,7 +7,7 @@ PYTHON ?= python3
 VERIFY_ENV = PYTHONPATH=src REPRO_BENCH_SAMPLES=262144 REPRO_BENCH_WORKERS=2 \
 	REPRO_CACHE_DIR=.repro-cache
 
-.PHONY: install test nightly bench experiments examples quick verify clean
+.PHONY: install test nightly bench experiments examples quick verify serve-smoke clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -26,6 +26,12 @@ verify:
 	@echo "--- warm-cache second pass ---"
 	$(VERIFY_ENV) $(PYTHON) -m pytest benchmarks/bench_table1_errors.py --benchmark-only -q
 	rm -rf .repro-cache
+	PYTHONPATH=src $(PYTHON) tools/serve_smoke.py
+
+# live TCP server under a mixed workload; asserts fused serve.batch
+# spans, zero shed and bit-identical responses (DESIGN.md §10)
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) tools/serve_smoke.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,97 @@
+"""Throughput benchmarks of the serving layer's micro-batcher.
+
+Measures what batching actually buys: the per-request overhead of N
+separate single-pair evaluations versus one fused flush of the same N
+requests, plus the end-to-end in-process dispatch rate (codec +
+dispatch + batcher, no sockets).  pytest-benchmark statistics apply.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from repro.serve import BatchPolicy, InProcessClient, MicroBatcher, Service
+
+REQUESTS = 256
+
+
+class _Never:
+    async def __call__(self, seconds):
+        await asyncio.Event().wait()
+
+
+def _request_mix(seed: int, count: int = REQUESTS):
+    rng = np.random.default_rng(seed)
+    return [
+        (
+            rng.integers(0, 1 << 16, size=4).tolist(),
+            rng.integers(0, 1 << 16, size=4).tolist(),
+        )
+        for _ in range(count)
+    ]
+
+
+def test_perf_fused_flush(benchmark):
+    """One flush fusing REQUESTS submissions into few evaluations."""
+    requests = _request_mix(1)
+
+    def fused():
+        async def scenario():
+            batcher = MicroBatcher(
+                BatchPolicy(max_queue=1 << 16), sleep=_Never()
+            )
+            futures = [
+                batcher.submit("calm", a, b) for a, b in requests
+            ]
+            batcher.flush_pending()
+            return [f.result() for f in futures]
+
+        return asyncio.run(scenario())
+
+    results = benchmark(fused)
+    assert len(results) == REQUESTS
+
+
+def test_perf_unbatched_flushes(benchmark):
+    """The same requests flushed one at a time (no fusion baseline)."""
+    requests = _request_mix(1)
+
+    def unbatched():
+        async def scenario():
+            batcher = MicroBatcher(
+                BatchPolicy(max_queue=1 << 16), sleep=_Never()
+            )
+            out = []
+            for a, b in requests:
+                future = batcher.submit("calm", a, b)
+                batcher.flush_pending()
+                out.append(future.result())
+            return out
+
+        return asyncio.run(scenario())
+
+    results = benchmark(unbatched)
+    assert len(results) == REQUESTS
+
+
+def test_perf_in_process_dispatch(benchmark):
+    """End-to-end requests/s through codec + dispatch + batcher."""
+    requests = _request_mix(2, count=64)
+
+    def dispatch():
+        async def scenario():
+            service = Service(policy=BatchPolicy(max_latency=0.0))
+            service.start()
+            client = InProcessClient(service)
+            products = await asyncio.gather(
+                *(client.multiply("calm", a, b) for a, b in requests)
+            )
+            await service.drain()
+            return products
+
+        return asyncio.run(scenario())
+
+    results = benchmark(dispatch)
+    assert len(results) == 64

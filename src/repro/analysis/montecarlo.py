@@ -186,6 +186,7 @@ def _run_cached(
     policy: ResiliencePolicy | None = None,
     checkpoint: bool = False,
     resume: bool = False,
+    pool=None,
 ) -> ErrorMetrics:
     """Cache lookup -> blocked engine run -> cache store, with telemetry."""
     tele = telemetry.get()
@@ -232,6 +233,7 @@ def _run_cached(
             resume=resume,
             on_event=on_event,
             label=label,
+            pool=pool,
         )
         with tele.span("finalize", design=label):
             metrics = accumulator.finalize(_max_product(multiplier))
@@ -272,6 +274,7 @@ def characterize(
     checkpoint: bool = False,
     resume: bool = False,
     with_telemetry: bool = False,
+    pool=None,
 ) -> ErrorMetrics:
     """Monte-Carlo error statistics of one design.
 
@@ -291,6 +294,8 @@ def characterize(
     interrupted run already finished.  ``with_telemetry=True`` returns
     ``(metrics, TelemetrySnapshot)`` — the per-phase timings and
     counters this call recorded (see :mod:`repro.analysis.telemetry`).
+    ``pool`` is an optional :class:`~repro.analysis.runtime.SharedPool`
+    whose workers are reused across calls (the serving layer's mode).
     """
     if with_telemetry:
         return _recorded(
@@ -299,6 +304,7 @@ def characterize(
                 workers=workers, cache=cache, progress=progress,
                 max_retries=max_retries, batch_timeout=batch_timeout,
                 policy=policy, checkpoint=checkpoint, resume=resume,
+                pool=pool,
             )
         )
     _validate_engine_args(samples, chunk, workers)
@@ -316,6 +322,7 @@ def characterize(
         policy=_resolve_policy(policy, max_retries, batch_timeout),
         checkpoint=checkpoint,
         resume=resume,
+        pool=pool,
     )
 
 

@@ -124,6 +124,7 @@ def run_blocked(
     resume: bool = False,
     on_event=None,
     label: str = "run",
+    pool=None,
 ) -> Accumulator:
     """Execute ``task(*task_args, blocks)`` over the canonical partition.
 
@@ -135,7 +136,9 @@ def run_blocked(
     order, so the result is independent of the execution strategy *and*
     of any recovery path taken.  ``on_progress(samples_done)`` fires
     after each task batch; ``on_event`` receives retry/degradation event
-    dicts.
+    dicts.  ``pool`` is an optional
+    :class:`~repro.analysis.runtime.SharedPool` reused across calls (a
+    server amortizing worker startup over many requests).
     """
     from .runtime import run_plan
 
@@ -151,4 +154,5 @@ def run_blocked(
         on_progress=on_progress,
         on_event=on_event,
         label=label,
+        pool=pool,
     )

@@ -50,6 +50,7 @@ __all__ = [
     "Checkpoint",
     "CorruptResultError",
     "ResiliencePolicy",
+    "SharedPool",
     "monotonic_progress",
     "run_plan",
     "validate_batch",
@@ -115,6 +116,64 @@ class ResiliencePolicy:
 
 class CorruptResultError(ValueError):
     """A task returned accumulators that cannot describe its batch."""
+
+
+class SharedPool:
+    """A worker pool reused across campaigns (the serving layer's mode).
+
+    :func:`run_plan` normally builds a :class:`ProcessPoolExecutor` per
+    call and tears it down on exit — the right lifecycle for a one-shot
+    CLI run, but a server answering a stream of ``characterize``
+    requests would pay worker startup on every one.  A ``SharedPool``
+    owns one lazily-built executor and hands it to :func:`run_plan` via
+    ``pool=``; the run leaves it alive on success, and on a broken pool
+    the runtime calls :meth:`invalidate` so the next acquire rebuilds a
+    fresh executor (counted in ``rebuilds``).  None of this affects
+    results: block merge order is unchanged, so the §7 bit-identity
+    guarantee holds with or without pool reuse.
+
+    Not thread-safe: callers sharing one instance across threads must
+    serialize the campaigns that use it (the serve layer runs
+    characterize requests through a concurrency gate for exactly this
+    reason).
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.rebuilds = 0
+        self._pool: ProcessPoolExecutor | None = None
+
+    @property
+    def live(self) -> bool:
+        """Whether an executor is currently alive."""
+        return self._pool is not None
+
+    def acquire(self) -> ProcessPoolExecutor:
+        """The live executor, building one on first use / after a break."""
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def invalidate(self) -> None:
+        """Discard a compromised executor; the next acquire rebuilds."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            self.rebuilds += 1
+
+    def close(self) -> None:
+        """Shut the executor down cleanly (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "SharedPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class BatchFailure(RuntimeError):
@@ -309,6 +368,7 @@ def run_plan(
     on_progress=None,
     on_event=None,
     label: str = "run",
+    pool: SharedPool | None = None,
 ) -> Accumulator:
     """Execute ``task(*task_args, blocks)`` over ``plan`` resiliently.
 
@@ -329,11 +389,19 @@ def run_plan(
 
     Note the per-batch timeout only guards the *parallel* path: once
     degraded to in-process execution a batch cannot be preempted.
+
+    ``pool`` is an optional :class:`SharedPool` reused across calls
+    (worker startup amortizes over a request stream); when given and
+    ``workers`` is ``None``, the pool's worker count applies.  A broken
+    shared pool is invalidated — never silently reused — and the run
+    falls through the same rebuild/degradation ladder as an owned pool.
     """
     from .chaos import wrap as chaos_wrap
     from .parallel import group_blocks
 
     policy = policy if policy is not None else ResiliencePolicy()
+    if pool is not None and workers is None:
+        workers = pool.workers
     bound = chaos_wrap(functools.partial(task, *task_args), label=label)
     on_progress = monotonic_progress(on_progress)
     run_start = time.perf_counter()
@@ -416,7 +484,10 @@ def run_plan(
     if workers and workers > 1 and len(groups) > 1:
         busy_before = tele.snapshot().phase("mc.block").wall if tele.enabled else 0.0
         pool_start = time.perf_counter()
-        _run_pooled(bound, groups, workers, policy, record, fail, run_serial, on_event)
+        _run_pooled(
+            bound, groups, workers, policy, record, fail, run_serial, on_event,
+            shared=pool,
+        )
         telemetry.merge_workers(tele)
         if tele.enabled:
             pool_elapsed = time.perf_counter() - pool_start
@@ -443,14 +514,30 @@ def run_plan(
     return total
 
 
-def _run_pooled(bound, groups, workers, policy, record, fail, run_serial, on_event):
-    """The process-pool path: timeouts, pool rebuilds, degradation."""
+def _run_pooled(
+    bound, groups, workers, policy, record, fail, run_serial, on_event,
+    shared: SharedPool | None = None,
+):
+    """The process-pool path: timeouts, pool rebuilds, degradation.
+
+    With ``shared`` the executor is borrowed, not owned: a clean run
+    leaves it alive for the next campaign, while any compromise
+    (timeout, broken pool, or an exception escaping this run) calls
+    ``shared.invalidate()`` so stale in-flight work can never leak into
+    a later request.
+    """
     pending = list(groups)
     recorded: set[int] = set()
 
     def keep(group, accumulators):
         record(group, accumulators)
         recorded.add(group[0][0])
+
+    def discard(current):
+        if shared is not None:
+            shared.invalidate()
+        elif current is not None:
+            current.shutdown(wait=False, cancel_futures=True)
 
     rebuilds = 0
     degraded = False
@@ -462,7 +549,13 @@ def _run_pooled(bound, groups, workers, policy, record, fail, run_serial, on_eve
                 pending = []
                 break
             if pool is None:
-                pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
+                pool = (
+                    shared.acquire()
+                    if shared is not None
+                    else ProcessPoolExecutor(
+                        max_workers=min(workers, len(pending))
+                    )
+                )
             compromised = False
             try:
                 futures = [(group, pool.submit(bound, group)) for group in pending]
@@ -513,12 +606,13 @@ def _run_pooled(bound, groups, workers, policy, record, fail, run_serial, on_eve
                 else:
                     keep(group, accumulators)
             if compromised and pool is not None:
-                pool.shutdown(wait=False, cancel_futures=True)
+                discard(pool)
                 pool = None
             pending = [g for g in pending if g[0][0] not in recorded]
         if pool is not None:
-            pool.shutdown(wait=True)
-            pool = None
+            if shared is None:
+                pool.shutdown(wait=True)
+            pool = None  # clean exit: a shared pool stays alive
     finally:
-        if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
+        if pool is not None:  # exceptional exit only
+            discard(pool)

@@ -33,6 +33,18 @@ The in-memory registry is queried with :meth:`Telemetry.snapshot`; the
 ``characterize*`` functions, ``designspace.sweep`` and the experiment
 drivers return a per-call :class:`TelemetrySnapshot` delta alongside
 their results when called with ``with_telemetry=True``.
+
+The serving layer (:mod:`repro.serve`) emits into the same registry and
+trace format — its instrument names, asserted by ``tests/test_serve.py``
+and the CI serve smoke test (``tools/serve_smoke.py``):
+
+* spans ``serve.batch`` (one fused multiply evaluation; fields
+  ``design``/``pairs``/``requests``) and ``serve.characterize``;
+* counters ``serve.requests``, ``serve.shed`` (backpressure drops) and
+  ``serve.internal_errors``;
+* gauges ``serve.queue_depth`` (operand pairs queued) and
+  ``serve.batch_occupancy`` (fused pairs / ``max_batch``, 0..1];
+* the ``serve.listening`` event when the TCP endpoint binds.
 """
 
 from __future__ import annotations
@@ -157,6 +169,10 @@ class TelemetrySnapshot:
 
     def counter(self, name: str) -> float:
         return self.counters.get(name, 0)
+
+    def gauge(self, name: str, default=None):
+        """Last sampled level of ``name`` (``default`` if never set)."""
+        return self.gauges.get(name, default)
 
     def phase(self, name: str) -> PhaseStat:
         return self.phases.get(name, _ZERO_PHASE)

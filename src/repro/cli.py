@@ -11,6 +11,9 @@
     repro-realm characterize realm8-t4    # one design's error metrics
     repro-realm characterize calm --trace trace.jsonl
     repro-realm telemetry summarize trace.jsonl
+    repro-realm serve --port 7325         # batched TCP serving layer
+    repro-realm client multiply realm16-t0 40000 50000
+    repro-realm client characterize drum-k8 --samples 65536
 
 ``--quick`` shrinks the Monte-Carlo depth for fast smoke runs; the
 defaults match the reproduction used in EXPERIMENTS.md.  ``--trace``
@@ -60,6 +63,28 @@ def _positive_float(text: str) -> float:
     if not value > 0:
         raise argparse.ArgumentTypeError(f"must be positive, got {value}")
     return value
+
+
+def _nonnegative_float(text: str) -> float:
+    value = float(text)
+    if not value >= 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _known_design(args) -> "object":
+    """Build ``args.design``, or exit 2 with a readable message.
+
+    An unknown design id is a usage error, not a crash: the CLI answers
+    with the same message the library's ``KeyError`` carries, plus the
+    hint, on stderr.
+    """
+    try:
+        return build(args.design)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        print("hint: 'repro-realm list' shows all design ids", file=sys.stderr)
+        raise SystemExit(2) from None
 
 
 def _engine_options(args) -> dict:
@@ -169,8 +194,12 @@ def cmd_list(args) -> int:
 
 
 def cmd_multiply(args) -> int:
-    multiplier = build(args.design)
-    product = int(multiplier.multiply(args.a, args.b))
+    multiplier = _known_design(args)
+    try:
+        product = int(multiplier.multiply(args.a, args.b))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     exact = args.a * args.b
     print(f"{multiplier.name}: {args.a} * {args.b} = {product}")
     if exact:
@@ -193,7 +222,7 @@ def cmd_factors(args) -> int:
 
 
 def cmd_characterize(args) -> int:
-    multiplier = build(args.design)
+    multiplier = _known_design(args)
     with _RunSummary(_samples(args)):
         metrics = characterize(multiplier, samples=_samples(args), **_engine_options(args))
     print(f"{multiplier.name}: {metrics}")
@@ -439,6 +468,131 @@ def cmd_explore(args) -> int:
     return 0
 
 
+def _serve_engine_options(args) -> dict:
+    """Characterize-engine kwargs the serve command forwards per request."""
+    engine: dict = {}
+    cache = False if args.no_cache else args.cache
+    if cache is not None:
+        engine["cache"] = cache
+    if args.max_retries is not None:
+        engine["max_retries"] = args.max_retries
+    if args.batch_timeout is not None:
+        engine["batch_timeout"] = args.batch_timeout
+    return engine
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from .serve import BatchPolicy, Service, TcpServer
+
+    policy = BatchPolicy(
+        max_batch=args.max_batch,
+        max_latency=args.max_latency_ms / 1000.0,
+        max_queue=args.max_queue,
+    )
+    service = Service(
+        policy=policy,
+        workers=args.workers,
+        engine=_serve_engine_options(args),
+        characterize_slots=args.characterize_slots,
+    )
+
+    async def run() -> None:
+        server = TcpServer(service, args.host, args.port)
+        await server.start()
+        host, port = server.address
+        print(
+            f"repro-realm serving on {host}:{port} "
+            f"(max_batch {policy.max_batch}, max_latency "
+            f"{policy.max_latency * 1000:.1f}ms, max_queue {policy.max_queue})",
+            file=sys.stderr,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        try:
+            await stop.wait()
+        finally:
+            print("draining ...", file=sys.stderr)
+            await server.close()
+            print("stopped", file=sys.stderr)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # signal handler unavailable (rare platforms)
+        pass
+    return 0
+
+
+def cmd_client(args) -> int:
+    from .serve import ServeError, request_once
+
+    command = args.client_command
+    if command == "multiply":
+        payload = {
+            "op": "multiply",
+            "design": args.design,
+            "a": args.a,
+            "b": args.b,
+            "bitwidth": args.bitwidth,
+        }
+    elif command == "characterize":
+        payload = {
+            "op": "characterize",
+            "design": args.design,
+            "bitwidth": args.bitwidth,
+            "samples": args.samples,
+            "seed": args.seed,
+        }
+    elif command == "designs":
+        payload = {"op": "designs", "prefix": args.prefix}
+    else:
+        payload = {"op": "ping"}
+    try:
+        response = request_once(args.host, args.port, payload, timeout=args.timeout)
+    except ServeError as exc:
+        print(f"server error: {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError, TimeoutError) as exc:
+        print(
+            f"cannot reach {args.host}:{args.port}: {exc} "
+            "(is 'repro-realm serve' running?)",
+            file=sys.stderr,
+        )
+        return 1
+    result = response["result"]
+    if command == "multiply":
+        products = result["products"]
+        for a, b, product in zip([args.a], [args.b], products[:1]):
+            print(f"{args.design}: {a} * {b} = {product}")
+            exact = a * b
+            if exact:
+                print(
+                    f"exact {exact}, relative error "
+                    f"{(product - exact) / exact * 100:+.4f}%"
+                )
+    elif command == "characterize":
+        metrics = result["metrics"]
+        print(
+            f"{args.design}: bias {metrics['bias']:+.2f}%  "
+            f"ME {metrics['mean_error']:.2f}%  "
+            f"peak [{metrics['peak_min']:.2f}%, {metrics['peak_max']:.2f}%]  "
+            f"var {metrics['variance']:.2f}  ({metrics['samples']} samples)"
+        )
+    elif command == "designs":
+        for entry in result["designs"]:
+            print(f"{entry['id']:14s} {entry['name']}")
+    else:
+        print(result)
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-realm",
@@ -587,6 +741,72 @@ def make_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_divide)
 
     p = sub.add_parser(
+        "serve", help="batched TCP serving of multiply/characterize/designs"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=_nonnegative_int, default=7325,
+                   help="TCP port (0 binds an ephemeral port)")
+    p.add_argument(
+        "--max-batch", type=_positive_int, default=1 << 12,
+        help="operand pairs fused into one model evaluation",
+    )
+    p.add_argument(
+        "--max-latency-ms", type=_nonnegative_float, default=2.0,
+        help="longest a request waits for co-batching, milliseconds",
+    )
+    p.add_argument(
+        "--max-queue", type=_positive_int, default=1 << 14,
+        help="queued pairs before requests are shed with 'overloaded'",
+    )
+    p.add_argument(
+        "--workers", type=_positive_int, default=None,
+        help="worker processes reused across characterize requests",
+    )
+    p.add_argument(
+        "--characterize-slots", type=_positive_int, default=1,
+        help="concurrent characterize runs (multiplies are unaffected)",
+    )
+    p.add_argument(
+        "--max-retries", type=_nonnegative_int, default=None,
+        help="per-batch retry budget for characterize requests",
+    )
+    p.add_argument(
+        "--batch-timeout", type=_positive_float, default=None, metavar="SECONDS",
+        help="per-batch timeout for characterize requests",
+    )
+    p.add_argument(
+        "--cache", nargs="?", const=True, default=None, metavar="DIR",
+        help="metrics cache for characterize requests",
+    )
+    p.add_argument("--no-cache", action="store_true")
+    p.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a JSONL telemetry trace (serve.batch spans, shed "
+        "counters, queue-depth gauges) to PATH",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("client", help="talk to a running 'repro-realm serve'")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=_positive_int, default=7325)
+    p.add_argument("--timeout", type=_positive_float, default=30.0)
+    csub = p.add_subparsers(dest="client_command", required=True)
+    cp = csub.add_parser("multiply")
+    cp.add_argument("design")
+    cp.add_argument("a", type=int)
+    cp.add_argument("b", type=int)
+    cp.add_argument("--bitwidth", type=int, default=16)
+    cp = csub.add_parser("characterize")
+    cp.add_argument("design")
+    cp.add_argument("--bitwidth", type=int, default=16)
+    cp.add_argument("--samples", type=_positive_int, default=1 << 16)
+    cp.add_argument("--seed", type=_nonnegative_int, default=2020)
+    cp = csub.add_parser("designs")
+    cp.add_argument("--prefix", default="")
+    csub.add_parser("ping")
+    p.set_defaults(func=cmd_client)
+
+    p = sub.add_parser(
         "telemetry", help="inspect JSONL telemetry traces"
     )
     tsub = p.add_subparsers(dest="telemetry_command", required=True)
@@ -629,7 +849,12 @@ def cmd_telemetry_summarize(args) -> int:
 
 
 def main(argv=None) -> int:
-    args = make_parser().parse_args(argv)
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "no_cache", False) and getattr(args, "cache", None) is not None:
+        parser.error("--cache and --no-cache are mutually exclusive")
+    if getattr(args, "no_cache", False) and getattr(args, "resume", False):
+        parser.error("--resume needs the cache; it conflicts with --no-cache")
     trace = getattr(args, "trace", None)
     if trace is not None:
         with telemetry.tracing(trace):

@@ -14,19 +14,45 @@ import numpy as np
 
 from .netlist import CONST0, CONST1, Netlist
 
-__all__ = ["simulate", "evaluate_words", "bus_to_int", "int_to_bus"]
+__all__ = ["MAX_BUS_WIDTH", "simulate", "evaluate_words", "bus_to_int", "int_to_bus"]
+
+
+#: widest bus the int64 word conversions can represent exactly: bit 63
+#: is the sign bit, so position 62 is the highest usable weight
+MAX_BUS_WIDTH = 63
+
+
+def _check_width(width: int) -> None:
+    if width > MAX_BUS_WIDTH:
+        raise ValueError(
+            f"bus width {width} exceeds {MAX_BUS_WIDTH}; int64 word "
+            "conversion would silently overflow — simulate wider buses "
+            "bit-wise (simulate()) instead of through int_to_bus/bus_to_int"
+        )
 
 
 def int_to_bus(values: np.ndarray, width: int) -> np.ndarray:
-    """Integers -> bit matrix of shape ``(len(values), width)``, LSB first."""
+    """Integers -> bit matrix of shape ``(len(values), width)``, LSB first.
+
+    ``width`` must be <= :data:`MAX_BUS_WIDTH` (63): beyond that the
+    int64 arithmetic cannot represent every bus value and would wrap
+    silently, so a :class:`ValueError` is raised instead.
+    """
+    _check_width(width)
     values = np.asarray(values, dtype=np.int64)
     bits = (values[:, None] >> np.arange(width)) & 1
     return bits.astype(bool)
 
 
 def bus_to_int(bits: np.ndarray) -> np.ndarray:
-    """Bit matrix (LSB first) -> int64 values."""
+    """Bit matrix (LSB first) -> int64 values.
+
+    The bus must be at most :data:`MAX_BUS_WIDTH` (63) bits wide —
+    weight ``2**63`` does not fit an int64, and the old behaviour was a
+    silent wrap into negative values.
+    """
     bits = np.asarray(bits, dtype=np.int64)
+    _check_width(bits.shape[1])
     return (bits << np.arange(bits.shape[1], dtype=np.int64)).sum(axis=1)
 
 

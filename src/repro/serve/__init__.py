@@ -1,0 +1,49 @@
+"""Batched approximate-arithmetic serving layer.
+
+Exposes the multiplier registry and the characterization engine as a
+request/response service: ``multiply`` (micro-batched, bit-identical to
+direct model calls), ``characterize`` (the cached/resilient Monte-Carlo
+engine with shared-pool reuse) and ``designs`` over newline-delimited
+JSON on TCP, plus an in-process transport for deterministic tests.  See
+``DESIGN.md`` §10 for the batching and backpressure guarantees.
+"""
+
+from .batcher import BatchPolicy, MicroBatcher, ModelCache, ShedError
+from .client import AsyncClient, InProcessClient, ServeError, request_once
+from .protocol import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    MAX_PAIRS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from .server import DEFAULT_PORT, Service, TcpServer
+
+__all__ = [
+    "AsyncClient",
+    "BatchPolicy",
+    "DEFAULT_PORT",
+    "ERROR_CODES",
+    "InProcessClient",
+    "MAX_FRAME_BYTES",
+    "MAX_PAIRS",
+    "MicroBatcher",
+    "ModelCache",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServeError",
+    "Service",
+    "ShedError",
+    "TcpServer",
+    "decode_frame",
+    "encode_frame",
+    "error_response",
+    "ok_response",
+    "parse_request",
+    "request_once",
+]

@@ -46,9 +46,14 @@ class TestBasicCommands:
         assert code == 0
         assert "DRUM" in out and "paper" in out
 
-    def test_unknown_design_errors(self, capsys):
-        with pytest.raises(KeyError):
+    def test_unknown_design_exits_cleanly(self, capsys):
+        # a bad design id is a usage error (exit 2 + stderr), not a traceback
+        with pytest.raises(SystemExit) as info:
             run_cli(capsys, "characterize", "realm99-t0", "--quick")
+        assert info.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown multiplier 'realm99-t0'" in err
+        assert "repro-realm list" in err
 
     def test_no_command_exits(self):
         with pytest.raises(SystemExit):
@@ -231,3 +236,91 @@ class TestVerilogExtras:
         assert "endmodule" in text
         assert text.count("check(") == 4
         assert "ALL %0d VECTORS PASS" in text
+
+
+class TestArgumentValidation:
+    """Explicit coverage for the CLI's usage-error paths."""
+
+    def test_multiply_unknown_design(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["multiply", "not-a-design", "3", "4"])
+        assert info.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown multiplier 'not-a-design'" in err
+
+    def test_multiply_operand_out_of_range(self, capsys):
+        code = main(["multiply", "accurate", str(1 << 16), "2"])
+        assert code == 2
+        assert "outside [0, 2**16)" in capsys.readouterr().err
+
+    def test_multiply_negative_operand(self, capsys):
+        code = main(["multiply", "calm", "--", "-5", "2"])
+        assert code == 2
+        assert "outside" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["characterize", "calm", "--quick", "--cache", "/tmp/x", "--no-cache"],
+            ["table1", "--quick", "--cache", "/tmp/x", "--no-cache"],
+            ["characterize", "calm", "--quick", "--no-cache", "--resume"],
+        ],
+    )
+    def test_conflicting_cache_knobs(self, capsys, argv):
+        with pytest.raises(SystemExit) as info:
+            main(argv)
+        assert info.value.code == 2
+        err = capsys.readouterr().err
+        assert "mutually exclusive" in err or "conflicts" in err
+
+    def test_bare_cache_flag_is_not_a_conflict(self, capsys, tmp_path,
+                                               monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code, out = run_cli(capsys, "characterize", "drum-k8", "--quick",
+                            "--cache")
+        assert code == 0
+
+    @pytest.mark.parametrize(
+        "flag,value",
+        [
+            ("--max-batch", "0"),
+            ("--max-queue", "0"),
+            ("--max-latency-ms", "-1"),
+            ("--characterize-slots", "0"),
+            ("--workers", "0"),
+        ],
+    )
+    def test_serve_rejects_nonsensical_policy(self, capsys, flag, value):
+        with pytest.raises(SystemExit) as info:
+            main(["serve", flag, value])
+        assert info.value.code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_client_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["client"])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["client", "characterize", "calm", "--samples", "0"],
+            ["client", "characterize", "calm", "--seed", "-1"],
+            ["client", "--port", "0", "ping"],
+            ["client", "--timeout", "0", "ping"],
+        ],
+    )
+    def test_client_rejects_bad_values(self, capsys, argv):
+        with pytest.raises(SystemExit):
+            main(argv)
+
+    def test_client_unreachable_server(self, capsys):
+        import socket
+
+        # grab a port that nothing listens on
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        code = main(["client", "--port", str(port), "ping"])
+        assert code == 1
+        assert "cannot reach" in capsys.readouterr().err

@@ -218,3 +218,35 @@ class TestSimulator:
         nl.set_outputs(a)
         with pytest.raises(ValueError):
             evaluate_words(nl, [a], [np.array([1]), np.array([2])])
+
+
+class TestBusWidthOverflow:
+    """Regression: widths >= 64 used to wrap silently in int64 space."""
+
+    def test_bus_to_int_rejects_wide_bus(self):
+        bits = np.ones((2, 64), dtype=bool)
+        with pytest.raises(ValueError, match="exceeds 63"):
+            bus_to_int(bits)
+
+    def test_bus_to_int_rejects_much_wider_bus(self):
+        # the original failure mode: 70 all-one bits summed to -1
+        bits = np.ones((1, 70), dtype=bool)
+        with pytest.raises(ValueError, match="silently overflow"):
+            bus_to_int(bits)
+
+    def test_int_to_bus_rejects_wide_width(self):
+        with pytest.raises(ValueError, match="exceeds 63"):
+            int_to_bus(np.array([1, 2, 3]), 64)
+
+    def test_width_63_is_exact(self):
+        # the widest representable bus: top usable weight is 2**62
+        value = np.array([(1 << 63) - 1])  # 63 ones
+        bits = int_to_bus(value, 63)
+        assert bits.all()
+        assert np.array_equal(bus_to_int(bits), value)
+
+    def test_output_buses_of_31_bit_models_fit(self):
+        # 2N-bit products of the widest supported multiplier stay legal
+        from repro.logic.sim import MAX_BUS_WIDTH
+
+        assert 2 * 31 <= MAX_BUS_WIDTH

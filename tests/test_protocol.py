@@ -1,0 +1,219 @@
+"""Property and unit tests for the serve wire protocol.
+
+The framing layer claims to be *total*: for any input, ``decode_frame``
+and ``parse_request`` either return a value or raise
+:class:`~repro.serve.protocol.ProtocolError` — nothing else escapes.
+Hypothesis drives that claim with arbitrary bytes and arbitrary JSON;
+the unit tests pin down the specific rejection messages and the closed
+error-code set.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.protocol import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    MAX_PAIRS,
+    CharacterizeRequest,
+    DesignsRequest,
+    MultiplyRequest,
+    PingRequest,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_response,
+    ok_response,
+    parse_request,
+)
+
+# JSON-representable values (exact round-trip: no floats — the protocol
+# never uses them, and they would conflate codec bugs with float noise)
+json_values = st.recursive(
+    st.none() | st.booleans() | st.integers() | st.text(),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=12,
+)
+json_objects = st.dictionaries(st.text(max_size=12), json_values, max_size=6)
+
+
+class TestFraming:
+    @given(obj=json_objects)
+    def test_round_trip(self, obj):
+        assert decode_frame(encode_frame(obj)) == obj
+
+    @given(obj=json_objects)
+    def test_frames_are_single_lines(self, obj):
+        frame = encode_frame(obj)
+        assert frame.endswith(b"\n")
+        assert b"\n" not in frame[:-1]
+
+    @given(payload=st.binary(max_size=256))
+    def test_arbitrary_bytes_never_escape_protocol_error(self, payload):
+        try:
+            result = decode_frame(payload)
+        except ProtocolError as exc:
+            assert exc.code in ERROR_CODES
+        else:
+            assert isinstance(result, dict)
+
+    @given(payload=st.text(max_size=256))
+    def test_arbitrary_text_never_escapes_protocol_error(self, payload):
+        try:
+            result = decode_frame(payload)
+        except ProtocolError as exc:
+            assert exc.code in ERROR_CODES
+        else:
+            assert isinstance(result, dict)
+
+    @pytest.mark.parametrize(
+        "frame,fragment",
+        [
+            (b"\xff\xfe", "not UTF-8"),
+            (b"[1,2,3]\n", "must be a JSON object"),
+            (b'"just a string"\n', "must be a JSON object"),
+            (b"{broken\n", "not JSON"),
+            (12345, "must be bytes or str"),
+        ],
+    )
+    def test_specific_bad_frames(self, frame, fragment):
+        with pytest.raises(ProtocolError, match=fragment) as info:
+            decode_frame(frame)
+        assert info.value.code == "bad-frame"
+
+    def test_oversized_frame_rejected(self):
+        blob = b"x" * (MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError, match="exceeds") as info:
+            decode_frame(blob)
+        assert info.value.code == "bad-frame"
+
+
+class TestParseRequest:
+    @given(obj=json_objects)
+    @settings(max_examples=200)
+    def test_arbitrary_objects_never_escape_protocol_error(self, obj):
+        try:
+            request = parse_request(obj)
+        except ProtocolError as exc:
+            assert exc.code in ERROR_CODES
+        else:
+            assert isinstance(
+                request,
+                (MultiplyRequest, CharacterizeRequest, DesignsRequest, PingRequest),
+            )
+
+    @given(
+        a=st.lists(st.integers(0, 65535), min_size=1, max_size=8),
+        b=st.lists(st.integers(0, 65535), min_size=1, max_size=8),
+    )
+    def test_multiply_accepts_matching_or_broadcast_lengths(self, a, b):
+        obj = {"op": "multiply", "design": "calm", "a": a, "b": b}
+        compatible = len(a) == len(b) or 1 in (len(a), len(b))
+        if compatible:
+            request = parse_request(obj)
+            assert request.a == tuple(a) and request.b == tuple(b)
+            assert not request.scalar
+        else:
+            with pytest.raises(ProtocolError, match="lengths differ"):
+                parse_request(obj)
+
+    def test_multiply_scalar_round_trip(self):
+        request = parse_request(
+            {"op": "multiply", "design": "accurate", "a": 3, "b": 4}
+        )
+        assert request.scalar
+        assert request.a == (3,) and request.b == (4,)
+
+    def test_mixed_scalar_vector_is_not_scalar(self):
+        request = parse_request(
+            {"op": "multiply", "design": "accurate", "a": 3, "b": [4, 5]}
+        )
+        assert not request.scalar
+
+    @pytest.mark.parametrize(
+        "obj,fragment",
+        [
+            ({}, "missing required field 'op'"),
+            ({"op": "frobnicate"}, "unknown op"),
+            ({"op": "multiply", "a": [1], "b": [1]}, "missing required field"),
+            ({"op": "multiply", "design": 7, "a": [1], "b": [1]}, "must be str"),
+            ({"op": "multiply", "design": "x", "a": [], "b": []}, "not be empty"),
+            ({"op": "multiply", "design": "x", "a": [True], "b": [1]}, "only integers"),
+            ({"op": "multiply", "design": "x", "a": [1.5], "b": [1]}, "only integers"),
+            ({"op": "multiply", "design": "x", "a": "12", "b": [1]}, "integer or list"),
+            ({"op": "multiply", "design": "x", "a": True, "b": 1}, "integer or list"),
+            (
+                {"op": "multiply", "design": "x", "a": 1, "b": 1, "bitwidth": 1},
+                "must be >= 2",
+            ),
+            (
+                {"op": "multiply", "design": "x", "a": 1, "b": 1, "bitwidth": 32},
+                "must be <= 31",
+            ),
+            (
+                {"op": "multiply", "design": "x", "a": 1, "b": 1, "bitwidth": 8.0},
+                "must be an integer",
+            ),
+            ({"op": "multiply", "design": "x", "a": 1, "b": 1, "id": []}, "'id'"),
+            ({"op": "characterize", "design": "x", "samples": 0}, "must be >= 1"),
+            ({"op": "characterize", "design": "x", "seed": -1}, "must be >= 0"),
+            ({"op": "characterize", "design": "x", "samples": True}, "integer"),
+            ({"op": "designs", "prefix": 9}, "'prefix' must be a string"),
+        ],
+    )
+    def test_schema_violations(self, obj, fragment):
+        with pytest.raises(ProtocolError, match=fragment) as info:
+            parse_request(obj)
+        assert info.value.code == "bad-request"
+
+    def test_operand_vector_size_bound(self):
+        obj = {
+            "op": "multiply",
+            "design": "x",
+            "a": [1] * (MAX_PAIRS + 1),
+            "b": 1,
+        }
+        with pytest.raises(ProtocolError, match=str(MAX_PAIRS)):
+            parse_request(obj)
+
+    def test_defaults(self):
+        multiply = parse_request(
+            {"op": "multiply", "design": "calm", "a": 1, "b": 2}
+        )
+        assert multiply.bitwidth == 16 and multiply.id is None
+        char = parse_request({"op": "characterize", "design": "calm"})
+        assert (char.bitwidth, char.samples, char.seed) == (16, 1 << 16, 2020)
+        assert parse_request({"op": "designs"}).prefix == ""
+        assert parse_request({"op": "ping"}).id is None
+
+
+class TestResponses:
+    def test_ok_shape(self):
+        response = ok_response(7, {"x": 1})
+        assert response == {"id": 7, "ok": True, "result": {"x": 1}}
+
+    @pytest.mark.parametrize("code", sorted(ERROR_CODES))
+    def test_every_closed_code_passes_through(self, code):
+        response = error_response("r1", code, "why")
+        assert response["error"] == {"code": code, "message": "why"}
+        assert response["ok"] is False
+
+    def test_unknown_code_downgrades_to_internal(self):
+        response = error_response(None, "made-up", "oops")
+        assert response["error"]["code"] == "internal"
+        assert "made-up" in response["error"]["message"]
+
+    @given(obj=json_objects)
+    def test_responses_always_encode(self, obj):
+        # whatever the request id was, responses stay encodable frames
+        request_id = obj.get("id")
+        if not isinstance(request_id, (str, int, type(None))):
+            request_id = None
+        frame = encode_frame(error_response(request_id, "bad-request", "x"))
+        assert json.loads(frame)["ok"] is False

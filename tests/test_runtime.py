@@ -22,6 +22,7 @@ from repro.analysis.runtime import (
     Checkpoint,
     CorruptResultError,
     ResiliencePolicy,
+    SharedPool,
     monotonic_progress,
     run_plan,
     validate_batch,
@@ -474,3 +475,92 @@ class TestGroupBlocks:
         groups = group_blocks(plan, 2 * BLOCK)
         assert [len(g) for g in groups] == [2, 2]
         assert [g[0][0] for g in groups] == [0, 2]
+
+
+class AlwaysFailBlock:
+    """Pool-safe task that fails its target block on every execution."""
+
+    def __init__(self, block):
+        self.block = block
+
+    def __call__(self, multiplier, seed, blocks):
+        if blocks[0][0] == self.block:
+            raise RuntimeError("permanent fault")
+        return uniform_task(multiplier, seed, blocks)
+
+
+class TestSharedPool:
+    """The serve layer's reusable executor (see DESIGN.md §10)."""
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            SharedPool(0)
+
+    def test_acquire_is_lazy_and_sticky(self):
+        with SharedPool(2) as pool:
+            assert not pool.live
+            first = pool.acquire()
+            assert pool.live
+            assert pool.acquire() is first
+            assert pool.rebuilds == 0
+        assert not pool.live
+
+    def test_invalidate_forces_fresh_executor(self):
+        with SharedPool(2) as pool:
+            first = pool.acquire()
+            pool.invalidate()
+            assert pool.rebuilds == 1
+            assert not pool.live
+            assert pool.acquire() is not first
+
+    def test_run_plan_reuses_executor_across_campaigns(self):
+        calm = MitchellMultiplier()
+        with SharedPool(2) as pool:
+            one = run_plan(
+                uniform_task, (calm, SEED), block_plan(SAMPLES), CHUNK,
+                policy=ResiliencePolicy(**FAST), pool=pool,
+            )
+            # the clean exit left the executor alive ...
+            assert pool.live
+            executor = pool.acquire()
+            two = run_plan(
+                uniform_task, (calm, SEED), block_plan(SAMPLES), CHUNK,
+                policy=ResiliencePolicy(**FAST), pool=pool,
+            )
+            # ... and the second campaign borrowed the very same one
+            assert pool.acquire() is executor
+            assert pool.rebuilds == 0
+        reference = clean_run(calm)
+        assert one == reference
+        assert two == reference
+
+    def test_failed_campaign_invalidates_shared_pool(self):
+        calm = MitchellMultiplier()
+        with SharedPool(2) as pool:
+            with pytest.raises(BatchFailure):
+                run_plan(
+                    AlwaysFailBlock(1), (calm, SEED),
+                    block_plan(SAMPLES), CHUNK,
+                    policy=ResiliencePolicy(max_retries=0, **FAST),
+                    pool=pool,
+                )
+            # the compromised executor was discarded, never reused
+            assert pool.rebuilds >= 1
+            assert not pool.live
+            # and the pool recovers: the next campaign gets a fresh one
+            clean = run_plan(
+                uniform_task, (calm, SEED), block_plan(SAMPLES), CHUNK,
+                policy=ResiliencePolicy(**FAST), pool=pool,
+            )
+        assert clean == clean_run(calm)
+
+    def test_run_blocked_forwards_pool(self):
+        from repro.analysis.parallel import run_blocked
+
+        calm = MitchellMultiplier()
+        with SharedPool(2) as pool:
+            acc = run_blocked(
+                uniform_task, (calm, SEED), SAMPLES, CHUNK, pool=pool
+            )
+            assert pool.live
+        assert acc == clean_run(calm)

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""CI smoke test for the serving layer.
+
+Starts a real :class:`~repro.serve.TcpServer` on an ephemeral loopback
+port with tracing enabled, drives a mixed multiply/characterize/designs
+workload through pipelined TCP clients, drains the server, and then
+asserts on the recorded trace:
+
+* every multiply response is bit-identical to a direct model call;
+* the characterize response matches a direct engine run exactly;
+* the trace contains ``serve.batch`` spans (requests actually fused)
+  and **zero** shed events — the workload fits the default queue.
+
+Exit status 0 on success; any assertion failure or unexpected error is
+a non-zero exit, which fails the CI job.  Run it from the repo root:
+
+    PYTHONPATH=src python tools/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import telemetry
+from repro.analysis.montecarlo import characterize
+from repro.multipliers.registry import build
+from repro.serve import AsyncClient, BatchPolicy, Service, TcpServer
+
+DESIGNS = ["accurate", "calm", "realm16-t4", "drum-k8"]
+SAMPLES = 1 << 12
+SEED = 7
+
+
+async def one_client(host: str, port: int, design: str, seed: int) -> None:
+    """One fleet member: a burst of vector multiplies, verified."""
+    rng = np.random.default_rng(seed)
+    model = build(design)
+    jobs = []
+    for _ in range(5):
+        n = int(rng.integers(1, 48))
+        jobs.append(
+            (
+                rng.integers(0, 1 << 16, size=n),
+                rng.integers(0, 1 << 16, size=n),
+            )
+        )
+    async with await AsyncClient.connect(host, port) as client:
+        # pipelined on one connection so requests land inside the same
+        # latency window and actually co-batch
+        served = await asyncio.gather(
+            *(
+                client.multiply(design, a.tolist(), b.tolist())
+                for a, b in jobs
+            )
+        )
+    for (a, b), got in zip(jobs, served):
+        expected = [int(v) for v in model.multiply(a, b)]
+        assert got == expected, f"{design}: served products diverged"
+
+
+async def workload(host: str, port: int) -> None:
+    # concurrent multiply fleets on every design, plus one characterize
+    fleets = [
+        one_client(host, port, design, seed=100 + i)
+        for i, design in enumerate(DESIGNS)
+    ]
+
+    async def characterize_probe() -> None:
+        async with await AsyncClient.connect(host, port) as client:
+            result = await client.characterize(
+                "calm", samples=SAMPLES, seed=SEED
+            )
+            direct = characterize(build("calm"), samples=SAMPLES, seed=SEED)
+            assert result["metrics"] == dataclasses.asdict(direct), (
+                "served characterize diverged from the direct engine run"
+            )
+            listing = await client.designs(prefix="realm16-")
+            assert listing, "designs listing came back empty"
+
+    await asyncio.gather(*fleets, characterize_probe())
+
+
+async def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        trace = Path(tmp) / "serve-trace.jsonl"
+        with telemetry.tracing(trace):
+            service = Service(policy=BatchPolicy(max_latency=0.001))
+            server = TcpServer(service, port=0)
+            await server.start()
+            host, port = server.address
+            try:
+                await workload(host, port)
+            finally:
+                await server.close()
+        summary = telemetry.summarize_trace(trace)
+
+    batches = summary["phases"].get("serve.batch")
+    assert batches is not None and batches.count > 0, (
+        "trace contains no serve.batch spans — nothing was fused"
+    )
+    shed = summary["counters"].get("serve.shed", 0)
+    assert shed == 0, f"smoke workload shed {shed} requests unexpectedly"
+    requests = summary["counters"].get("serve.requests", 0)
+    assert requests >= 5 * len(DESIGNS), (
+        f"expected >= {5 * len(DESIGNS)} admitted requests, saw {requests}"
+    )
+    print(
+        f"serve smoke OK: {int(requests)} requests, "
+        f"{batches.count} fused batches, 0 shed"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(asyncio.run(main()))
