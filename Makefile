@@ -15,9 +15,10 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# exhaustive 256x256 model-vs-RTL sweep (what the scheduled CI job runs)
+# exhaustive 256x256 model-vs-RTL sweep + full-budget conformance fuzzing
+# (what the scheduled CI job runs)
 nightly:
-	PYTHONPATH=src REPRO_NIGHTLY=1 $(PYTHON) -m pytest tests/test_rtl_equivalence.py -m nightly
+	PYTHONPATH=src REPRO_NIGHTLY=1 $(PYTHON) -m pytest tests/test_rtl_equivalence.py tests/test_conformance.py -m nightly
 
 verify:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -x -q
@@ -27,6 +28,8 @@ verify:
 	$(VERIFY_ENV) $(PYTHON) -m pytest benchmarks/bench_table1_errors.py --benchmark-only -q
 	rm -rf .repro-cache
 	PYTHONPATH=src $(PYTHON) tools/serve_smoke.py
+	@echo "--- seeded conformance slice ---"
+	PYTHONPATH=src $(PYTHON) -m repro conform --design realm-16-m4-q5 --budget 20000 --seed 0
 
 # live TCP server under a mixed workload; asserts fused serve.batch
 # spans, zero shed and bit-identical responses (DESIGN.md §10)

@@ -1,0 +1,63 @@
+"""Throughput of the conformance harness's differential oracle.
+
+Fuzzing campaigns are evaluation-bound, so pairs/sec through
+``DifferentialOracle.evaluate`` is what sizes nightly budgets.  The two
+configurations bracket the cost spectrum: model-only (pure NumPy, the
+relation checks dominate) versus model+RTL (every pair also walks the
+gate-level netlist).  ``extra_info`` records the measured pairs/sec so
+the perf trajectory keeps the fuzzing throughput visible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.conformance import DifferentialOracle, fuzz
+
+PAIRS = 1 << 13
+
+
+def _operands(seed: int, bitwidth: int = 16):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 1 << bitwidth, PAIRS, dtype=np.int64)
+    b = rng.integers(0, 1 << bitwidth, PAIRS, dtype=np.int64)
+    return a, b
+
+
+def _bench_oracle(benchmark, layers):
+    oracle = DifferentialOracle("realm16-t0", layers=layers)
+    a, b = _operands(3)
+
+    def evaluate():
+        records, total = oracle.evaluate(a, b)
+        return total
+
+    total = benchmark(evaluate)
+    assert total == 0  # a healthy design: throughput, not bug-finding
+    rate = PAIRS / benchmark.stats["mean"]
+    benchmark.extra_info["pairs_per_sec"] = round(rate)
+    benchmark.extra_info["layers"] = list(oracle.layers)
+
+
+def test_perf_oracle_model_only(benchmark):
+    """Model + metamorphic relations only (the cheap configuration)."""
+    _bench_oracle(benchmark, ("model", "exact"))
+
+
+def test_perf_oracle_model_plus_rtl(benchmark):
+    """Every pair additionally evaluated through the gate-level netlist."""
+    _bench_oracle(benchmark, ("model", "rtl", "exact"))
+
+
+def test_perf_full_campaign(benchmark):
+    """End-to-end seeded campaign: generation + evaluation + coverage."""
+
+    def campaign():
+        return fuzz("realm-16-m4-q5", 20000, seed=0)
+
+    result = benchmark(campaign)
+    assert result.ok and result.full_cover
+    benchmark.extra_info["pairs"] = result.pairs
+    benchmark.extra_info["pairs_per_sec"] = round(
+        result.pairs / benchmark.stats["mean"]
+    )

@@ -48,6 +48,13 @@ def exhaustive_metrics(multiplier: Multiplier, lo: int = 0, hi: int | None = Non
     """
     if hi is None:
         hi = multiplier.max_operand
+    if not 0 <= lo <= hi:
+        raise ValueError(f"invalid operand bounds: need 0 <= lo <= hi, got [{lo}, {hi}]")
+    if hi > multiplier.max_operand:
+        raise ValueError(
+            f"hi={hi} exceeds the {multiplier.bitwidth}-bit operand "
+            f"maximum {multiplier.max_operand}"
+        )
     values = np.arange(lo, hi + 1, dtype=np.int64)
     a, b = np.meshgrid(values, values, indexing="ij")
     a = a.ravel()

@@ -45,6 +45,16 @@ and the CI serve smoke test (``tools/serve_smoke.py``):
 * gauges ``serve.queue_depth`` (operand pairs queued) and
   ``serve.batch_occupancy`` (fused pairs / ``max_batch``, 0..1];
 * the ``serve.listening`` event when the TCP endpoint binds.
+
+The conformance harness (:mod:`repro.conformance`) likewise:
+
+* spans ``conform.eval`` (one differential batch; fields
+  ``design``/``pairs``) and ``conform.shrink`` (one counterexample
+  minimization; fields ``design``/``check``);
+* counters ``conform.divergences`` (exact, per batch) and
+  ``conform.pairs`` (operand pairs evaluated);
+* the gauge ``conform.coverage`` (reachable segment-cell hit fraction,
+  0..1, sampled per fuzzing round).
 """
 
 from __future__ import annotations
@@ -521,19 +531,32 @@ def recording():
 def tracing(path):
     """CLI-level tracing: write a merged JSONL trace to ``path``.
 
-    Enables telemetry with ``path`` as this process's sink and the
-    containing directory as the worker drop zone, runs the block, merges
-    any remaining worker files, appends a final ``trace.complete`` event
-    carrying the total wall time, and deactivates.  ``path=None`` is a
-    no-op passthrough.
+    Enables telemetry with ``path`` as this process's sink and a private
+    subdirectory next to it as the worker drop zone, runs the block,
+    merges any remaining worker files, appends a final
+    ``trace.complete`` event carrying the total wall time, and
+    deactivates.  ``path=None`` is a no-op passthrough.
+
+    Each invocation starts fresh: an existing file at ``path`` is
+    replaced, not appended to (the sink's append mode exists for worker
+    crash survivability, but one trace file must describe one run or
+    ``summarize_trace`` double-counts), and the per-run drop zone keeps
+    :func:`merge_workers` from absorbing ``events-*.jsonl`` leftovers
+    that an earlier crashed or concurrent traced run parked in a shared
+    directory.
     """
     if path is None:
         yield get()
         return
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        path.unlink()
+    except FileNotFoundError:
+        pass
+    dropzone = path.parent / f"{path.name}.workers-{os.getpid()}"
     previous_env = os.environ.get(TELEMETRY_ENV)
-    telemetry = enable(JsonlSink(path), directory=path.parent)
+    telemetry = enable(JsonlSink(path), directory=dropzone)
     start = telemetry.wall()
     try:
         yield telemetry
@@ -545,6 +568,10 @@ def tracing(path):
             wall=telemetry.wall() - start,
         )
         disable()
+        try:
+            dropzone.rmdir()
+        except OSError:
+            pass  # a straggling writer; leave its evidence in place
         if previous_env is not None:
             os.environ[TELEMETRY_ENV] = previous_env
 

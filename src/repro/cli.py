@@ -593,6 +593,62 @@ def cmd_client(args) -> int:
     return 0
 
 
+def cmd_conform(args) -> int:
+    from .conformance import fuzz, render_json, render_text
+    from .conformance.oracles import LAYERS
+
+    if args.layers:
+        unknown = sorted(set(args.layers) - set(LAYERS))
+        if unknown:
+            print(
+                f"error: unknown layer(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(LAYERS)}",
+                file=sys.stderr,
+            )
+            return 2
+    cache = False if args.no_cache else args.cache
+    try:
+        result = fuzz(
+            args.design,
+            args.budget,
+            args.seed,
+            bitwidth=args.bitwidth,
+            layers=args.layers or None,
+            workers=args.workers,
+            m=args.m,
+            cache=cache,
+            on_progress=_conform_progress(args),
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        print("hint: 'repro-realm list' shows all design ids", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(render_json(result))
+        print(f"# JSON report written to {args.json}", file=sys.stderr)
+    print(render_text(result), end="")
+    return 0 if result.ok else 2
+
+
+def _conform_progress(args):
+    if not getattr(args, "progress", False):
+        return None
+
+    def emit(event):
+        print(
+            f"round {event['round']}: {event['pairs']} pairs, "
+            f"{event['coverage']:.1%} cells, "
+            f"{event['divergences']} divergence(s)",
+            file=sys.stderr,
+        )
+
+    return emit
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-realm",
@@ -785,6 +841,58 @@ def make_parser() -> argparse.ArgumentParser:
         "counters, queue-depth gauges) to PATH",
     )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "conform",
+        help="coverage-guided differential fuzzing across model/RTL/serve/"
+        "exact layers; exits 2 on any divergence",
+    )
+    p.add_argument(
+        "--design", required=True,
+        help="registry id, or an ad-hoc REALM spec like 'realm-16-m4-q5'",
+    )
+    p.add_argument(
+        "--budget", type=_positive_int, default=1 << 16,
+        help="operand-pair budget (stops early on full coverage)",
+    )
+    p.add_argument("--seed", type=_nonnegative_int, default=0)
+    p.add_argument(
+        "--layers", nargs="+", default=None, metavar="LAYER",
+        help="layers to cross-check (model rtl serve exact); default: all "
+        "available for the design",
+    )
+    p.add_argument(
+        "--bitwidth", type=_positive_int, default=None,
+        help="operand bitwidth (default: the design's own)",
+    )
+    p.add_argument(
+        "--workers", type=_positive_int, default=None,
+        help="process-pool fan-out for batch evaluation (bit-identical "
+        "report at any worker count)",
+    )
+    p.add_argument(
+        "--m", type=_positive_int, default=None,
+        help="segment grid for the coverage map (default: the design's M)",
+    )
+    p.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the deterministic JSON report to PATH",
+    )
+    p.add_argument(
+        "--cache", nargs="?", const=True, default=None, metavar="DIR",
+        help="cache dir receiving shrunk counterexamples of failing runs",
+    )
+    p.add_argument("--no-cache", action="store_true")
+    p.add_argument(
+        "--progress", action="store_true",
+        help="print per-round coverage progress to stderr",
+    )
+    p.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a JSONL telemetry trace (conform.eval/conform.shrink "
+        "spans) to PATH",
+    )
+    p.set_defaults(func=cmd_conform)
 
     p = sub.add_parser("client", help="talk to a running 'repro-realm serve'")
     p.add_argument("--host", default="127.0.0.1")

@@ -1,0 +1,31 @@
+"""Cross-layer conformance checking for the multiplier zoo.
+
+Four independent answers exist for "what does design X return on
+``(a, b)``" — the functional models, the gate-level RTL netlists, the
+served path, and exact arithmetic where exactness is guaranteed.  This
+package ties them together: a differential + metamorphic oracle
+(:mod:`.oracles`), a structural operand-coverage map in REALM's native
+log-domain coordinates (:mod:`.coverage`), a deterministic
+coverage-guided fuzzer with counterexample shrinking (:mod:`.fuzz`), and
+byte-stable reporting (:mod:`.report`).  CLI: ``repro conform``.
+"""
+
+from .coverage import CoverageMap, default_segments
+from .fuzz import BatchSpec, FuzzResult, fuzz, shrink_pair
+from .oracles import DifferentialOracle, Divergence, resolve_design
+from .report import build_report, render_json, render_text
+
+__all__ = [
+    "BatchSpec",
+    "CoverageMap",
+    "DifferentialOracle",
+    "Divergence",
+    "FuzzResult",
+    "build_report",
+    "default_segments",
+    "fuzz",
+    "render_json",
+    "render_text",
+    "resolve_design",
+    "shrink_pair",
+]

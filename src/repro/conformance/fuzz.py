@@ -1,0 +1,535 @@
+"""Coverage-guided differential fuzzing with counterexample shrinking.
+
+The generator is **deterministic and worker-invariant**: every batch of
+operand pairs is a pure function of ``(seed, batch_index)`` through the
+same counter-based substreams the Monte-Carlo engine uses
+(:func:`repro.analysis.parallel.substream`), and batch *planning* only
+reads coverage state that was folded in ascending batch order.  Fanning
+the batches out over a process pool therefore changes wall time, never
+the report: ``--workers 1`` and ``--workers 4`` produce identical JSON.
+
+The loop:
+
+1. seed the **corpus** — operand corners (zeros, ones, powers of two and
+   their neighbours, all-ones) and every segment-boundary value ±1;
+2. while budget remains and reachable cells are uncovered, plan one
+   round: synthesize one pair per uncovered ``(ka, kb, i, j)`` cell and
+   per uncovered fraction-LSB pattern, plus boundary **mutations** of
+   pairs that previously hit new cells (±1, bit flips at and just below
+   the leading-one position, halving, min/max fractions);
+3. evaluate each batch through the :class:`~repro.conformance.oracles.
+   DifferentialOracle`, fold coverage and divergences in batch order;
+4. **shrink** the first divergence of every failing check to a locally
+   minimal pair (operand halving, then greedy MSB-first bit clearing,
+   then decrement — each accepted move strictly shrinks ``a + b``), and
+   persist the shrunk counterexamples under the cache directory.
+
+With the chaos harness injecting a broken model (see
+:mod:`repro.conformance.oracles`), run serial (``workers=None``): each
+worker process builds its own oracle and would consume one chaos claim.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+import numpy as np
+
+from ..analysis import telemetry
+from ..analysis.cache import resolve_cache_dir
+from ..analysis.parallel import substream
+from .coverage import CoverageMap, default_segments
+from .oracles import DifferentialOracle, Divergence
+
+__all__ = ["BatchSpec", "FuzzResult", "fuzz", "shrink_pair"]
+
+#: operand pairs per batch (one inter-process message in pooled runs)
+BATCH_PAIRS = 256
+
+#: most pairs one planning round may spend
+ROUND_PAIRS = 4096
+
+#: planning rounds before giving up on the remaining cells
+MAX_ROUNDS = 128
+
+#: new-cell-hitting pairs kept as mutation bases
+MAX_INTERESTING = 256
+
+#: divergence records carried in the result (totals stay exact)
+MAX_RECORDS = 64
+
+
+# ----------------------------------------------------------------------
+# Pure batch generation
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchSpec:
+    """One plannable, picklable unit of generation + evaluation.
+
+    ``index`` selects the substream; ``kind`` picks the generator
+    (``corpus``/``cells``/``lsb``/``mutate``); ``payload`` carries the
+    explicit targets (cell tuples, LSB patterns, or base pairs) so
+    generation never reads shared state.
+    """
+
+    index: int
+    kind: str
+    payload: tuple = ()
+    start: int = 0
+    count: int = 0
+
+
+def corner_values(bitwidth: int) -> np.ndarray:
+    """Deduplicated operand corners: 0..3, ``2**k`` and neighbours, max."""
+    top = (1 << bitwidth) - 1
+    values = {0, 1, 2, 3, top, top - 1}
+    for k in range(bitwidth):
+        for v in ((1 << k) - 1, 1 << k, (1 << k) + 1):
+            if 0 <= v <= top:
+                values.add(v)
+    return np.array(sorted(values), dtype=np.int64)
+
+
+def segment_edge_values(bitwidth: int, m: int) -> np.ndarray:
+    """Every segment-boundary operand value, ±1 (the REALM LUT seams)."""
+    top = (1 << bitwidth) - 1
+    logm = m.bit_length() - 1
+    values = set()
+    for ka in range(bitwidth):
+        base = 1 << ka
+        if ka >= logm:
+            step = 1 << (ka - logm)
+            edges = [base + i * step for i in range(m)]
+        else:
+            edges = [base + (i >> (logm - ka)) for i in range(0, m, m >> ka)]
+        for edge in edges:
+            for v in (edge - 1, edge, edge + 1):
+                if 0 <= v <= top:
+                    values.add(v)
+    return np.array(sorted(values), dtype=np.int64)
+
+
+def corpus_pairs(bitwidth: int, m: int) -> tuple[np.ndarray, np.ndarray]:
+    """The canonical seed corpus: corner cross products + boundary pairs."""
+    corners = corner_values(bitwidth)
+    if corners.size > 32:
+        picks = np.linspace(0, corners.size - 1, 32).astype(np.int64)
+        corners = np.unique(corners[picks])
+    a = [np.repeat(corners, corners.size)]
+    b = [np.tile(corners, corners.size)]
+    edges = segment_edge_values(bitwidth, m)
+    top = (1 << bitwidth) - 1
+    for partner in (edges[::-1], np.full_like(edges, 1), np.full_like(edges, top)):
+        a.append(edges)
+        b.append(partner)
+    return np.concatenate(a), np.concatenate(b)
+
+
+def _synthesize_operand(k: int, segment: int, m: int, bitwidth: int, rng):
+    """A value in leading-one interval ``k`` selecting ``segment``."""
+    logm = m.bit_length() - 1
+    base = 1 << k
+    if k >= logm:
+        step = 1 << (k - logm)
+        low = int(rng.integers(0, step)) if step > 1 else 0
+        return base + segment * step + low
+    return base + (segment >> (logm - k))
+
+
+def _lsb_operand(pattern: int, lsb_bits: int, bitwidth: int, rng):
+    """A max-interval value whose fraction LSBs equal ``pattern``."""
+    width = bitwidth - 1
+    base = 1 << width
+    high = int(rng.integers(0, 1 << max(0, width - lsb_bits)))
+    return base + ((high << lsb_bits) | pattern) % (1 << width)
+
+
+def _mutations(a: int, b: int, bitwidth: int, rng) -> list[tuple[int, int]]:
+    """Boundary mutations of one base pair (clipped to the operand range)."""
+    top = (1 << bitwidth) - 1
+    out = []
+
+    def lod_flips(v: int) -> list[int]:
+        if v <= 0:
+            return [1]
+        lod = v.bit_length() - 1
+        flips = [v ^ (1 << lod)]  # drop the leading one: interval transition
+        if lod > 0:
+            flips.append(v ^ (1 << (lod - 1)))  # graze the segment MSB
+        flips.append(v ^ (1 << int(rng.integers(0, lod + 1))))
+        return flips
+
+    for va in (a - 1, a + 1, a >> 1, *lod_flips(a)):
+        out.append((va, b))
+    for vb in (b - 1, b + 1, b >> 1, *lod_flips(b)):
+        out.append((a, vb))
+    if a > 0:  # min/max fractions of a's interval
+        ka = a.bit_length() - 1
+        out.append(((1 << ka), b))
+        out.append(((1 << (ka + 1)) - 1 if ka + 1 < bitwidth else top, b))
+    return [(min(max(x, 0), top), min(max(y, 0), top)) for x, y in out]
+
+
+def generate_batch(
+    spec: BatchSpec, bitwidth: int, m: int, lsb_bits: int, seed: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Materialize one batch — a pure function of ``(spec, seed)``."""
+    rng = substream(seed, spec.index)
+    if spec.kind == "corpus":
+        a, b = corpus_pairs(bitwidth, m)
+        return (
+            a[spec.start : spec.start + spec.count],
+            b[spec.start : spec.start + spec.count],
+        )
+    if spec.kind == "cells":
+        a = np.empty(len(spec.payload), dtype=np.int64)
+        b = np.empty(len(spec.payload), dtype=np.int64)
+        for pos, (ka, kb, i, j) in enumerate(spec.payload):
+            a[pos] = _synthesize_operand(ka, i, m, bitwidth, rng)
+            b[pos] = _synthesize_operand(kb, j, m, bitwidth, rng)
+        return a, b
+    if spec.kind == "lsb":
+        a = np.empty(len(spec.payload), dtype=np.int64)
+        b = np.empty(len(spec.payload), dtype=np.int64)
+        for pos, (pa, pb) in enumerate(spec.payload):
+            a[pos] = _lsb_operand(pa, lsb_bits, bitwidth, rng)
+            b[pos] = _lsb_operand(pb, lsb_bits, bitwidth, rng)
+        return a, b
+    if spec.kind == "mutate":
+        pairs = []
+        for base_a, base_b in spec.payload:
+            pairs.extend(_mutations(int(base_a), int(base_b), bitwidth, rng))
+        pairs = pairs[: spec.count] if spec.count else pairs
+        if not pairs:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        arr = np.array(pairs, dtype=np.int64)
+        return arr[:, 0], arr[:, 1]
+    raise ValueError(f"unknown batch kind {spec.kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Worker body (module-level for picklability; oracle cached per process)
+# ----------------------------------------------------------------------
+
+_WORKER_ORACLES: dict = {}
+
+
+def _oracle_for(design, bitwidth, layers) -> DifferentialOracle:
+    key = (design, bitwidth, layers)
+    oracle = _WORKER_ORACLES.get(key)
+    if oracle is None:
+        oracle = DifferentialOracle(design, bitwidth, layers)
+        _WORKER_ORACLES[key] = oracle
+    return oracle
+
+
+def _eval_batch(design, bitwidth, layers, m, lsb_bits, seed, limit, spec):
+    oracle = _oracle_for(design, bitwidth, layers)
+    a, b = generate_batch(spec, oracle.bitwidth, m, lsb_bits, seed)
+    if a.size == 0:
+        return spec.index, a, b, [], 0
+    records, total = oracle.evaluate(a, b, limit=limit)
+    return spec.index, a, b, records, total
+
+
+# ----------------------------------------------------------------------
+# The fuzzing loop
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class FuzzResult:
+    """Everything one fuzzing campaign established."""
+
+    design: str
+    bitwidth: int
+    m: int
+    seed: int
+    budget: int
+    pairs: int
+    rounds: int
+    full_cover: bool
+    layers: tuple[str, ...]
+    skipped_layers: dict[str, str]
+    relations: tuple[str, ...]
+    coverage: CoverageMap
+    records: list[Divergence]
+    counts: dict[str, int]
+    total_divergences: int
+    shrunk: list[dict]
+    counterexample_path: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.total_divergences == 0
+
+
+def _plan_round(coverage: CoverageMap, interesting, next_index: int, budget_left: int):
+    """Batch specs for one round, reading only folded coverage state."""
+    specs: list[BatchSpec] = []
+    allowance = min(budget_left, ROUND_PAIRS)
+    cells = coverage.uncovered()[:allowance]
+    for start in range(0, len(cells), BATCH_PAIRS):
+        chunk = cells[start : start + BATCH_PAIRS]
+        specs.append(
+            BatchSpec(
+                index=next_index + len(specs),
+                kind="cells",
+                payload=tuple(tuple(int(v) for v in cell) for cell in chunk),
+            )
+        )
+        allowance -= len(chunk)
+    patterns = coverage.uncovered_lsb()[: max(0, allowance)]
+    if len(patterns):
+        specs.append(
+            BatchSpec(
+                index=next_index + len(specs),
+                kind="lsb",
+                payload=tuple(tuple(int(v) for v in p) for p in patterns),
+            )
+        )
+        allowance -= len(patterns)
+    if allowance > 0 and interesting:
+        specs.append(
+            BatchSpec(
+                index=next_index + len(specs),
+                kind="mutate",
+                payload=tuple(interesting[-16:]),
+                count=min(allowance, BATCH_PAIRS),
+            )
+        )
+    return specs
+
+
+def fuzz(
+    design: str,
+    budget: int,
+    seed: int = 0,
+    *,
+    bitwidth: int | None = None,
+    layers=None,
+    workers: int | None = None,
+    m: int | None = None,
+    limit: int = 8,
+    cache=None,
+    on_progress=None,
+) -> FuzzResult:
+    """Run one coverage-guided conformance campaign.
+
+    ``budget`` bounds generated operand pairs; the campaign stops early on
+    full coverage of every reachable cell and LSB pattern.  ``workers``
+    fans batch evaluation out over a process pool — the result is
+    bit-identical at any worker count.  ``cache`` resolves like the
+    metrics cache (``None``: only if ``REPRO_CACHE_DIR`` is set) and
+    receives the shrunk counterexamples of a failing run.
+    """
+    if budget < 1:
+        raise ValueError(f"budget must be >= 1, got {budget}")
+    layers = tuple(layers) if layers else None
+    oracle = DifferentialOracle(design, bitwidth, layers)
+    n = oracle.bitwidth
+    grid = m if m is not None else default_segments(oracle.model)
+    coverage = CoverageMap(n, grid)
+    tele = telemetry.get()
+
+    corpus_a, _ = corpus_pairs(n, grid)
+    corpus_size = min(int(corpus_a.size), budget)
+    specs = [
+        BatchSpec(
+            index=batch,
+            kind="corpus",
+            start=start,
+            count=min(BATCH_PAIRS, corpus_size - start),
+        )
+        for batch, start in enumerate(range(0, corpus_size, BATCH_PAIRS))
+    ]
+    next_index = len(specs)
+
+    records: list[Divergence] = []
+    counts: dict[str, int] = {}
+    first_by_key: dict[tuple[str, str], Divergence] = {}
+    interesting: list[tuple[int, int]] = []
+    total = 0
+    pairs_done = 0
+    pairs_reported = 0
+    rounds = 0
+
+    pool = None
+    try:
+        if workers and workers > 1:
+            import concurrent.futures
+
+            pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+
+        while specs:
+            if pool is not None:
+                futures = [
+                    pool.submit(
+                        _eval_batch, design, bitwidth, layers, grid,
+                        coverage.lsb_bits, seed, limit, spec,
+                    )
+                    for spec in specs
+                ]
+                results = [future.result() for future in futures]
+            else:
+                # serial: evaluate on this call's own oracle (the worker
+                # cache would outlive the chaos plan's install window)
+                results = []
+                for spec in specs:
+                    a, b = generate_batch(spec, n, grid, coverage.lsb_bits, seed)
+                    if a.size == 0:
+                        results.append((spec.index, a, b, [], 0))
+                        continue
+                    batch_records, batch_total = oracle.evaluate(a, b, limit=limit)
+                    results.append((spec.index, a, b, batch_records, batch_total))
+            for _, a, b, batch_records, batch_total in results:
+                if a.size == 0:
+                    continue
+                new_mask = coverage.newly_covered(a, b)
+                coverage.update(a, b)
+                if len(interesting) < MAX_INTERESTING:
+                    for pos in np.nonzero(new_mask)[0][:8]:
+                        interesting.append((int(a[pos]), int(b[pos])))
+                pairs_done += int(a.size)
+                total += batch_total
+                for record in batch_records:
+                    counts_key = f"{record.kind}:{record.name}"
+                    counts[counts_key] = counts.get(counts_key, 0) + 1
+                    first_by_key.setdefault(record.key(), record)
+                    if len(records) < MAX_RECORDS:
+                        records.append(record)
+            rounds += 1
+            tele.gauge("conform.coverage", coverage.segment_cell_coverage())
+            tele.counter("conform.pairs", pairs_done - pairs_reported)
+            pairs_reported = pairs_done
+            if on_progress is not None:
+                on_progress(
+                    {
+                        "event": "round",
+                        "round": rounds,
+                        "pairs": pairs_done,
+                        "coverage": coverage.segment_cell_coverage(),
+                        "divergences": total,
+                    }
+                )
+            if pairs_done >= budget or coverage.full_cover() or rounds >= MAX_ROUNDS:
+                break
+            specs = _plan_round(
+                coverage, interesting, next_index, budget - pairs_done
+            )
+            next_index += len(specs)
+    finally:
+        if pool is not None:
+            pool.shutdown()
+
+    shrunk = []
+    for (kind, name), record in sorted(first_by_key.items()):
+        with tele.span("conform.shrink", design=oracle.design, check=f"{kind}:{name}"):
+            small_a, small_b = shrink_pair(
+                lambda x, y: oracle.check_pair(kind, name, x, y),
+                record.a,
+                record.b,
+            )
+        shrunk.append(
+            {
+                "kind": kind,
+                "name": name,
+                "a": record.a,
+                "b": record.b,
+                "shrunk_a": small_a,
+                "shrunk_b": small_b,
+                "got": record.got,
+                "want": record.want,
+            }
+        )
+
+    result = FuzzResult(
+        design=oracle.design,
+        bitwidth=n,
+        m=grid,
+        seed=seed,
+        budget=budget,
+        pairs=pairs_done,
+        rounds=rounds,
+        full_cover=coverage.full_cover(),
+        layers=oracle.layers,
+        skipped_layers=dict(oracle.skipped_layers),
+        relations=oracle.relations,
+        coverage=coverage,
+        records=records,
+        counts=counts,
+        total_divergences=total,
+        shrunk=shrunk,
+    )
+    if shrunk:
+        result.counterexample_path = _persist_counterexamples(result, cache)
+    return result
+
+
+def shrink_pair(check, a: int, b: int, max_checks: int = 4096) -> tuple[int, int]:
+    """Greedy shrink of a divergent pair to a locally minimal one.
+
+    ``check(a, b) -> bool`` decides whether the divergence persists.
+    Candidate moves — operand halving, MSB-first bit clearing, decrement —
+    all strictly decrease ``a + b``, so the loop terminates; the result is
+    minimal in the sense that no single remaining move keeps the check
+    failing.  Deterministic: same check and start pair, same result.
+    """
+    if not check(a, b):
+        return a, b
+    budget = max_checks
+    improved = True
+    while improved and budget > 0:
+        improved = False
+        for candidate in _shrink_candidates(a, b):
+            budget -= 1
+            if check(*candidate):
+                a, b = candidate
+                improved = True
+                break
+            if budget <= 0:
+                break
+    return a, b
+
+
+def _shrink_candidates(a: int, b: int):
+    if a > 0:
+        yield a >> 1, b
+    if b > 0:
+        yield a, b >> 1
+    for bit in reversed(range(max(0, a.bit_length() - 1))):
+        if (a >> bit) & 1:
+            yield a & ~(1 << bit), b
+    for bit in reversed(range(max(0, b.bit_length() - 1))):
+        if (b >> bit) & 1:
+            yield a, b & ~(1 << bit)
+    if a > 0:
+        yield a - 1, b
+    if b > 0:
+        yield a, b - 1
+
+
+def _persist_counterexamples(result: FuzzResult, cache) -> str | None:
+    """Write the shrunk counterexamples under the cache dir, if resolved."""
+    directory = resolve_cache_dir(cache)
+    if directory is None:
+        return None
+    directory = pathlib.Path(directory) / "conformance"
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.design}-b{result.bitwidth}-s{result.seed}.json"
+    payload = {
+        "design": result.design,
+        "bitwidth": result.bitwidth,
+        "seed": result.seed,
+        "budget": result.budget,
+        "layers": list(result.layers),
+        "relations": list(result.relations),
+        "total_divergences": result.total_divergences,
+        "counterexamples": result.shrunk,
+    }
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return str(path)

@@ -1,0 +1,361 @@
+"""Differential and metamorphic oracles across the repo's answer layers.
+
+The repository holds four independent answers to "what does design X
+return on ``(a, b)``": the functional NumPy model, the gate-level RTL
+netlist, the served (batched protocol) path, and — on inputs where a
+family guarantees exactness — arithmetic itself.  The
+:class:`DifferentialOracle` evaluates operand batches through every
+available layer and reports structured :class:`Divergence` records
+wherever two layers disagree.
+
+Where no second implementation exists, **metamorphic relations** apply to
+the model alone (family lists pinned by measurement over the registry,
+see ``tests/test_conformance.py``):
+
+* ``commute`` — ``f(a, b) == f(b, a)`` for symmetric datapaths;
+* ``pow2-shift`` — ``f(2a, b) >> 1 == f(a, b)`` for the log-family
+  designs, whose datapath depends on the operands only through
+  ``(k, fraction)`` and a final barrel shift (doubling increments ``k``);
+* ``underestimate`` — ``f(a, b) <= a * b`` for truncation-only designs;
+* the ``exact`` layer — ``f`` must equal ``a * b`` whenever one operand
+  is zero, everywhere for the accurate design, and on power-of-two pairs
+  for the families whose log fractions vanish there.
+
+A deliberately broken model can be injected through the chaos harness
+(:mod:`repro.analysis.chaos`): a ``corrupt`` fault spec whose ``design``
+matches the conformance design id (and ``block`` 0) makes the oracle's
+model layer misreport every nonzero product by +1 for the claim's
+lifetime — the detect-and-shrink path is then testable end to end, with
+the usual cross-process exact firing counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+import numpy as np
+
+from ..analysis import chaos, telemetry
+from ..circuits.catalog import NETLISTS, netlist_for
+from ..core.realm import RealmMultiplier
+from ..logic.sim import evaluate_words
+from ..multipliers.registry import REGISTRY, build
+
+__all__ = [
+    "LAYERS",
+    "RELATIONS",
+    "Divergence",
+    "DifferentialOracle",
+    "resolve_design",
+]
+
+#: evaluation layers, in reporting order; "model" is the reference
+LAYERS = ("model", "rtl", "serve", "exact")
+
+#: metamorphic relations checked on the model layer
+RELATIONS = ("commute", "pow2-shift", "underestimate")
+
+# family lists for the relations/exactness guarantees.  COMMUTE and the
+# exactness families mirror tests/test_multiplier_properties.py; the
+# POW2_SHIFT list is pinned by an exhaustive 8-bit + randomized 16-bit
+# sweep (DRUM/SSM/AM fail it: their truncation windows move with the
+# leading one or the array structure, not with a final barrel shift).
+COMMUTE_FAMILIES = frozenset(
+    {"Accurate", "ALM-SOA", "ALM-LOA", "cALM", "DRUM", "ESSM", "ImpLM",
+     "IntALP", "MBM", "REALM", "SSM"}
+)
+POW2_SHIFT_FAMILIES = frozenset(
+    {"Accurate", "ALM-MAA", "ALM-SOA", "ALM-LOA", "cALM", "ImpLM",
+     "IntALP", "MBM", "REALM"}
+)
+UNDERESTIMATE_FAMILIES = frozenset(
+    {"Accurate", "AM1", "AM2", "cALM", "ESSM", "SSM"}
+)
+POW2_EXACT_FAMILIES = frozenset(
+    {"Accurate", "ALM-MAA", "AM1", "AM2", "cALM", "ESSM", "ImpLM",
+     "IntALP", "SSM"}
+)
+
+#: ad-hoc REALM design spec: realm-<bitwidth>-m<M>-q<Q>[-t<T>]
+_REALM_SPEC = re.compile(r"^realm-(\d+)-m(\d+)-q(\d+)(?:-t(\d+))?$")
+
+
+@dataclasses.dataclass(frozen=True)
+class Divergence:
+    """One input pair on which a check failed.
+
+    ``kind`` is ``"layer"`` (cross-implementation mismatch) or
+    ``"relation"`` (metamorphic violation); ``name`` identifies the layer
+    or relation; ``got``/``want`` are the two disagreeing values (for
+    relations: the transformed and the reference evaluation).
+    """
+
+    design: str
+    kind: str
+    name: str
+    a: int
+    b: int
+    got: int
+    want: int
+
+    def key(self) -> tuple[str, str]:
+        return (self.kind, self.name)
+
+
+def resolve_design(spec: str, bitwidth: int | None = None):
+    """Map a design spec to ``(design_id, multiplier, rtl_factory, servable)``.
+
+    ``spec`` is either a registry id (``"realm16-t3"``, ``"drum-k6"``,
+    ...) or an ad-hoc REALM point ``realm-<N>-m<M>-q<Q>[-t<T>]`` — e.g.
+    ``realm-16-m4-q5`` — which builds a :class:`RealmMultiplier` outside
+    the registry grid (the fuzzer's way to conformance-test unpublished
+    configurations).  ``bitwidth`` defaults to 16 for registry ids and to
+    the embedded ``<N>`` for ad-hoc specs; a conflicting explicit value
+    raises ``ValueError``.  ``rtl_factory`` is ``None`` when no netlist
+    generator exists; ``servable`` says whether the in-process serve
+    layer can resolve the id (registry ids only).
+    """
+    match = _REALM_SPEC.match(spec)
+    if match is not None:
+        n, m, q, t = (int(g) if g is not None else 0 for g in match.groups())
+        if bitwidth is not None and bitwidth != n:
+            raise ValueError(
+                f"design {spec!r} embeds bitwidth {n}, got --bitwidth {bitwidth}"
+            )
+        multiplier = RealmMultiplier(bitwidth=n, m=m, t=t, q=q)
+
+        def rtl_factory():
+            from ..circuits.realm_rtl import realm_netlist
+
+            netlist = realm_netlist(n, m=m, t=t, q=q)
+            netlist.prune()
+            return netlist
+
+        return spec, multiplier, rtl_factory, False
+    if spec not in REGISTRY:
+        known = "', '".join(sorted(REGISTRY)[:6])
+        raise KeyError(
+            f"unknown design {spec!r}; use a registry id (e.g. '{known}', ...)"
+            " or an ad-hoc REALM spec like 'realm-16-m4-q5'"
+        )
+    width = 16 if bitwidth is None else bitwidth
+    multiplier = build(spec, width)
+    rtl_factory = None
+    if spec in NETLISTS:
+        def rtl_factory():  # noqa: F811 - conditional redefinition
+            return netlist_for(spec, width)
+
+    return spec, multiplier, rtl_factory, True
+
+
+class DifferentialOracle:
+    """Evaluate operand batches through every available answer layer.
+
+    ``layers`` restricts the checked layers (default: every layer the
+    design supports); unavailable requested layers are recorded in
+    ``skipped_layers`` with a reason instead of failing, so one CLI
+    invocation works across the whole registry.  ``limit`` bounds the
+    :class:`Divergence` records kept per check (totals are still exact).
+    """
+
+    def __init__(self, design: str, bitwidth: int | None = None, layers=None):
+        self.design, self.model, rtl_factory, servable = resolve_design(
+            design, bitwidth
+        )
+        self.bitwidth = self.model.bitwidth
+        requested = tuple(layers) if layers else LAYERS
+        unknown = set(requested) - set(LAYERS)
+        if unknown:
+            raise ValueError(
+                f"unknown layers {sorted(unknown)}; choose from {LAYERS}"
+            )
+        if "model" not in requested:
+            raise ValueError("the 'model' layer is the reference; it is required")
+        self.skipped_layers: dict[str, str] = {}
+        self._netlist = None
+        if "rtl" in requested:
+            if rtl_factory is None:
+                self.skipped_layers["rtl"] = "no netlist generator for this design"
+            else:
+                try:
+                    self._netlist = rtl_factory()
+                except ValueError as exc:
+                    self.skipped_layers["rtl"] = f"netlist unbuildable: {exc}"
+        if "serve" in requested and not servable:
+            self.skipped_layers["serve"] = "not a registry id; serve cannot resolve it"
+        self.layers = tuple(
+            name
+            for name in LAYERS
+            if name in requested and name not in self.skipped_layers
+        )
+        family = self.model.family
+        self.relations = tuple(
+            name
+            for name, families in (
+                ("commute", COMMUTE_FAMILIES),
+                ("pow2-shift", POW2_SHIFT_FAMILIES),
+                ("underestimate", UNDERESTIMATE_FAMILIES),
+            )
+            if family in families
+        )
+        self._broken_by_chaos: bool | None = None
+
+    # -- layer evaluation ------------------------------------------------
+
+    def _eval_model(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        products = self.model.multiply(a, b)
+        if self._chaos_broken():
+            products = np.where((a > 0) & (b > 0), products + 1, products)
+        return products
+
+    def _chaos_broken(self) -> bool:
+        """True when a chaos ``corrupt`` fault targets this design.
+
+        The claim is taken once per oracle (spec ``times`` bounds how many
+        oracles go bad, exactly, across processes) and then sticks for the
+        oracle's lifetime, so shrinking sees the same broken model the
+        fuzzing loop saw.
+        """
+        if self._broken_by_chaos is None:
+            self._broken_by_chaos = False
+            plan = chaos.active_plan()
+            if plan is not None:
+                match = plan.fault_for(0, self.design)
+                if match is not None and match[1].kind == "corrupt":
+                    self._broken_by_chaos = plan.claim(*match)
+        return self._broken_by_chaos
+
+    def _eval_rtl(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        n = self.bitwidth
+        netlist = self._netlist
+        return evaluate_words(
+            netlist, [netlist.inputs[:n], netlist.inputs[n:]], [a, b]
+        )
+
+    def _eval_serve(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        import asyncio
+
+        from ..serve import InProcessClient, Service
+
+        async def roundtrip():
+            # a fresh Service per call: the batcher's flusher task and
+            # asyncio primitives must live on this run's event loop
+            service = Service()
+            service.start()
+            try:
+                client = InProcessClient(service)
+                return await client.multiply(
+                    self.design, [int(v) for v in a], [int(v) for v in b],
+                    bitwidth=self.bitwidth,
+                )
+            finally:
+                await service.drain()
+
+        return np.asarray(asyncio.run(roundtrip()), dtype=np.int64)
+
+    def exactness_mask(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Pairs on which the family guarantees the exact product."""
+        mask = (a == 0) | (b == 0)
+        if self.model.family == "Accurate":
+            return np.ones_like(mask)
+        if self.model.family in POW2_EXACT_FAMILIES:
+            pow2 = (a > 0) & (b > 0) & ((a & (a - 1)) == 0) & ((b & (b - 1)) == 0)
+            mask = mask | pow2
+        return mask
+
+    # -- checks ----------------------------------------------------------
+
+    def evaluate(self, a, b, *, limit: int = 8) -> tuple[list[Divergence], int]:
+        """Run every layer and relation on a batch.
+
+        Returns ``(records, total)`` where ``records`` holds at most
+        ``limit`` :class:`Divergence` records per check and ``total`` is
+        the exact count of divergent (pair, check) combinations.
+        """
+        a = np.atleast_1d(np.asarray(a, dtype=np.int64))
+        b = np.atleast_1d(np.asarray(b, dtype=np.int64))
+        tele = telemetry.get()
+        with tele.span("conform.eval", design=self.design, pairs=int(a.size)):
+            reference = self._eval_model(a, b)
+            records: list[Divergence] = []
+            total = 0
+            for name, values in self._layer_values(a, b, reference):
+                mask = values != reference
+                total += self._record(
+                    records, "layer", name, a, b, values, reference, mask, limit
+                )
+            for name, got, want, valid in self._relation_values(a, b, reference):
+                mask = valid & (got != want)
+                total += self._record(
+                    records, "relation", name, a, b, got, want, mask, limit
+                )
+            records = [
+                dataclasses.replace(record, design=self.design)
+                for record in records
+            ]
+        tele.counter("conform.divergences", total)
+        return records, total
+
+    def _layer_values(self, a, b, reference):
+        for name in self.layers:
+            if name == "rtl":
+                yield name, self._eval_rtl(a, b)
+            elif name == "serve":
+                yield name, self._eval_serve(a, b)
+            elif name == "exact":
+                mask = self.exactness_mask(a, b)
+                # outside the guaranteed region the model is the truth
+                yield name, np.where(mask, a * b, reference)
+
+    def _relation_values(self, a, b, reference):
+        for name in self.relations:
+            if name == "commute":
+                yield name, self._eval_model(b, a), reference, np.ones(
+                    a.shape, dtype=bool
+                )
+            elif name == "pow2-shift":
+                valid = (a > 0) & (a < (1 << (self.bitwidth - 1)))
+                doubled = self._eval_model(np.where(valid, 2 * a, a), b)
+                yield name, doubled >> 1, reference, valid
+            elif name == "underestimate":
+                exact = a * b
+                yield name, np.maximum(reference, exact), exact, np.ones(
+                    a.shape, dtype=bool
+                )
+
+    @staticmethod
+    def _record(records, kind, name, a, b, got, want, mask, limit) -> int:
+        hits = np.nonzero(mask)[0]
+        for index in hits[:limit]:
+            records.append(
+                Divergence(
+                    design="",  # filled below to keep the hot loop light
+                    kind=kind,
+                    name=name,
+                    a=int(a[index]),
+                    b=int(b[index]),
+                    got=int(got[index]),
+                    want=int(want[index]),
+                )
+            )
+        return int(hits.size)
+
+    # -- single-pair re-checks (the shrinker's predicate) ----------------
+
+    def check_pair(self, kind: str, name: str, a: int, b: int) -> bool:
+        """Does the named check still fail on ``(a, b)``?"""
+        if not (0 <= a <= self.model.max_operand and 0 <= b <= self.model.max_operand):
+            return False
+        aa = np.array([a], dtype=np.int64)
+        bb = np.array([b], dtype=np.int64)
+        reference = self._eval_model(aa, bb)
+        if kind == "layer":
+            for layer, values in self._layer_values(aa, bb, reference):
+                if layer == name:
+                    return bool(values[0] != reference[0])
+            return False
+        for relation, got, want, valid in self._relation_values(aa, bb, reference):
+            if relation == name:
+                return bool(valid[0] and got[0] != want[0])
+        return False

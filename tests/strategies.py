@@ -1,0 +1,90 @@
+"""Shared hypothesis strategies and design-id families for the suite.
+
+Extracted from ``test_multiplier_properties.py`` so the property tests
+and the conformance tests draw operands and design ids from one place
+instead of copy-pasting the generators.  The id families encode the
+*structural* facts about each datapath (symmetry, exactness on powers of
+two, truncation-only) that the metamorphic relations rely on.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.multipliers.registry import REGISTRY
+
+__all__ = [
+    "ALL_IDS",
+    "COMMUTATIVE_IDS",
+    "POW2_EXACT_IDS",
+    "UNDERESTIMATE_IDS",
+    "bitwidths",
+    "design_ids",
+    "exponents",
+    "operand_pairs",
+    "operands",
+]
+
+ALL_IDS = sorted(REGISTRY)
+
+# families whose datapaths are symmetric in the two operands; AM gates the
+# partial products of a by the bits of b, and ALM-MAA's approximate adder
+# takes the low sum bits from one operand and the carry from the other,
+# so both are legitimately asymmetric
+COMMUTATIVE_IDS = [
+    n for n in ALL_IDS if not n.startswith(("am1", "am2", "alm-maa"))
+]
+
+# designs for which 2^i * 2^j is computed exactly: a power of two has a
+# zero Mitchell fraction, so pure log designs (cALM, ImpLM, IntALP) are
+# exact there, as are the segment/broken-array designs that keep the
+# leading one (SSM/ESSM, AM, ALM-MAA) and the accurate baseline.  REALM
+# and MBM are excluded — their correction LUT / round-up bit perturbs
+# even zero-fraction operands — as are DRUM (unbiasing set bit) and
+# ALM-SOA (set-once approximate adder).
+POW2_EXACT_IDS = [
+    n
+    for n in ALL_IDS
+    if n == "accurate"
+    or n.startswith(("alm-maa", "am1", "am2", "calm", "essm", "implm", "intalp", "ssm"))
+]
+
+# designs the paper guarantees never overestimate: truncation-only
+# datapaths (SSM/ESSM segment truncation, AM broken arrays, cALM's
+# floor-log) always drop weight.  REALM/MBM add correction terms and
+# DRUM rounds up, so they can exceed the exact product.
+UNDERESTIMATE_IDS = [
+    n
+    for n in ALL_IDS
+    if n == "accurate" or n.startswith(("am1", "am2", "calm", "essm", "ssm"))
+]
+
+
+def operands(bitwidth: int = 16) -> st.SearchStrategy:
+    """A single unsigned operand of the given width."""
+    return st.integers(min_value=0, max_value=(1 << bitwidth) - 1)
+
+
+def operand_pairs(bitwidth: int = 16) -> st.SearchStrategy:
+    """An ``(a, b)`` operand pair of the given width."""
+    one = operands(bitwidth)
+    return st.tuples(one, one)
+
+
+def exponents(bitwidth: int = 16) -> st.SearchStrategy:
+    """A power-of-two exponent that fits the operand width."""
+    return st.integers(min_value=0, max_value=bitwidth - 1)
+
+
+def design_ids(ids=None) -> st.SearchStrategy:
+    """A design id drawn from ``ids`` (default: the whole registry)."""
+    return st.sampled_from(list(ids) if ids is not None else ALL_IDS)
+
+
+#: operand widths the functional models and netlists both support
+bitwidths = st.sampled_from([4, 8, 16])
+
+# the module-level single-width strategies the property tests historically
+# used; kept for drop-in reuse
+operand = operands(16)
+exponent = exponents(16)

@@ -13,17 +13,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.multipliers.registry import REGISTRY, build
-
-ALL_IDS = sorted(REGISTRY)
-
-# families whose datapaths are symmetric in the two operands; AM gates the
-# partial products of a by the bits of b, and ALM-MAA's approximate adder
-# takes the low sum bits from one operand and the carry from the other,
-# so both are legitimately asymmetric
-COMMUTATIVE_IDS = [
-    n for n in ALL_IDS if not n.startswith(("am1", "am2", "alm-maa"))
-]
+from repro.multipliers.registry import build
+from tests.strategies import (
+    ALL_IDS,
+    COMMUTATIVE_IDS,
+    POW2_EXACT_IDS,
+    UNDERESTIMATE_IDS,
+    exponent,
+    operand,
+)
 
 
 @pytest.fixture(scope="module")
@@ -97,34 +95,6 @@ def test_one_is_near_identity(name):
     # and exactly for powers of two on Mitchell-family designs
     if name in ("calm", "implm-ea"):
         assert int(multiplier.multiply(1024, 1)) == 1024
-
-
-# designs for which 2^i * 2^j is computed exactly: a power of two has a
-# zero Mitchell fraction, so pure log designs (cALM, ImpLM, IntALP) are
-# exact there, as are the segment/broken-array designs that keep the
-# leading one (SSM/ESSM, AM, ALM-MAA) and the accurate baseline.  REALM
-# and MBM are excluded — their correction LUT / round-up bit perturbs
-# even zero-fraction operands — as are DRUM (unbiasing set bit) and
-# ALM-SOA (set-once approximate adder).
-POW2_EXACT_IDS = [
-    n
-    for n in ALL_IDS
-    if n == "accurate"
-    or n.startswith(("alm-maa", "am1", "am2", "calm", "essm", "implm", "intalp", "ssm"))
-]
-
-# designs the paper guarantees never overestimate: truncation-only
-# datapaths (SSM/ESSM segment truncation, AM broken arrays, cALM's
-# floor-log) always drop weight.  REALM/MBM add correction terms and
-# DRUM rounds up, so they can exceed the exact product.
-UNDERESTIMATE_IDS = [
-    n
-    for n in ALL_IDS
-    if n == "accurate" or n.startswith(("am1", "am2", "calm", "essm", "ssm"))
-]
-
-operand = st.integers(min_value=0, max_value=(1 << 16) - 1)
-exponent = st.integers(min_value=0, max_value=15)
 
 
 class TestRegistryInvariants:

@@ -48,6 +48,19 @@ class TestExhaustiveMetrics:
         assert metrics.bias == pytest.approx(errors.mean() * 100)
         assert metrics.peak_min == pytest.approx(errors.min() * 100)
 
+    def test_rejects_out_of_range_bounds(self):
+        # regression: hi past the operand maximum used to silently sweep
+        # wrapped/invalid operands instead of raising
+        calm = MitchellMultiplier(bitwidth=8)
+        with pytest.raises(ValueError, match="exceeds"):
+            exhaustive_metrics(calm, lo=0, hi=256)
+        with pytest.raises(ValueError, match="0 <= lo <= hi"):
+            exhaustive_metrics(calm, lo=-1, hi=10)
+        with pytest.raises(ValueError, match="0 <= lo <= hi"):
+            exhaustive_metrics(calm, lo=20, hi=10)
+        # the full in-range sweep still works (255^2 nonzero-product pairs)
+        assert exhaustive_metrics(calm, lo=0, hi=255).samples == 255 * 255
+
 
 class TestProfile:
     def test_fig1_statistics(self):

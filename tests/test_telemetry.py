@@ -432,6 +432,36 @@ class TestCliTrace:
     def test_summarize_missing_trace_errors(self, tmp_path, capsys):
         assert main(["telemetry", "summarize", str(tmp_path / "nope.jsonl")]) == 1
 
+    def test_retrace_to_same_path_replaces_previous_trace(self, tmp_path):
+        # regression: tracing used to append, so re-tracing to the same
+        # path mixed two runs and summarize_trace double-counted
+        trace = tmp_path / "trace.jsonl"
+        for _ in range(2):
+            with telemetry.tracing(trace) as tele:
+                tele.counter("x")
+        summary = telemetry.summarize_trace(trace)
+        assert summary["counters"] == {"x": 1}
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert sum(e.get("event") == "trace.complete" for e in events) == 1
+
+    def test_tracing_ignores_stale_worker_files_in_parent_dir(self, tmp_path):
+        # regression: the drop zone was the trace's parent directory, so
+        # merge absorbed (and deleted) events-*.jsonl leftovers that a
+        # crashed or concurrent traced run had parked there
+        stale = tmp_path / "events-99999.jsonl"
+        stale.write_text(
+            json.dumps({"event": "counter", "name": "stale", "value": 7, "t": 1.0})
+            + "\n"
+        )
+        trace = tmp_path / "trace.jsonl"
+        with telemetry.tracing(trace) as tele:
+            tele.counter("mine")
+        summary = telemetry.summarize_trace(trace)
+        assert summary["counters"] == {"mine": 1}
+        assert stale.exists()  # someone else's evidence, left untouched
+        # the per-run drop zone was cleaned up
+        assert list(tmp_path.glob("trace.jsonl.workers-*")) == []
+
 
 class TestChaosInterplay:
     """Satellite: telemetry counters exactly match chaos firing counts."""
