@@ -30,6 +30,10 @@ verify:
 	PYTHONPATH=src $(PYTHON) tools/serve_smoke.py
 	@echo "--- seeded conformance slice ---"
 	PYTHONPATH=src $(PYTHON) -m repro conform --design realm-16-m4-q5 --budget 20000 --seed 0
+	@echo "--- compiled-kernel smoke ---"
+	PYTHONPATH=src $(PYTHON) -m repro conform --design realm-16-m4-q5 --budget 20000 --seed 0 \
+		--layers model kernel exact
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_kernels.py
 
 # live TCP server under a mixed workload; asserts fused serve.batch
 # spans, zero shed and bit-identical responses (DESIGN.md §10)

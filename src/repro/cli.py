@@ -844,8 +844,8 @@ def make_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "conform",
-        help="coverage-guided differential fuzzing across model/RTL/serve/"
-        "exact layers; exits 2 on any divergence",
+        help="coverage-guided differential fuzzing across model/RTL/kernel/"
+        "serve/exact layers; exits 2 on any divergence",
     )
     p.add_argument(
         "--design", required=True,
@@ -858,8 +858,8 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=_nonnegative_int, default=0)
     p.add_argument(
         "--layers", nargs="+", default=None, metavar="LAYER",
-        help="layers to cross-check (model rtl serve exact); default: all "
-        "available for the design",
+        help="layers to cross-check (model rtl kernel serve exact); default: "
+        "all available for the design",
     )
     p.add_argument(
         "--bitwidth", type=_positive_int, default=None,

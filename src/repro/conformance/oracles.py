@@ -1,12 +1,13 @@
 """Differential and metamorphic oracles across the repo's answer layers.
 
-The repository holds four independent answers to "what does design X
+The repository holds five independent answers to "what does design X
 return on ``(a, b)``": the functional NumPy model, the gate-level RTL
-netlist, the served (batched protocol) path, and — on inputs where a
-family guarantees exactness — arithmetic itself.  The
-:class:`DifferentialOracle` evaluates operand batches through every
-available layer and reports structured :class:`Divergence` records
-wherever two layers disagree.
+netlist, the compiled kernel (:mod:`repro.kernels` — table-specialized
+model and bit-parallel netlist programs), the served (batched protocol)
+path, and — on inputs where a family guarantees exactness — arithmetic
+itself.  The :class:`DifferentialOracle` evaluates operand batches
+through every available layer and reports structured
+:class:`Divergence` records wherever two layers disagree.
 
 Where no second implementation exists, **metamorphic relations** apply to
 the model alone (family lists pinned by measurement over the registry,
@@ -39,6 +40,7 @@ import numpy as np
 from ..analysis import chaos, telemetry
 from ..circuits.catalog import NETLISTS, netlist_for
 from ..core.realm import RealmMultiplier
+from ..kernels import compile_netlist, kernel_for
 from ..logic.sim import evaluate_words
 from ..multipliers.registry import REGISTRY, build
 
@@ -50,8 +52,11 @@ __all__ = [
     "resolve_design",
 ]
 
-#: evaluation layers, in reporting order; "model" is the reference
-LAYERS = ("model", "rtl", "serve", "exact")
+#: evaluation layers, in reporting order; "model" is the reference.
+#: "kernel" is the compiled evaluator of :mod:`repro.kernels` — always
+#: available (every design compiles, worst case to an interpreted
+#: fallback) and required to be bit-identical to the model.
+LAYERS = ("model", "rtl", "kernel", "serve", "exact")
 
 #: metamorphic relations checked on the model layer
 RELATIONS = ("commute", "pow2-shift", "underestimate")
@@ -157,9 +162,25 @@ class DifferentialOracle:
     ``skipped_layers`` with a reason instead of failing, so one CLI
     invocation works across the whole registry.  ``limit`` bounds the
     :class:`Divergence` records kept per check (totals are still exact).
+
+    The ``kernel`` layer compares the compiled evaluator of
+    :mod:`repro.kernels` against the model on every pair; it is always
+    available.  ``compiled_rtl`` (default on) evaluates the ``rtl``
+    layer through the bit-parallel :class:`~repro.kernels.NetlistKernel`
+    instead of the per-gate interpreter — bit-identical by construction
+    and roughly an order of magnitude faster, which is what makes
+    gate-level fuzzing batches affordable; pass ``False`` to force the
+    interpreted simulator.
     """
 
-    def __init__(self, design: str, bitwidth: int | None = None, layers=None):
+    def __init__(
+        self,
+        design: str,
+        bitwidth: int | None = None,
+        layers=None,
+        *,
+        compiled_rtl: bool = True,
+    ):
         self.design, self.model, rtl_factory, servable = resolve_design(
             design, bitwidth
         )
@@ -174,6 +195,7 @@ class DifferentialOracle:
             raise ValueError("the 'model' layer is the reference; it is required")
         self.skipped_layers: dict[str, str] = {}
         self._netlist = None
+        self._rtl_kernel = None
         if "rtl" in requested:
             if rtl_factory is None:
                 self.skipped_layers["rtl"] = "no netlist generator for this design"
@@ -182,6 +204,8 @@ class DifferentialOracle:
                     self._netlist = rtl_factory()
                 except ValueError as exc:
                     self.skipped_layers["rtl"] = f"netlist unbuildable: {exc}"
+            if self._netlist is not None and compiled_rtl:
+                self._rtl_kernel = compile_netlist(self._netlist)
         if "serve" in requested and not servable:
             self.skipped_layers["serve"] = "not a registry id; serve cannot resolve it"
         self.layers = tuple(
@@ -229,9 +253,13 @@ class DifferentialOracle:
     def _eval_rtl(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         n = self.bitwidth
         netlist = self._netlist
-        return evaluate_words(
-            netlist, [netlist.inputs[:n], netlist.inputs[n:]], [a, b]
-        )
+        buses = [netlist.inputs[:n], netlist.inputs[n:]]
+        if self._rtl_kernel is not None:
+            return self._rtl_kernel.evaluate_words(buses, [a, b])
+        return evaluate_words(netlist, buses, [a, b])
+
+    def _eval_kernel(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return kernel_for(self.model)(a, b)
 
     def _eval_serve(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         import asyncio
@@ -301,6 +329,8 @@ class DifferentialOracle:
         for name in self.layers:
             if name == "rtl":
                 yield name, self._eval_rtl(a, b)
+            elif name == "kernel":
+                yield name, self._eval_kernel(a, b)
             elif name == "serve":
                 yield name, self._eval_serve(a, b)
             elif name == "exact":

@@ -1,0 +1,324 @@
+"""Table specializers: fold a model's datapath into precomputed lookups.
+
+The log/segment families share one structural property: everything the
+datapath derives *per operand* — leading-one position, barrel-shifted
+log fraction, truncated fraction, LUT segment index, extracted
+fragment — is a pure function of that operand alone.  For ``N``-bit
+operands there are only ``2**N`` such values, so the whole front end of
+the datapath collapses into int64 tables built once at compile time
+(``8 * 2**N`` bytes each: 512 KB at ``N = 16``).  What remains per call
+is the cross-operand tail: one or two adds, a carry select, a shift —
+a handful of vectorized int64 ops regardless of family.
+
+Narrow designs skip even that: at ``N <= FULL_TABLE_MAX_BITWIDTH`` the
+entire ``2**N x 2**N`` product space is enumerated through the
+*interpreted* model into one flat table (``8 * 4**N`` bytes: 512 KB at
+``N = 8``), making the kernel a single gather — and bit-identity true
+by construction for any family, however irregular.
+
+Each builder returns ``(evaluate, kind, table_bytes)`` where
+``evaluate(a, b)`` takes validated, broadcast, at-least-1-D int64
+arrays (the :meth:`~repro.multipliers.base.Multiplier._multiply`
+contract) and ``table_bytes`` accounts the precomputed memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bitops import mask, shift_value
+from ..multipliers.mitchell import antilog, log_operands
+
+__all__ = [
+    "FULL_TABLE_MAX_BITWIDTH",
+    "OPERAND_TABLE_MAX_BITWIDTH",
+    "build_full_table",
+    "build_log_tables",
+    "compile_alm",
+    "compile_drum",
+    "compile_full_table",
+    "compile_implm",
+    "compile_mbm",
+    "compile_mitchell",
+    "compile_realm",
+    "compile_segment",
+]
+
+#: widest operand for which the exhaustive pair table is built
+#: (``8 * 4**N`` bytes: 512 KB at N=8; N=9 would already be 2 MB)
+FULL_TABLE_MAX_BITWIDTH = 8
+
+#: widest operand for which per-operand decomposition tables are built
+#: (``8 * 2**N`` bytes per table: 512 KB at N=16; beyond ~20 the tables
+#: stop fitting comfortably in cache and compile time grows, so wider
+#: models fall back to the interpreted datapath)
+OPERAND_TABLE_MAX_BITWIDTH = 20
+
+
+def _operand_space(bitwidth: int) -> np.ndarray:
+    """Every representable operand, ``0 .. 2**N - 1``."""
+    return np.arange(np.int64(1) << bitwidth, dtype=np.int64)
+
+
+def build_log_tables(bitwidth: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-operand LOD + input-barrel-shifter tables ``(k, x)``.
+
+    ``k[v]`` is the characteristic (leading-one position) and ``x[v]``
+    the ``N-1``-bit log fraction; index 0 holds the zero-safe values the
+    models use (callers mask zero operands separately).
+    """
+    v = _operand_space(bitwidth)
+    k, _, x, _, _ = log_operands(v, v, bitwidth)
+    return k, x
+
+
+def build_full_table(model) -> np.ndarray:
+    """Exhaustive product table via the interpreted model, row-major in
+    ``a`` (``table[(a << N) | b]``)."""
+    n = model.bitwidth
+    v = _operand_space(n)
+    a = np.repeat(v, v.size)
+    b = np.tile(v, v.size)
+    return np.ascontiguousarray(model._multiply(a, b))
+
+
+# ----------------------------------------------------------------------
+# family specializers
+# ----------------------------------------------------------------------
+
+
+def compile_full_table(model):
+    """Any family, ``N <= FULL_TABLE_MAX_BITWIDTH``: one gather."""
+    n = model.bitwidth
+    table = build_full_table(model)
+
+    def evaluate(a, b):
+        return table[(a << n) | b]
+
+    return evaluate, "full-table", table.nbytes
+
+
+def compile_mitchell(model):
+    """cALM: one packed log table, exact add, antilog."""
+    n = model.bitwidth
+    width = n - 1
+    k, x = build_log_tables(n)
+    logv = (k << width) | x
+
+    def evaluate(a, b):
+        product = antilog(logv[a] + logv[b], width)
+        return np.where((a > 0) & (b > 0), product, 0)
+
+    return evaluate, "table", logv.nbytes
+
+
+def compile_alm(model):
+    """ALM-LOA/SOA/MAA: packed log tables + the approximate adder."""
+    n = model.bitwidth
+    width = n - 1
+    m = model.m
+    add = model._add
+    k, x = build_log_tables(n)
+    logv = (k << width) | x
+
+    def evaluate(a, b):
+        product = antilog(add(logv[a], logv[b], m), width)
+        return np.where((a > 0) & (b > 0), product, 0)
+
+    return evaluate, "table", logv.nbytes
+
+
+def compile_implm(model):
+    """ImpLM: nearest-one characteristic + signed fraction tables."""
+    n = model.bitwidth
+    v = _operand_space(n)
+    k_near, f = model._decompose(np.where(v > 0, v, 1))
+    one = np.int64(1) << n
+
+    def evaluate(a, b):
+        mantissa = one + f[a] + f[b]
+        product = shift_value(mantissa, k_near[a] + k_near[b] - n)
+        return np.where((a > 0) & (b > 0), product, 0)
+
+    return evaluate, "table", k_near.nbytes + f.nbytes
+
+
+def compile_mbm(model):
+    """MBM: one packed ``(k, xt)`` table + hardwired correction constants.
+
+    ``k`` and the truncated fraction share one int64 word per operand
+    (``xt`` in the low ``width + 1`` bits — one headroom bit so the
+    fraction-sum carry stays inside its own field — ``k`` above), so the
+    per-call front end is two gathers and an add; field sums can never
+    cross field boundaries (``xt`` sums stay under ``2**(width+1)``,
+    ``k`` sums under 128).
+    """
+    from ..core.bitops import log_fraction, truncate_fraction, floor_log2
+
+    n = model.bitwidth
+    raw_width = n - 1
+    width = raw_width - model.t
+    v = _operand_space(n)
+    safe = np.where(v > 0, v, 1)
+    k = floor_log2(safe)
+    xt = truncate_fraction(log_fraction(safe, k, n), model.t, raw_width)
+    packed = (k << (width + 1)) | xt
+    code = np.int64(model.correction_code)
+    c_full = shift_value(code, width - model.q)
+    c_half = shift_value(code, width - model.q - 1)
+    fraction_mask = mask(width + 1)
+
+    def evaluate(a, b):
+        s = packed[a] + packed[b]
+        fraction_sum = s & fraction_mask
+        carry = fraction_sum >> width
+        not_carry = carry ^ 1
+        mantissa = (
+            fraction_sum
+            + (not_carry << width)
+            + (c_half + not_carry * (c_full - c_half))
+        )
+        product = shift_value(mantissa, (s >> (width + 1)) + carry - width)
+        return np.where((a > 0) & (b > 0), product, 0)
+
+    return evaluate, "table", packed.nbytes
+
+
+def compile_realm(model):
+    """REALM: the whole per-operand front end in one packed table.
+
+    Everything Fig. 3 derives per operand — LOD characteristic ``k``,
+    truncated fraction ``xt``, segment index — shares one int64 word:
+
+    ========================  =======================================
+    bits ``[0, width]``       ``xt`` (+1 headroom bit for the carry)
+    bits ``[width+1, +7]``    ``k`` (sums stay under 128)
+    bits ``[width+8, ...]``   segment — ``seg * M`` on the left table,
+                              ``seg`` on the right
+    ========================  =======================================
+
+    Adding the two gathered words sums every field at once without
+    cross-field carries, and the segment field lands directly on the
+    flattened LUT index ``seg_a * M + seg_b``.  The quantized ``s_ij``
+    LUT is pre-shifted to the fraction grid in both carry variants and
+    interleaved (``s[2 * ij + carry]``), so the carry select is one
+    small gather instead of a branch.  Per call: two 2**N-word gathers,
+    one LUT gather, and ~10 elementwise int64 ops.
+    """
+    from ..core.bitops import log_fraction, truncate_fraction, floor_log2
+    from ..core.factors import segment_index
+
+    cfg = model.config
+    n = model.bitwidth
+    raw_width = n - 1
+    width = cfg.fraction_width
+    logm = cfg.m.bit_length() - 1
+    seg_shift = width + 8
+    if seg_shift + 2 * logm >= 63:  # packed fields would overflow int64
+        return _compile_realm_unpacked(model)
+
+    v = _operand_space(n)
+    safe = np.where(v > 0, v, 1)
+    k = floor_log2(safe)
+    x = log_fraction(safe, k, n)
+    xt = truncate_fraction(x, cfg.t, raw_width)
+    seg = segment_index(x, raw_width, cfg.m)
+    left = ((seg << logm) << seg_shift) | (k << (width + 1)) | xt
+    right = (seg << seg_shift) | (k << (width + 1)) | xt
+
+    flat_codes = np.ascontiguousarray(model.lut_codes, dtype=np.int64).ravel()
+    s_pair = np.empty(2 * flat_codes.size, dtype=np.int64)
+    s_pair[0::2] = shift_value(flat_codes, width - cfg.q)
+    s_pair[1::2] = shift_value(flat_codes, width - cfg.q - 1)
+    saturate = model.overflow == "saturate"
+    top = mask(2 * n)
+    fraction_mask = mask(width + 1)
+    k_mask = np.int64(0x7F)
+
+    def evaluate(a, b):
+        s = left[a] + right[b]
+        fraction_sum = s & fraction_mask
+        carry = fraction_sum >> width
+        correction = s_pair[((s >> seg_shift) << 1) | carry]
+        mantissa = fraction_sum + ((carry ^ 1) << width) + correction
+        k_sum = (s >> (width + 1)) & k_mask
+        product = shift_value(mantissa, k_sum + carry - width)
+        product = np.where((a > 0) & (b > 0), product, 0)
+        if saturate:
+            product = np.minimum(product, top)
+        return product
+
+    return evaluate, "table", left.nbytes + right.nbytes + s_pair.nbytes
+
+
+def _compile_realm_unpacked(model):
+    """REALM fallback when the packed fields exceed int64: separate
+    per-operand tables, same arithmetic (reachable only for extreme
+    ``N``/``M`` combinations)."""
+    from ..core.bitops import log_fraction, truncate_fraction, floor_log2
+    from ..core.factors import segment_index
+
+    cfg = model.config
+    n = model.bitwidth
+    raw_width = n - 1
+    width = cfg.fraction_width
+    logm = cfg.m.bit_length() - 1
+
+    v = _operand_space(n)
+    safe = np.where(v > 0, v, 1)
+    k = floor_log2(safe)
+    x = log_fraction(safe, k, n)
+    xt = truncate_fraction(x, cfg.t, raw_width)
+    seg = segment_index(x, raw_width, cfg.m)
+    seg_row = seg << logm
+
+    flat_codes = np.ascontiguousarray(model.lut_codes, dtype=np.int64).ravel()
+    s_full = shift_value(flat_codes, width - cfg.q)
+    s_half = shift_value(flat_codes, width - cfg.q - 1)
+    one = np.int64(1) << width
+    saturate = model.overflow == "saturate"
+    top = mask(2 * n)
+
+    def evaluate(a, b):
+        lut = seg_row[a] | seg[b]
+        fraction_sum = xt[a] + xt[b]
+        carry = fraction_sum >> width
+        mantissa = np.where(
+            carry == 0,
+            one + fraction_sum + s_full[lut],
+            fraction_sum + s_half[lut],
+        )
+        product = shift_value(mantissa, k[a] + k[b] + carry - width)
+        product = np.where((a > 0) & (b > 0), product, 0)
+        if saturate:
+            product = np.minimum(product, top)
+        return product
+
+    tables = k.nbytes + xt.nbytes + seg.nbytes + seg_row.nbytes
+    return evaluate, "table", tables + s_full.nbytes + s_half.nbytes
+
+
+def compile_drum(model):
+    """DRUM: the leading-one fragment extraction is per-operand."""
+    approx = model._approximate(_operand_space(model.bitwidth))
+
+    def evaluate(a, b):
+        return approx[a] * approx[b]
+
+    return evaluate, "table", approx.nbytes
+
+
+def compile_segment(model):
+    """SSM/ESSM: per-operand segment value, pre-scaled.
+
+    ``(seg_a << sh_a) * (seg_b << sh_b) == (seg_a * seg_b) << (sh_a +
+    sh_b)`` exactly (int64 headroom: the rescaled operands are at most
+    ``N`` bits each), so one table of rescaled operands suffices.
+    """
+    seg, sh = model._segment(_operand_space(model.bitwidth))
+    approx = seg << sh
+
+    def evaluate(a, b):
+        return approx[a] * approx[b]
+
+    return evaluate, "table", approx.nbytes

@@ -18,7 +18,14 @@ __all__ = ["MAX_BUS_WIDTH", "simulate", "evaluate_words", "bus_to_int", "int_to_
 
 
 #: widest bus the int64 word conversions can represent exactly: bit 63
-#: is the sign bit, so position 62 is the highest usable weight
+#: is the sign bit, so position 62 is the highest usable weight.  This is
+#: the true limiting invariant of the whole int64 substrate: an ``N``-bit
+#: multiplier model needs up to ``2N + 1`` product bits (REALM's overflow
+#: case), so :class:`repro.multipliers.base.Multiplier` caps ``N`` at 31
+#: — exactly the widest operand whose product bus (62 bits) and overflow
+#: bit (63rd) still fit these word conversions.  Keep the two limits in
+#: sync: ``2 * 31 + 1 == MAX_BUS_WIDTH`` (pinned by
+#: ``tests/test_logic.py::TestWidthInvariants``).
 MAX_BUS_WIDTH = 63
 
 
@@ -31,15 +38,35 @@ def _check_width(width: int) -> None:
         )
 
 
+def _check_values(values: np.ndarray, width: int) -> None:
+    """Reject bus values outside ``[0, 2**width)`` (shared with the
+    compiled engine in :mod:`repro.kernels.netlist`)."""
+    if values.size:
+        low = int(values.min())
+        high = int(values.max())
+        limit = 1 << width
+        if low < 0 or high >= limit:
+            offender = low if low < 0 else high
+            raise ValueError(
+                f"bus value {offender} outside [0, 2**{width}) for a "
+                f"{width}-bit bus; high bits would be dropped silently"
+            )
+
+
 def int_to_bus(values: np.ndarray, width: int) -> np.ndarray:
     """Integers -> bit matrix of shape ``(len(values), width)``, LSB first.
 
     ``width`` must be <= :data:`MAX_BUS_WIDTH` (63): beyond that the
     int64 arithmetic cannot represent every bus value and would wrap
-    silently, so a :class:`ValueError` is raised instead.
+    silently, so a :class:`ValueError` is raised instead.  Values are
+    validated the same way: every value must lie in ``[0, 2**width)`` —
+    out-of-range operands used to truncate their high bits silently and
+    negative operands wrapped to two's-complement bit patterns, both of
+    which turned caller bugs into wrong-but-plausible waveforms.
     """
     _check_width(width)
     values = np.asarray(values, dtype=np.int64)
+    _check_values(values, width)
     bits = (values[:, None] >> np.arange(width)) & 1
     return bits.astype(bool)
 

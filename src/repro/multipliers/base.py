@@ -12,10 +12,22 @@ test suite.
 from __future__ import annotations
 
 import abc
+import os
 
 import numpy as np
 
-__all__ = ["Multiplier", "as_operands"]
+__all__ = ["Multiplier", "as_operands", "compiled_default"]
+
+
+def compiled_default() -> bool:
+    """Whether the compiled kernel path is enabled by default.
+
+    Controlled by the ``REPRO_COMPILED`` environment variable: ``1`` /
+    ``true`` / ``on`` / ``yes`` enable it for every
+    :meth:`Multiplier.multiply` call that does not pass ``compiled=``
+    explicitly.  Read per call so tests can flip it with ``monkeypatch``.
+    """
+    return os.environ.get("REPRO_COMPILED", "").lower() in ("1", "true", "on", "yes")
 
 
 def as_operands(a, b, bitwidth: int) -> tuple[np.ndarray, np.ndarray]:
@@ -25,6 +37,14 @@ def as_operands(a, b, bitwidth: int) -> tuple[np.ndarray, np.ndarray]:
     common shape.  Raises ``ValueError`` if any value falls outside
     ``[0, 2**bitwidth)`` — the models are bit-accurate and silently wrapping
     inputs would hide genuine usage bugs.
+
+    The returned arrays are **read-only views**: broadcasting a scalar
+    against an array aliases one memory cell across every element (and
+    same-shape inputs alias the caller's arrays directly), so an
+    in-place write inside a ``_multiply`` implementation would corrupt
+    sibling elements — or the caller's data — silently.  Marking the
+    views non-writeable turns that class of bug into an immediate
+    ``ValueError`` at the offending statement.
     """
     a = np.asarray(a, dtype=np.int64)
     b = np.asarray(b, dtype=np.int64)
@@ -35,7 +55,13 @@ def as_operands(a, b, bitwidth: int) -> tuple[np.ndarray, np.ndarray]:
                 f"operand {name} outside [0, 2**{bitwidth}) for a "
                 f"{bitwidth}-bit unsigned multiplier"
             )
-    return np.broadcast_arrays(a, b)
+    a, b = np.broadcast_arrays(a, b)
+    # views of views: never flips writeability of the caller's arrays
+    a = a.view()
+    b = b.view()
+    a.flags.writeable = False
+    b.flags.writeable = False
+    return a, b
 
 
 class Multiplier(abc.ABC):
@@ -49,13 +75,26 @@ class Multiplier(abc.ABC):
     #: short family name, e.g. ``"REALM"`` or ``"DRUM"``; set by subclasses
     family: str = "?"
 
+    #: widest supported operand.  The limiting invariant is the int64
+    #: substrate shared with :mod:`repro.logic.sim`: products span up to
+    #: ``2N + 1`` bits (REALM's overflow case), and the word conversions
+    #: there cap buses at ``MAX_BUS_WIDTH = 63`` usable weights — so
+    #: ``2 * MAX_BITWIDTH + 1 == 63`` exactly.  A boundary test
+    #: (``tests/test_multiplier_properties.py``) keeps the two constants
+    #: from drifting apart.
+    MAX_BITWIDTH = 31
+
     def __init__(self, bitwidth: int = 16):
         if bitwidth < 2:
             raise ValueError(f"bitwidth must be >= 2, got {bitwidth}")
-        if bitwidth > 31:
+        if bitwidth > self.MAX_BITWIDTH:
             # products (up to 2N+1 bits for REALM's overflow case) must fit
-            # the int64 arithmetic the models are built on
-            raise ValueError(f"bitwidth must be <= 31, got {bitwidth}")
+            # the int64 arithmetic the models are built on; see
+            # repro.logic.sim.MAX_BUS_WIDTH for the bus-side statement of
+            # the same invariant
+            raise ValueError(
+                f"bitwidth must be <= {self.MAX_BITWIDTH}, got {bitwidth}"
+            )
         self.bitwidth = bitwidth
 
     @property
@@ -68,9 +107,26 @@ class Multiplier(abc.ABC):
         """Largest representable operand, ``2**N - 1``."""
         return (1 << self.bitwidth) - 1
 
-    def multiply(self, a, b) -> np.ndarray:
-        """Approximate (or exact) product of unsigned operands."""
+    def multiply(self, a, b, *, compiled: bool | None = None) -> np.ndarray:
+        """Approximate (or exact) product of unsigned operands.
+
+        ``compiled`` selects the evaluation engine: ``True`` routes the
+        batch through the fused kernel from :mod:`repro.kernels`
+        (table-specialized, bit-identical, compiled once per design and
+        cached on the registry fingerprint), ``False`` forces the
+        interpreted NumPy datapath, and ``None`` (default) follows the
+        ``REPRO_COMPILED`` environment variable.
+        """
         a, b = as_operands(a, b, self.bitwidth)
+        if compiled is None:
+            compiled = compiled_default()
+        if compiled:
+            from ..kernels import kernel_for  # deferred: kernels imports us
+
+            kernel = kernel_for(self)
+            if a.ndim == 0:
+                return kernel(a.reshape(1), b.reshape(1))[0]
+            return kernel(a, b)
         if a.ndim == 0:
             # _multiply implementations assume at least 1-D arrays
             return self._multiply(a.reshape(1), b.reshape(1))[0]

@@ -90,9 +90,18 @@ class ModelCache:
     :func:`repro.multipliers.registry.fingerprint`, so any two registry
     ids that construct identical configurations also share an entry.
     Raises ``KeyError`` for unknown design ids (the registry's error).
+
+    ``compiled`` selects the evaluation engine for every request served
+    from this cache: ``True``/``False`` force the fused kernel or the
+    interpreted datapath, ``None`` (default) follows ``REPRO_COMPILED``
+    (see :meth:`repro.multipliers.base.Multiplier.multiply`).  Compiled
+    kernels share the same fingerprint keying through
+    :func:`repro.kernels.kernel_for`, so a long-lived server compiles
+    each design once no matter how many requests name it.
     """
 
-    def __init__(self):
+    def __init__(self, *, compiled: bool | None = None):
+        self.compiled = compiled
         self._by_request: dict[tuple[str, int], Multiplier] = {}
         self._by_fingerprint: dict[str, Multiplier] = {}
 
@@ -283,14 +292,19 @@ class MicroBatcher:
                 requests=len(items),
             ):
                 try:
+                    compiled = self.models.compiled
                     if fused:
                         a = np.concatenate([i.a for i in items])
                         b = np.concatenate([i.b for i in items])
-                        products = model.multiply(a, b)
+                        products = model.multiply(a, b, compiled=compiled)
                         offsets = np.cumsum([i.pairs for i in items])[:-1]
                         slices = np.split(products, offsets)
                     else:
-                        slices = [model.multiply(items[0].a, items[0].b)]
+                        slices = [
+                            model.multiply(
+                                items[0].a, items[0].b, compiled=compiled
+                            )
+                        ]
                 except Exception as exc:  # pragma: no cover - defensive
                     for item in items:
                         if not item.future.done():

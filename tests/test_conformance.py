@@ -104,7 +104,7 @@ class TestOracleAgreement:
         result = fuzz("realm-16-m4-q5", 2048, seed=0)
         assert result.ok, render_text(result)
         assert "serve" in result.skipped_layers
-        assert result.layers == ("model", "rtl", "exact")
+        assert result.layers == ("model", "rtl", "kernel", "exact")
 
     def test_relations_follow_family(self):
         oracle = DifferentialOracle("realm16-t0")

@@ -1,0 +1,277 @@
+"""Compiled-kernel equivalence: the fused evaluators of ``repro.kernels``
+must be bit-identical to the interpreted paths they replace.
+
+Three fronts: a Hypothesis sweep of every registry family at every
+supported width against the interpreted model, the bit-parallel netlist
+kernel against the per-gate simulator, and a seeded compiled-layer
+conformance slice through the differential oracle.  Plus the cache
+contract: one kernel per (fingerprint, version), flushable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.catalog import netlist_for
+from repro.kernels import (
+    KERNEL_VERSION,
+    cached_kernel_count,
+    clear_kernel_cache,
+    compile_kernel,
+    compile_netlist,
+    kernel_for,
+)
+from repro.kernels.compiler import _BLOCK
+from repro.kernels.netlist import _pack_words, _unpack_words
+from repro.logic.sim import evaluate_words
+from repro.multipliers.base import compiled_default
+from repro.multipliers.registry import build
+from tests.strategies import ALL_IDS, bitwidths, design_ids, operands
+
+
+def build_or_skip(name: str, bitwidth: int):
+    """Registry configurations that need more width than ``bitwidth``
+    (e.g. a DRUM k exceeding N) raise ValueError; skip those combos."""
+    try:
+        return build(name, bitwidth)
+    except ValueError:
+        return None
+
+
+# ----------------------------------------------------------------------
+# model kernels vs interpreted models
+# ----------------------------------------------------------------------
+
+
+class TestModelKernelEquivalence:
+    @given(design_ids(), bitwidths, st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_compiled_matches_interpreted(self, name, bitwidth, data):
+        model = build_or_skip(name, bitwidth)
+        if model is None:
+            return
+        a = data.draw(operands(bitwidth), label="a")
+        b = data.draw(operands(bitwidth), label="b")
+        compiled = int(model.multiply(a, b, compiled=True))
+        interpreted = int(model.multiply(a, b, compiled=False))
+        assert compiled == interpreted
+
+    @pytest.mark.parametrize("bitwidth", [4, 8, 16])
+    @pytest.mark.parametrize("name", ALL_IDS)
+    def test_batch_bit_identity(self, name, bitwidth):
+        model = build_or_skip(name, bitwidth)
+        if model is None:
+            pytest.skip(f"{name} unbuildable at N={bitwidth}")
+        rng = np.random.default_rng(hash((name, bitwidth)) % (1 << 32))
+        a = rng.integers(0, 1 << bitwidth, 4096).astype(np.int64)
+        b = rng.integers(0, 1 << bitwidth, 4096).astype(np.int64)
+        # force the corners every datapath special-cases
+        top = (1 << bitwidth) - 1
+        a[:4] = [0, 0, 1, top]
+        b[:4] = [0, top, 1, top]
+        kernel = kernel_for(model)
+        assert np.array_equal(kernel(a, b), model._multiply(a, b))
+
+    def test_blocked_evaluation_matches_single_sweep(self):
+        # batches beyond the cache-blocking threshold split internally;
+        # the seams must be invisible
+        model = build("realm16-t3", 16)
+        kernel = kernel_for(model)
+        rng = np.random.default_rng(5)
+        size = 3 * _BLOCK + 17
+        a = rng.integers(0, 1 << 16, size).astype(np.int64)
+        b = rng.integers(0, 1 << 16, size).astype(np.int64)
+        assert np.array_equal(kernel(a, b), model._multiply(a, b))
+
+    def test_scalar_multiply_compiled(self):
+        model = build("realm16-t3", 16)
+        assert int(model.multiply(777, 888, compiled=True)) == int(
+            model.multiply(777, 888, compiled=False)
+        )
+
+    def test_broadcast_multiply_compiled(self):
+        model = build("mbm-t4", 16)
+        b = np.array([1, 2, 3, 40000])
+        assert np.array_equal(
+            model.multiply(12345, b, compiled=True),
+            model.multiply(12345, b, compiled=False),
+        )
+
+    def test_env_opt_in(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COMPILED", raising=False)
+        assert compiled_default() is False
+        monkeypatch.setenv("REPRO_COMPILED", "1")
+        assert compiled_default() is True
+        model = build("calm", 8)
+        a = np.arange(256, dtype=np.int64)
+        assert np.array_equal(
+            model.multiply(a, a[::-1]),  # compiled via the env default
+            model.multiply(a, a[::-1], compiled=False),
+        )
+
+
+# ----------------------------------------------------------------------
+# netlist kernels vs the per-gate simulator
+# ----------------------------------------------------------------------
+
+
+NETLIST_CASES = [
+    ("accurate", 8),
+    ("realm8-t2", 8),
+    ("realm16-t3", 16),
+    ("mbm-t4", 8),
+    ("calm", 8),
+    ("drum-k4", 8),
+    ("ssm-m8", 16),
+]
+
+
+class TestNetlistKernel:
+    @pytest.mark.parametrize("name,bitwidth", NETLIST_CASES)
+    def test_matches_interpreted_simulator(self, name, bitwidth):
+        netlist = netlist_for(name, bitwidth)
+        kernel = compile_netlist(netlist)
+        rng = np.random.default_rng(hash((name, bitwidth)) % (1 << 32))
+        a = rng.integers(0, 1 << bitwidth, 500).astype(np.int64)
+        b = rng.integers(0, 1 << bitwidth, 500).astype(np.int64)
+        a[:2] = [0, (1 << bitwidth) - 1]
+        b[:2] = [0, (1 << bitwidth) - 1]
+        buses = [netlist.inputs[:bitwidth], netlist.inputs[bitwidth:]]
+        assert np.array_equal(
+            kernel.evaluate_words(buses, [a, b]),
+            evaluate_words(netlist, buses, [a, b]),
+        )
+
+    @pytest.mark.parametrize("count", [1, 63, 64, 65, 200])
+    def test_lane_boundaries(self, count):
+        # batch sizes straddling the 64-vector word boundary
+        netlist = netlist_for("realm8-t2", 8)
+        kernel = compile_netlist(netlist)
+        rng = np.random.default_rng(count)
+        a = rng.integers(0, 256, count).astype(np.int64)
+        b = rng.integers(0, 256, count).astype(np.int64)
+        buses = [netlist.inputs[:8], netlist.inputs[8:]]
+        assert np.array_equal(
+            kernel.evaluate_words(buses, [a, b]),
+            evaluate_words(netlist, buses, [a, b]),
+        )
+
+    def test_missing_stimulus_raises(self):
+        netlist = netlist_for("accurate", 4)
+        kernel = compile_netlist(netlist)
+        with pytest.raises(ValueError, match="stimulus missing"):
+            kernel.evaluate_words([netlist.inputs[:4]], [np.array([1])])
+
+    def test_value_validation_matches_simulator(self):
+        netlist = netlist_for("accurate", 4)
+        kernel = compile_netlist(netlist)
+        buses = [netlist.inputs[:4], netlist.inputs[4:]]
+        with pytest.raises(ValueError, match="outside"):
+            kernel.evaluate_words(buses, [np.array([16]), np.array([1])])
+        with pytest.raises(ValueError, match="outside"):
+            kernel.evaluate_words(buses, [np.array([1]), np.array([-1])])
+
+    def test_length_mismatch_raises(self):
+        netlist = netlist_for("accurate", 4)
+        kernel = compile_netlist(netlist)
+        buses = [netlist.inputs[:4], netlist.inputs[4:]]
+        with pytest.raises(ValueError, match="disagree on length"):
+            kernel.evaluate_words(buses, [np.array([1, 2]), np.array([3])])
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << 20) - 1),
+            min_size=1,
+            max_size=130,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_pack_unpack_roundtrip(self, values):
+        array = np.asarray(values, dtype=np.int64)
+        assert np.array_equal(
+            _unpack_words(_pack_words(array, 20), array.size), array
+        )
+
+
+# ----------------------------------------------------------------------
+# compile cache
+# ----------------------------------------------------------------------
+
+
+class TestKernelCache:
+    def test_equal_fingerprints_share_one_kernel(self):
+        clear_kernel_cache()
+        first = kernel_for(build("realm16-t3", 16))
+        second = kernel_for(build("realm16-t3", 16))
+        assert first is second
+        assert cached_kernel_count() == 1
+
+    def test_distinct_configurations_get_distinct_kernels(self):
+        clear_kernel_cache()
+        kernel_for(build("realm16-t3", 16))
+        kernel_for(build("realm16-t3", 8))
+        kernel_for(build("realm16-t0", 16))
+        assert cached_kernel_count() == 3
+
+    def test_clear(self):
+        kernel_for(build("calm", 8))
+        assert cached_kernel_count() > 0
+        clear_kernel_cache()
+        assert cached_kernel_count() == 0
+
+    def test_version_stamped(self):
+        kernel = compile_kernel(build("realm16-t3", 16))
+        assert kernel.version == KERNEL_VERSION
+        assert kernel.kind == "table"
+        assert kernel.table_bytes > 0
+
+    def test_fallback_kinds(self):
+        # IntALP has no per-operand decomposition: full table while the
+        # operand space is small, interpreted wrap beyond
+        assert compile_kernel(build("intalp-l2", 8)).kind == "full-table"
+        assert compile_kernel(build("intalp-l2", 16)).kind == "interpreted"
+        assert compile_kernel(build("accurate", 16)).kind == "direct"
+
+
+# ----------------------------------------------------------------------
+# conformance: the kernel layer through the differential oracle
+# ----------------------------------------------------------------------
+
+
+class TestCompiledConformanceSlice:
+    @pytest.mark.parametrize(
+        "design", ["realm16-t3", "mbm-t4", "calm", "drum-k6", "intalp-l2"]
+    )
+    def test_seeded_fuzz_slice_is_clean(self, design):
+        from repro.conformance import fuzz
+
+        result = fuzz(
+            design,
+            budget=2048,
+            seed=2026,
+            layers=("model", "kernel", "exact"),
+        )
+        assert result.ok, f"kernel layer diverged for {design}"
+        assert "kernel" in result.layers
+
+    def test_rtl_layer_runs_compiled(self):
+        from repro.conformance.oracles import DifferentialOracle
+
+        oracle = DifferentialOracle("realm8-t2", bitwidth=8)
+        assert oracle._rtl_kernel is not None
+        records, total = oracle.evaluate(
+            np.arange(256, dtype=np.int64),
+            np.arange(255, -1, -1, dtype=np.int64),
+        )
+        assert total == 0, records
+
+    def test_rtl_layer_interpreted_escape(self):
+        from repro.conformance.oracles import DifferentialOracle
+
+        oracle = DifferentialOracle("realm8-t2", bitwidth=8, compiled_rtl=False)
+        assert oracle._rtl_kernel is None
+        _, total = oracle.evaluate(np.array([3, 200]), np.array([7, 9]))
+        assert total == 0

@@ -250,3 +250,52 @@ class TestBusWidthOverflow:
         from repro.logic.sim import MAX_BUS_WIDTH
 
         assert 2 * 31 <= MAX_BUS_WIDTH
+
+
+class TestWidthInvariants:
+    """The int64 substrate invariant and bus-value validation.
+
+    Regression for two silent-wrap bugs: out-of-range values used to
+    drop their high bits in ``int_to_bus``, and negative values wrapped
+    to two's-complement bit patterns.  Plus the cross-module pin the
+    doc comments in ``repro.logic.sim`` and ``repro.multipliers.base``
+    point at: ``2 * MAX_BITWIDTH + 1 == MAX_BUS_WIDTH``.
+    """
+
+    def test_model_and_bus_limits_agree(self):
+        # an N-bit model's worst product needs 2N+1 bits (REALM overflow);
+        # the widest model must exactly exhaust the bus substrate
+        from repro.logic.sim import MAX_BUS_WIDTH
+        from repro.multipliers.base import Multiplier
+
+        assert 2 * Multiplier.MAX_BITWIDTH + 1 == MAX_BUS_WIDTH
+
+    def test_int_to_bus_rejects_oversized_value(self):
+        # regression: 16 on a 4-bit bus used to become 0b0000 silently
+        with pytest.raises(ValueError, match="outside"):
+            int_to_bus(np.array([3, 16]), 4)
+
+    def test_int_to_bus_rejects_value_at_limit(self):
+        with pytest.raises(ValueError, match=r"outside \[0, 2\*\*8\)"):
+            int_to_bus(np.array([256]), 8)
+
+    def test_int_to_bus_rejects_negative_value(self):
+        # regression: -1 used to drive an all-ones two's-complement bus
+        with pytest.raises(ValueError, match="outside"):
+            int_to_bus(np.array([0, -1, 3]), 4)
+
+    def test_int_to_bus_accepts_full_range(self):
+        values = np.array([0, 1, 255])
+        assert np.array_equal(bus_to_int(int_to_bus(values, 8)), values)
+
+    def test_int_to_bus_empty_is_fine(self):
+        bits = int_to_bus(np.array([], dtype=np.int64), 4)
+        assert bits.shape == (0, 4)
+
+    def test_evaluate_words_propagates_value_validation(self):
+        nl = Netlist("t")
+        a = nl.input_bus("a", 4)
+        b = nl.input_bus("b", 4)
+        nl.set_outputs([nl.add("AND2", x, y) for x, y in zip(a, b)])
+        with pytest.raises(ValueError, match="outside"):
+            evaluate_words(nl, [a, b], [np.array([99]), np.array([1])])

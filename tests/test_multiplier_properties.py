@@ -186,3 +186,89 @@ class TestWorkloadCharacterization:
         first = characterize_workload(realm, sampler, samples=1 << 16, seed=3)
         second = characterize_workload(realm, sampler, samples=1 << 16, seed=3)
         assert first == second
+
+
+class TestOperandAliasing:
+    """Broadcast views are read-only: in-place mutation inside a model
+    can never corrupt a sibling element or the caller's arrays.
+
+    Regression: ``np.broadcast_arrays`` returns writeable views, and a
+    scalar broadcast against an array aliases one memory cell across
+    every element — a single in-place write in a ``_multiply``
+    implementation would have silently corrupted the whole batch (and,
+    for same-shape inputs, the caller's own arrays).
+    """
+
+    def test_as_operands_views_are_read_only(self):
+        from repro.multipliers.base import as_operands
+
+        a, b = as_operands(7, np.array([1, 2, 3]), 8)
+        assert not a.flags.writeable
+        assert not b.flags.writeable
+        with pytest.raises(ValueError):
+            a[0] = 99
+
+    def test_caller_arrays_stay_writeable(self):
+        from repro.multipliers.base import as_operands
+
+        mine_a = np.array([1, 2, 3])
+        mine_b = np.array([4, 5, 6])
+        as_operands(mine_a, mine_b, 8)
+        assert mine_a.flags.writeable
+        assert mine_b.flags.writeable
+        mine_a[0] = 42  # still mine to mutate
+
+    @given(
+        st.sampled_from(ALL_IDS),
+        st.integers(min_value=0, max_value=(1 << 16) - 1),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_scalar_broadcast_never_corrupts_shared_operand(self, name, s):
+        # scalar (x) array: every element of the broadcast scalar aliases
+        # one cell, so any in-place write would corrupt its siblings and
+        # show up as a mismatch against the element-wise evaluation
+        multiplier = build(name)
+        other = np.array([0, 1, s, (1 << 16) - 1, 12345])
+        batch = multiplier.multiply(s, other)
+        singles = np.array(
+            [int(multiplier.multiply(s, int(x))) for x in other]
+        )
+        assert np.array_equal(batch, singles)
+        batch_rev = multiplier.multiply(other, s)
+        singles_rev = np.array(
+            [int(multiplier.multiply(int(x), s)) for x in other]
+        )
+        assert np.array_equal(batch_rev, singles_rev)
+
+
+class TestBitwidthBoundary:
+    """``MAX_BITWIDTH = 31`` is exactly what the int64 substrate admits
+    (see ``tests/test_logic.py::TestWidthInvariants`` for the bus-side
+    statement of the same invariant)."""
+
+    def test_n31_accurate_model_works(self):
+        from repro.multipliers.accurate import AccurateMultiplier
+
+        model = AccurateMultiplier(bitwidth=31)
+        top = (1 << 31) - 1
+        assert int(model.multiply(top, top)) == top * top
+
+    def test_n31_products_fit_int64(self):
+        # the worst 31-bit product occupies 62 bits; with REALM's
+        # overflow bit that is 63 — the last width int64 represents
+        top = (1 << 31) - 1
+        assert (top * top).bit_length() == 62
+
+    def test_n32_rejected(self):
+        from repro.multipliers.accurate import AccurateMultiplier
+
+        with pytest.raises(ValueError, match="bitwidth must be <= 31"):
+            AccurateMultiplier(bitwidth=32)
+
+    def test_realm_at_max_width(self):
+        from repro.core.realm import RealmMultiplier
+
+        model = RealmMultiplier(bitwidth=31, m=4, t=10, q=5)
+        a = np.array([0, 1, (1 << 31) - 1, 1 << 30])
+        products = model.multiply(a, a)
+        assert products.min() >= 0  # no int64 wrap at the widest width
