@@ -7,7 +7,7 @@ PYTHON ?= python3
 VERIFY_ENV = PYTHONPATH=src REPRO_BENCH_SAMPLES=262144 REPRO_BENCH_WORKERS=2 \
 	REPRO_CACHE_DIR=.repro-cache
 
-.PHONY: install test nightly bench experiments examples quick verify serve-smoke clean
+.PHONY: install test nightly bench experiments examples quick verify serve-smoke serve-chaos clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -27,7 +27,9 @@ verify:
 	@echo "--- warm-cache second pass ---"
 	$(VERIFY_ENV) $(PYTHON) -m pytest benchmarks/bench_table1_errors.py --benchmark-only -q
 	rm -rf .repro-cache
-	PYTHONPATH=src $(PYTHON) tools/serve_smoke.py
+	PYTHONPATH=src $(PYTHON) tools/serve_smoke.py --only base
+	@echo "--- serve chaos smoke (supervised fleet) ---"
+	PYTHONPATH=src $(PYTHON) tools/serve_smoke.py --only chaos
 	@echo "--- seeded conformance slice ---"
 	PYTHONPATH=src $(PYTHON) -m repro conform --design realm-16-m4-q5 --budget 20000 --seed 0
 	@echo "--- compiled-kernel smoke ---"
@@ -38,7 +40,12 @@ verify:
 # live TCP server under a mixed workload; asserts fused serve.batch
 # spans, zero shed and bit-identical responses (DESIGN.md §10)
 serve-smoke:
-	PYTHONPATH=src $(PYTHON) tools/serve_smoke.py
+	PYTHONPATH=src $(PYTHON) tools/serve_smoke.py --only base
+
+# kill-the-workers load test: 4 supervised shards, 2 deterministic
+# crashes + 1 hang, zero lost responses, bounded recovery (DESIGN.md §13)
+serve-chaos:
+	PYTHONPATH=src $(PYTHON) tools/serve_smoke.py --only chaos
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

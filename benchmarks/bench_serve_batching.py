@@ -3,18 +3,46 @@
 Measures what batching actually buys: the per-request overhead of N
 separate single-pair evaluations versus one fused flush of the same N
 requests, plus the end-to-end in-process dispatch rate (codec +
-dispatch + batcher, no sockets).  pytest-benchmark statistics apply.
+dispatch + batcher, no sockets).  The sharded cases drive the same
+workload through a supervised :class:`~repro.serve.ProcessShard` fleet
+(1 worker vs. 4) and record pairs/sec plus the measured cost of one
+supervised worker restart in ``extra_info``.  pytest-benchmark
+statistics apply.
 """
 
 from __future__ import annotations
 
 import asyncio
+import time
 
 import numpy as np
+import pytest
 
-from repro.serve import BatchPolicy, InProcessClient, MicroBatcher, Service
+from repro.serve import (
+    BatchPolicy,
+    InProcessClient,
+    MicroBatcher,
+    ProcessShard,
+    Service,
+    ShardConfig,
+    Supervisor,
+)
 
 REQUESTS = 256
+
+#: one design per ring slot candidate, spread so a 4-shard fleet gets
+#: traffic on every worker (single-design traffic pins to one owner)
+FLEET_DESIGNS = [
+    "calm",
+    "accurate",
+    "realm16-t4",
+    "realm16-t0",
+    "drum-k6",
+    "drum-k8",
+    "mbm-t4",
+    "essm8",
+]
+FLEET_PAIRS = 64  # pairs per request
 
 
 class _Never:
@@ -95,3 +123,61 @@ def test_perf_in_process_dispatch(benchmark):
 
     results = benchmark(dispatch)
     assert len(results) == 64
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+def test_perf_sharded_fleet(benchmark, shards):
+    """Requests/s through a supervised ProcessShard fleet (1 vs 4).
+
+    The fleet is spawned once on a persistent event loop; the benchmark
+    times only the request burst (route + forward + shard evaluation).
+    After timing, one worker restart is measured and recorded so the
+    perf trajectory keeps the failover cost visible alongside the
+    steady-state throughput.
+    """
+    rng = np.random.default_rng(11)
+    jobs = [
+        (
+            design,
+            rng.integers(0, 1 << 16, size=FLEET_PAIRS).tolist(),
+            rng.integers(0, 1 << 16, size=FLEET_PAIRS).tolist(),
+        )
+        for design in FLEET_DESIGNS
+        for _ in range(4)
+    ]
+
+    loop = asyncio.new_event_loop()
+    try:
+        supervisor = Supervisor(
+            [ProcessShard(ShardConfig(f"shard-{i}")) for i in range(shards)]
+        )
+        loop.run_until_complete(supervisor.up())
+        client = InProcessClient(supervisor)
+
+        async def fan_out():
+            return await asyncio.gather(
+                *(client.multiply(d, a, b) for d, a, b in jobs)
+            )
+
+        def burst():
+            return loop.run_until_complete(fan_out())
+
+        results = benchmark(burst)
+        assert len(results) == len(jobs)
+        assert all(len(products) == FLEET_PAIRS for products in results)
+
+        victim = next(iter(supervisor.shards.values()))
+        t0 = time.perf_counter()
+        loop.run_until_complete(victim.restart())
+        restart_overhead = time.perf_counter() - t0
+
+        loop.run_until_complete(supervisor.drain())
+    finally:
+        loop.close()
+
+    pairs = len(jobs) * FLEET_PAIRS
+    benchmark.extra_info["shards"] = shards
+    benchmark.extra_info["pairs_per_sec"] = round(
+        pairs / benchmark.stats["mean"]
+    )
+    benchmark.extra_info["restart_overhead_s"] = round(restart_overhead, 4)

@@ -26,6 +26,13 @@ Activation: :func:`install` for in-process plans, or the
 :data:`CHAOS_ENV` environment variable (inline JSON or a path to a JSON
 file) which worker processes inherit.  With neither set, the runtime's
 task wrapper is the identity function — zero overhead in production.
+
+The supervised serve fleet (:mod:`repro.serve.supervisor`) injects
+through the same plans via :func:`serve_fault`: ``design`` names the
+shard label, ``block`` the shard's multiply-request ordinal, and the
+shard process performs the claimed effect before (crash/hang) or after
+(corrupt) evaluating — so "kill shard-1 on its third request, exactly
+once" is expressible with the same cross-process exact firing counts.
 """
 
 from __future__ import annotations
@@ -46,6 +53,7 @@ __all__ = [
     "FaultSpec",
     "active_plan",
     "install",
+    "serve_fault",
     "uninstall",
     "wrap",
 ]
@@ -223,3 +231,33 @@ def wrap(task, label: str | None = None):
     if _INSTALLED is None and not os.environ.get(CHAOS_ENV):
         return task
     return _FaultingTask(task, label)
+
+
+def serve_fault(label: str, ordinal: int) -> FaultSpec | None:
+    """Claim a serve-layer fault for request ``ordinal`` at shard ``label``.
+
+    The serve fleet reuses the :class:`FaultSpec` schema with
+    ``design`` = the shard label (``"shard-0"``, ...) and ``block`` = the
+    shard's multiply-request ordinal (0-based, counted per shard process
+    lifetime).  Returns the spec once claimed — the caller performs the
+    effect (``crash`` → ``os._exit``, ``hang`` → block the event loop,
+    ``corrupt`` → truncate the reply, ``raise`` → :class:`ChaosFault`) —
+    or ``None`` when no plan is active, nothing matches, or the spec's
+    firing budget is spent.  ``crash`` only claims inside worker
+    processes (same guard as the batch-task wrapper), so an in-process
+    shard can never take its parent down.  Claims go through the plan's
+    cross-process lock files, so firing counts stay exact even when the
+    supervisor restarts shards mid-campaign.
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    match = plan.fault_for(ordinal, label)
+    if match is None:
+        return None
+    position, spec = match
+    if spec.kind == "crash" and not _in_worker():
+        return None
+    if not plan.claim(position, spec):
+        return None
+    return spec

@@ -46,6 +46,21 @@ and the CI serve smoke test (``tools/serve_smoke.py``):
   ``serve.batch_occupancy`` (fused pairs / ``max_batch``, 0..1];
 * the ``serve.listening`` event when the TCP endpoint binds.
 
+The supervisor (:mod:`repro.serve.supervisor`) layers fleet-level
+instruments on top, asserted by ``tests/test_supervisor.py`` and the
+chaos phase of the CI smoke test:
+
+* counters ``supervisor.restarts`` (worker restarts, crash or hang),
+  ``supervisor.breaker_trips`` (circuit breakers opening),
+  ``supervisor.heartbeat_misses`` (probe deadline misses),
+  ``supervisor.redirects`` (requests rerouted off their owner shard)
+  and ``supervisor.degraded`` (in-parent fallback evaluations);
+* gauges ``supervisor.shards_up`` (live worker count) and
+  ``supervisor.queue_depth.<label>`` (per-shard queued pairs, sampled
+  at each heartbeat);
+* the ``supervisor.shard_failed`` event when a shard exhausts its
+  restart budget and is marked permanently down.
+
 The conformance harness (:mod:`repro.conformance`) likewise:
 
 * spans ``conform.eval`` (one differential batch; fields

@@ -481,31 +481,88 @@ def _serve_engine_options(args) -> dict:
     return engine
 
 
+def _serve_probe(args) -> int:
+    """``repro-realm serve --probe``: /healthz-style readiness check.
+
+    Sends one ``status`` request; exit 0 when the endpoint reports
+    ready, 1 otherwise (unreachable, draining, or fleet exhausted).
+    """
+    import json
+
+    from .serve import ServeError, request_once
+
+    try:
+        response = request_once(
+            args.host, args.port, {"op": "status"}, timeout=5.0
+        )
+    except ServeError as exc:
+        print(f"not ready: {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError, TimeoutError) as exc:
+        print(f"not ready: cannot reach {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    result = response["result"]
+    print(json.dumps(result, sort_keys=True))
+    return 0 if result.get("ready") else 1
+
+
 def cmd_serve(args) -> int:
     import asyncio
     import signal
 
-    from .serve import BatchPolicy, Service, TcpServer
+    from .serve import (
+        BatchPolicy,
+        ProcessShard,
+        Service,
+        ShardConfig,
+        Supervisor,
+        TcpServer,
+    )
+
+    if args.probe:
+        return _serve_probe(args)
 
     policy = BatchPolicy(
         max_batch=args.max_batch,
         max_latency=args.max_latency_ms / 1000.0,
         max_queue=args.max_queue,
     )
-    service = Service(
-        policy=policy,
-        workers=args.workers,
-        engine=_serve_engine_options(args),
-        characterize_slots=args.characterize_slots,
-    )
+    supervisor = None
+    if args.shards > 1:
+        shards = [
+            ProcessShard(
+                ShardConfig(
+                    f"shard-{index}",
+                    policy=policy,
+                    workers=args.workers,
+                    engine=_serve_engine_options(args),
+                )
+            )
+            for index in range(args.shards)
+        ]
+        front = supervisor = Supervisor(shards)
+    else:
+        front = Service(
+            policy=policy,
+            workers=args.workers,
+            engine=_serve_engine_options(args),
+            characterize_slots=args.characterize_slots,
+        )
 
     async def run() -> None:
-        server = TcpServer(service, args.host, args.port)
+        if supervisor is not None:
+            await supervisor.up()
+        server = TcpServer(front, args.host, args.port)
         await server.start()
         host, port = server.address
+        flavour = (
+            f"{args.shards} supervised shards" if supervisor is not None
+            else "single service"
+        )
         print(
-            f"repro-realm serving on {host}:{port} "
-            f"(max_batch {policy.max_batch}, max_latency "
+            f"repro-realm serving on {host}:{port} ({flavour}, max_batch "
+            f"{policy.max_batch}, max_latency "
             f"{policy.max_latency * 1000:.1f}ms, max_queue {policy.max_queue})",
             file=sys.stderr,
         )
@@ -514,6 +571,16 @@ def cmd_serve(args) -> int:
         for signum in (signal.SIGINT, signal.SIGTERM):
             try:
                 loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        if supervisor is not None:
+            # zero-downtime reconfig: SIGHUP replaces shards one at a time
+            def hup() -> None:
+                print("rolling restart ...", file=sys.stderr)
+                loop.create_task(supervisor.rolling_restart())
+
+            try:
+                loop.add_signal_handler(signal.SIGHUP, hup)
             except (NotImplementedError, RuntimeError):  # pragma: no cover
                 pass
         try:
@@ -552,6 +619,8 @@ def cmd_client(args) -> int:
         }
     elif command == "designs":
         payload = {"op": "designs", "prefix": args.prefix}
+    elif command == "status":
+        payload = {"op": "status"}
     else:
         payload = {"op": "ping"}
     try:
@@ -803,6 +872,17 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=_nonnegative_int, default=7325,
                    help="TCP port (0 binds an ephemeral port)")
     p.add_argument(
+        "--shards", type=_positive_int, default=1,
+        help="worker shard processes; >1 serves through the supervised "
+        "fleet (consistent-hash routing, heartbeats, automatic restart; "
+        "SIGHUP triggers a zero-downtime rolling restart)",
+    )
+    p.add_argument(
+        "--probe", action="store_true",
+        help="/healthz-style readiness check against a running server: "
+        "send one status request, exit 0 if ready, 1 otherwise",
+    )
+    p.add_argument(
         "--max-batch", type=_positive_int, default=1 << 12,
         help="operand pairs fused into one model evaluation",
     )
@@ -912,6 +992,7 @@ def make_parser() -> argparse.ArgumentParser:
     cp = csub.add_parser("designs")
     cp.add_argument("--prefix", default="")
     csub.add_parser("ping")
+    csub.add_parser("status")
     p.set_defaults(func=cmd_client)
 
     p = sub.add_parser(

@@ -264,21 +264,27 @@ class DifferentialOracle:
     def _eval_serve(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         import asyncio
 
-        from ..serve import InProcessClient, Service
+        from ..serve import InProcessClient, LocalShard, Supervisor
 
         async def roundtrip():
-            # a fresh Service per call: the batcher's flusher task and
-            # asyncio primitives must live on this run's event loop
-            service = Service()
-            service.start()
+            # the supervised fleet path: requests route through the
+            # consistent-hash ring to one of two in-process shards —
+            # exactly the dispatch a production fleet uses, minus the
+            # sockets.  Fresh per call: the shards' flusher tasks and
+            # asyncio primitives must live on this run's event loop.
+            supervisor = Supervisor(
+                [LocalShard("shard-0"), LocalShard("shard-1")]
+            )
+            await supervisor.up()
+            supervisor.start()
             try:
-                client = InProcessClient(service)
+                client = InProcessClient(supervisor)
                 return await client.multiply(
                     self.design, [int(v) for v in a], [int(v) for v in b],
                     bitwidth=self.bitwidth,
                 )
             finally:
-                await service.drain()
+                await supervisor.drain()
 
         return np.asarray(asyncio.run(roundtrip()), dtype=np.int64)
 

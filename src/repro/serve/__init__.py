@@ -6,10 +6,17 @@ direct model calls), ``characterize`` (the cached/resilient Monte-Carlo
 engine with shared-pool reuse) and ``designs`` over newline-delimited
 JSON on TCP, plus an in-process transport for deterministic tests.  See
 ``DESIGN.md`` §10 for the batching and backpressure guarantees.
+
+Scaling past one process, :mod:`repro.serve.supervisor` fronts a fleet
+of worker shards (:mod:`repro.serve.shard`) with consistent-hash
+routing, heartbeat supervision, bounded restarts, circuit breakers and
+structured degradation — ``DESIGN.md`` §13 has the failure matrix.
 """
 
 from .batcher import BatchPolicy, MicroBatcher, ModelCache, ShedError
 from .client import AsyncClient, InProcessClient, ServeError, request_once
+from .shard import LocalShard, ProcessShard, ShardConfig, ShardService
+from .supervisor import CircuitBreaker, HashRing, Supervisor, SupervisorPolicy
 from .protocol import (
     ERROR_CODES,
     MAX_FRAME_BYTES,
@@ -27,18 +34,26 @@ from .server import DEFAULT_PORT, Service, TcpServer
 __all__ = [
     "AsyncClient",
     "BatchPolicy",
+    "CircuitBreaker",
     "DEFAULT_PORT",
     "ERROR_CODES",
+    "HashRing",
     "InProcessClient",
+    "LocalShard",
     "MAX_FRAME_BYTES",
     "MAX_PAIRS",
     "MicroBatcher",
     "ModelCache",
     "PROTOCOL_VERSION",
+    "ProcessShard",
     "ProtocolError",
     "ServeError",
     "Service",
+    "ShardConfig",
+    "ShardService",
     "ShedError",
+    "Supervisor",
+    "SupervisorPolicy",
     "TcpServer",
     "decode_frame",
     "encode_frame",

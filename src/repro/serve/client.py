@@ -11,6 +11,18 @@ used by the ``repro-realm client`` CLI.
 Error responses surface as :class:`ServeError` carrying the structured
 ``code``/``message`` pair, so callers can distinguish a shed
 (``overloaded``) from a bad request.
+
+**Reconnect-and-retry**: an :class:`AsyncClient` built via
+:meth:`AsyncClient.connect` with ``retries > 0`` transparently redials
+and resends when the transport drops — but only for requests whose op
+is in :data:`IDEMPOTENT_OPS` (``multiply`` is a pure function of its
+operands; ``characterize`` is excluded because resending restarts a
+long computation).  The retried request keeps its original ``id`` and
+the dead connection is torn down before the resend, so a retry can
+never duplicate a response or cross-wire ids — the per-``id`` future
+either resolves once or the final transport error surfaces.  Structured
+error responses (:class:`ServeError`) are *never* retried: the server
+answered; the answer stands.
 """
 
 from __future__ import annotations
@@ -19,7 +31,17 @@ import asyncio
 
 from .protocol import decode_frame, encode_frame
 
-__all__ = ["AsyncClient", "InProcessClient", "ServeError", "request_once"]
+__all__ = [
+    "IDEMPOTENT_OPS",
+    "AsyncClient",
+    "InProcessClient",
+    "ServeError",
+    "request_once",
+]
+
+#: ops safe to resend after a transport failure (pure reads or pure
+#: functions of the request; a lost-then-reexecuted send is identical)
+IDEMPOTENT_OPS = frozenset({"multiply", "ping", "designs", "status"})
 
 
 class ServeError(RuntimeError):
@@ -123,33 +145,96 @@ class InProcessClient(_RequestOps):
 
 
 class AsyncClient(_RequestOps):
-    """A pipelined TCP client; one connection, concurrent requests."""
+    """A pipelined TCP client; one connection, concurrent requests.
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+    ``retries`` (only honoured when built via :meth:`connect`, which
+    records the dial address) bounds how many reconnect-and-resend
+    attempts a transport failure may trigger for idempotent ops; the
+    injectable ``sleep`` paces them (``retry_backoff`` seconds between
+    attempts).
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        address: tuple[str, int] | None = None,
+        retries: int = 0,
+        retry_backoff: float = 0.05,
+        sleep=None,
+    ):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self._reader = reader
         self._writer = writer
+        self._address = address
+        self._retries = retries
+        self._retry_backoff = retry_backoff
+        self._sleep = sleep if sleep is not None else asyncio.sleep
         self._pending: dict[object, asyncio.Future] = {}
         self._next_id = 0
         self._lock = asyncio.Lock()
+        self._reconnect_lock = asyncio.Lock()
+        self._closed = False
         self._reader_task = asyncio.get_running_loop().create_task(
             self._read_loop(), name="repro-serve-client"
         )
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "AsyncClient":
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        retries: int = 0,
+        retry_backoff: float = 0.05,
+        sleep=None,
+    ) -> "AsyncClient":
         from .protocol import MAX_FRAME_BYTES
 
         reader, writer = await asyncio.open_connection(
             host, port, limit=MAX_FRAME_BYTES + 1024
         )
-        return cls(reader, writer)
+        return cls(
+            reader,
+            writer,
+            address=(host, port),
+            retries=retries,
+            retry_backoff=retry_backoff,
+            sleep=sleep,
+        )
 
     async def request(self, obj: dict) -> dict:
-        if self._reader_task.done():
-            raise ConnectionError("client connection is closed")
         if "id" not in obj:
             self._next_id += 1
             obj = {**obj, "id": self._next_id}
+        budget = (
+            self._retries
+            if self._address is not None and obj.get("op") in IDEMPOTENT_OPS
+            else 0
+        )
+        for attempt in range(budget + 1):
+            if attempt:
+                await self._sleep(self._retry_backoff)
+                try:
+                    await self._reconnect()
+                except OSError as exc:
+                    if attempt == budget:
+                        raise ConnectionError(
+                            f"reconnect to {self._address} failed: {exc}"
+                        ) from exc
+                    continue
+            try:
+                return await self._send(obj)
+            except ConnectionError:
+                if attempt == budget or self._closed:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def _send(self, obj: dict) -> dict:
+        if self._reader_task.done():
+            raise ConnectionError("client connection is closed")
         future = asyncio.get_running_loop().create_future()
         self._pending[obj["id"]] = future
         try:
@@ -157,8 +242,31 @@ class AsyncClient(_RequestOps):
                 self._writer.write(encode_frame(obj))
                 await self._writer.drain()
             return await future
+        except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+            raise ConnectionError(f"send failed: {exc}") from exc
         finally:
             self._pending.pop(obj["id"], None)
+
+    async def _reconnect(self) -> None:
+        """Replace the dead transport; the old one is fully torn down
+        first so a late reply from it can never reach a retried id.
+        Serialized: when several pending requests hit the same dropped
+        connection, the first one redials and the rest reuse it."""
+        from .protocol import MAX_FRAME_BYTES
+
+        assert self._address is not None
+        async with self._reconnect_lock:
+            if not self._closed and not self._reader_task.done():
+                return  # a concurrent retry already reconnected
+            await self.close()
+            self._closed = False
+            host, port = self._address
+            self._reader, self._writer = await asyncio.open_connection(
+                host, port, limit=MAX_FRAME_BYTES + 1024
+            )
+            self._reader_task = asyncio.get_running_loop().create_task(
+                self._read_loop(), name="repro-serve-client"
+            )
 
     async def _read_loop(self) -> None:
         try:
@@ -184,6 +292,7 @@ class AsyncClient(_RequestOps):
                     )
 
     async def close(self) -> None:
+        self._closed = True
         self._reader_task.cancel()
         try:
             await self._reader_task
@@ -202,16 +311,20 @@ class AsyncClient(_RequestOps):
         await self.close()
 
 
-def request_once(host: str, port: int, obj: dict, timeout: float = 30.0) -> dict:
+def request_once(
+    host: str, port: int, obj: dict, timeout: float = 30.0, retries: int = 0
+) -> dict:
     """Synchronous one-shot: connect, send one request, return the response.
 
     The CLI's transport.  Raises :class:`ServeError` on a structured
     error response, ``ConnectionError``/``TimeoutError`` on transport
-    failures.
+    failures.  ``retries`` bounds reconnect-and-resend attempts for
+    idempotent ops (see :data:`IDEMPOTENT_OPS`); the ``timeout`` covers
+    the whole exchange including retries.
     """
 
     async def go() -> dict:
-        client = await AsyncClient.connect(host, port)
+        client = await AsyncClient.connect(host, port, retries=retries)
         try:
             response = await client.request(obj)
         finally:

@@ -7,9 +7,12 @@ either ``{"id": ..., "ok": true, "result": {...}}`` or ``{"id": ...,
 "ok": false, "error": {"code": ..., "message": ...}}``.  Error codes are
 closed (:data:`ERROR_CODES`): the 503-style ``overloaded`` is what the
 micro-batcher's backpressure sheds with, ``shutting-down`` is what a
-draining server answers, and the framing codes (``bad-frame``,
-``bad-request``, ``unknown-design``, ``bad-operands``) classify every
-way a request can be malformed.
+draining server answers, ``shard-down``/``deadline-exceeded`` are the
+supervised fleet's structured last resorts (the owning shards are dead,
+or no shard answered before the request deadline — never a dropped
+connection), and the framing codes (``bad-frame``, ``bad-request``,
+``unknown-design``, ``bad-operands``) classify every way a request can
+be malformed.
 
 The framing layer is total: :func:`decode_frame` and
 :func:`parse_request` either return a value or raise
@@ -33,6 +36,7 @@ __all__ = [
     "DesignsRequest",
     "MultiplyRequest",
     "PingRequest",
+    "StatusRequest",
     "ProtocolError",
     "decode_frame",
     "encode_frame",
@@ -53,13 +57,15 @@ MAX_PAIRS = 1 << 16
 #: the closed set of response error codes
 ERROR_CODES = frozenset(
     {
-        "bad-frame",      # line is not a JSON object
-        "bad-request",    # object violates the request schema
-        "unknown-design", # design id not in the registry
-        "bad-operands",   # operand out of range for the bitwidth
-        "overloaded",     # backpressure shed (503-style; retry later)
-        "shutting-down",  # server is draining; no new work accepted
-        "internal",       # unexpected server-side failure
+        "bad-frame",         # line is not a JSON object
+        "bad-request",       # object violates the request schema
+        "unknown-design",    # design id not in the registry
+        "bad-operands",      # operand out of range for the bitwidth
+        "overloaded",        # backpressure shed (503-style; retry later)
+        "shutting-down",     # server is draining; no new work accepted
+        "shard-down",        # the fleet cannot answer: owning shards are dead
+        "deadline-exceeded", # no shard answered within the request deadline
+        "internal",          # unexpected server-side failure
     }
 )
 
@@ -120,7 +126,26 @@ class PingRequest:
     id: object = None
 
 
-Request = MultiplyRequest | CharacterizeRequest | DesignsRequest | PingRequest
+@dataclasses.dataclass(frozen=True)
+class StatusRequest:
+    """Readiness probe (``/healthz``-style): am I able to serve work?
+
+    A plain :class:`~repro.serve.server.Service` reports its own
+    drain/queue state; a :class:`~repro.serve.supervisor.Supervisor`
+    reports the whole fleet (per-shard state, restart counts, breaker
+    states).  Answerable while draining, like ``ping``.
+    """
+
+    id: object = None
+
+
+Request = (
+    MultiplyRequest
+    | CharacterizeRequest
+    | DesignsRequest
+    | PingRequest
+    | StatusRequest
+)
 
 
 # ----------------------------------------------------------------------
@@ -289,6 +314,8 @@ def parse_request(obj: dict) -> Request:
         return DesignsRequest(prefix=prefix, id=request_id)
     if op == "ping":
         return PingRequest(id=request_id)
+    if op == "status":
+        return StatusRequest(id=request_id)
     if op is None:
         raise ProtocolError("bad-request", "missing required field 'op'")
     raise ProtocolError("bad-request", f"unknown op {op!r}")

@@ -39,6 +39,7 @@ from .protocol import (
     MultiplyRequest,
     PingRequest,
     ProtocolError,
+    StatusRequest,
     decode_frame,
     encode_frame,
     error_response,
@@ -140,7 +141,7 @@ class Service:
             request = parse_request(obj)
         except ProtocolError as exc:
             return error_response(request_id, exc.code, exc.message)
-        if self._draining and not isinstance(request, PingRequest):
+        if self._draining and not isinstance(request, (PingRequest, StatusRequest)):
             return error_response(
                 request.id, "shutting-down", "server is draining; retry elsewhere"
             )
@@ -151,6 +152,8 @@ class Service:
                 return await self._characterize(request)
             if isinstance(request, DesignsRequest):
                 return self._designs(request)
+            if isinstance(request, StatusRequest):
+                return self._status(request)
             return self._ping(request)
         except ProtocolError as exc:
             return error_response(request.id, exc.code, exc.message)
@@ -234,6 +237,19 @@ class Service:
             },
         )
 
+    def _status(self, request: StatusRequest) -> dict:
+        """Readiness probe: one standalone service is ready unless draining."""
+        return ok_response(
+            request.id,
+            {
+                "ready": not self._draining,
+                "role": "service",
+                "protocol": PROTOCOL_VERSION,
+                "draining": self._draining,
+                "queue_depth": self.batcher.depth,
+            },
+        )
+
 
 class TcpServer:
     """Newline-delimited JSON over TCP, one :class:`Service` behind it.
@@ -250,6 +266,7 @@ class TcpServer:
         self.port = port
         self._server: asyncio.AbstractServer | None = None
         self._tasks: set[asyncio.Task] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
         self._writers: set[asyncio.StreamWriter] = set()
 
     @property
@@ -287,9 +304,19 @@ class TcpServer:
             await asyncio.gather(*tuple(self._tasks), return_exceptions=True)
         for writer in tuple(self._writers):
             writer.close()
+        # closing the transports EOFs the readers; wait for the handlers
+        # to unwind so loop teardown never cancels them mid-read
+        if self._conn_tasks:
+            await asyncio.gather(
+                *tuple(self._conn_tasks), return_exceptions=True
+            )
 
     async def _on_connect(self, reader, writer) -> None:
         self._writers.add(writer)
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
         lock = asyncio.Lock()
         try:
             while True:
@@ -329,11 +356,18 @@ class TcpServer:
         response = await self.service.handle_line(line)
         try:
             await self._write(writer, lock, response)
-        except (ConnectionResetError, BrokenPipeError):
+        except (ConnectionResetError, BrokenPipeError, RuntimeError, OSError):
             pass  # client went away; the work is already done
 
     @staticmethod
     async def _write(writer, lock, payload: bytes) -> None:
         async with lock:
+            # a client that vanished mid-pipeline must not wedge the
+            # writers of its surviving responses: writing to a closing
+            # transport buffers forever (drain may never return), so the
+            # response is simply discarded — the batcher's future already
+            # resolved, no queue slot is held
+            if writer.is_closing():
+                return
             writer.write(payload)
             await writer.drain()

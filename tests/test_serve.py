@@ -40,6 +40,7 @@ from repro.serve import (
     ShedError,
     TcpServer,
     decode_frame,
+    encode_frame,
 )
 
 run = asyncio.run
@@ -608,5 +609,308 @@ class TestTcpTransport:
             await server.close()
             assert service.draining
             assert service.batcher.closing
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Connection teardown: a vanishing client must not wedge anything
+# ----------------------------------------------------------------------
+
+
+class TestConnectionTeardown:
+    def test_abrupt_close_under_pending_batches(self):
+        """Regression: a client that RSTs with batches still queued must
+        not wedge the batcher, leak queue slots, or stall the drain."""
+
+        async def scenario():
+            gate = NeverSleep()
+            service = Service(sleep=gate)
+            server = TcpServer(service, port=0)
+            await server.start()
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            for i in (1, 2):
+                writer.write(
+                    encode_frame(
+                        {"op": "multiply", "design": "calm",
+                         "a": [3 * i], "b": [4 * i], "id": i}
+                    )
+                )
+            await writer.drain()
+            # wait until both requests are admitted into the batcher
+            while service.batcher.depth < 2:
+                await asyncio.sleep(0)
+            writer.transport.abort()  # abrupt death: RST, no goodbye
+            await asyncio.sleep(0)
+            service.batcher.flush_pending()
+            for _ in range(20):
+                await asyncio.sleep(0)
+            assert service.batcher.depth == 0  # no leaked queue slots
+            # a healthy client is still served by the same batcher
+            async with await AsyncClient.connect(host, port) as client:
+                task = asyncio.ensure_future(client.multiply("calm", 7, 8))
+                while service.batcher.depth < 1:
+                    await asyncio.sleep(0)
+                service.batcher.flush_pending()
+                assert await asyncio.wait_for(task, 5) == direct_products(
+                    "calm", [7], [8]
+                )[0]
+            # and the drain is not wedged by the dead connection
+            await asyncio.wait_for(server.close(), 5)
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Client reconnect-and-retry (idempotent ops only)
+# ----------------------------------------------------------------------
+
+
+class FlakyFront:
+    """A TCP front that kills connections on demand, else serves.
+
+    While ``drop_next`` is positive, the next received frame aborts its
+    connection without a reply — the shape of a worker crash
+    mid-request.  Everything else delegates to a real :class:`Service`.
+    Per-id handling counts let tests assert retries never silently
+    duplicate work.
+    """
+
+    def __init__(self, service):
+        self.service = service
+        self.drop_next = 0
+        self.connections = 0
+        self.handled: dict[object, int] = {}
+
+    async def on_connect(self, reader, writer):
+        self.connections += 1
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if self.drop_next > 0:
+                    self.drop_next -= 1
+                    writer.transport.abort()
+                    return
+                obj = decode_frame(line)
+                self.handled[obj.get("id")] = (
+                    self.handled.get(obj.get("id"), 0) + 1
+                )
+                writer.write(await self.service.handle_line(line))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+
+
+async def flaky_front():
+    service = Service(policy=BatchPolicy(max_latency=0.0005))
+    service.start()
+    front = FlakyFront(service)
+    server = await asyncio.start_server(front.on_connect, "127.0.0.1", 0)
+    port = server.sockets[0].getsockname()[1]
+    return service, front, server, port
+
+
+class TestClientRetry:
+    def test_retry_recovers_from_dropped_connection(self):
+        async def scenario():
+            service, front, server, port = await flaky_front()
+            try:
+                client = await AsyncClient.connect(
+                    "127.0.0.1", port, retries=2, retry_backoff=0.001
+                )
+                front.drop_next = 1
+                assert await client.multiply("accurate", 6, 7) == 42
+                assert front.connections == 2  # one drop, one success
+                await client.close()
+            finally:
+                server.close()
+                await server.wait_closed()
+                await service.drain()
+
+        run(scenario())
+
+    def test_no_retries_means_transport_error_surfaces(self):
+        async def scenario():
+            service, front, server, port = await flaky_front()
+            try:
+                client = await AsyncClient.connect("127.0.0.1", port)
+                front.drop_next = 1
+                with pytest.raises(ConnectionError):
+                    await client.multiply("accurate", 6, 7)
+                await client.close()
+            finally:
+                server.close()
+                await server.wait_closed()
+                await service.drain()
+
+        run(scenario())
+
+    def test_retries_never_duplicate_or_reorder_by_id(self):
+        async def scenario():
+            service, front, server, port = await flaky_front()
+            try:
+                client = await AsyncClient.connect(
+                    "127.0.0.1", port, retries=3, retry_backoff=0.001
+                )
+                # drop the first attempt of each burst; every request
+                # must still resolve to its own product under its own id
+                jobs = [(i + 1, i + 11) for i in range(6)]
+                front.drop_next = 1
+                first = await asyncio.gather(
+                    *(client.multiply("accurate", a, b) for a, b in jobs[:3])
+                )
+                front.drop_next = 1
+                second = await asyncio.gather(
+                    *(client.multiply("accurate", a, b) for a, b in jobs[3:])
+                )
+                for (a, b), product in zip(jobs, first + second):
+                    assert product == a * b
+                # the server handled each id at least once and no id was
+                # handled twice (the drop happened before dispatch), so
+                # a retry can only re-present the same idempotent request
+                assert all(count == 1 for count in front.handled.values())
+                assert len(front.handled) == len(jobs)
+                await client.close()
+            finally:
+                server.close()
+                await server.wait_closed()
+                await service.drain()
+
+        run(scenario())
+
+    def test_structured_errors_are_never_retried(self):
+        async def scenario():
+            service, front, server, port = await flaky_front()
+            try:
+                client = await AsyncClient.connect(
+                    "127.0.0.1", port, retries=3, retry_backoff=0.001
+                )
+                with pytest.raises(ServeError) as info:
+                    await client.multiply("no-such-design", 1, 2)
+                assert info.value.code == "unknown-design"
+                assert front.connections == 1  # the answer stood; no redial
+                await client.close()
+            finally:
+                server.close()
+                await server.wait_closed()
+                await service.drain()
+
+        run(scenario())
+
+    def test_characterize_is_not_idempotent_no_retry(self):
+        async def scenario():
+            service, front, server, port = await flaky_front()
+            try:
+                client = await AsyncClient.connect(
+                    "127.0.0.1", port, retries=3, retry_backoff=0.001
+                )
+                front.drop_next = 1
+                with pytest.raises(ConnectionError):
+                    await client.characterize("accurate", samples=16)
+                assert front.connections == 1
+                await client.close()
+            finally:
+                server.close()
+                await server.wait_closed()
+                await service.drain()
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Drain-vs-shed races: exactly one outcome per request
+# ----------------------------------------------------------------------
+
+
+class TestDrainVsShedRace:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_exactly_one_of_reply_overloaded_shutting_down(self, seed):
+        """Whatever the shutdown timing, every request gets exactly one
+        of {reply, ``overloaded``, ``shutting-down``} — never silence."""
+
+        async def scenario():
+            rng = np.random.default_rng([97, seed])
+            service = Service(
+                policy=BatchPolicy(max_queue=6), sleep=NeverSleep()
+            )
+            service.start()
+            client = InProcessClient(service)
+            total = 24
+            drain_at = int(rng.integers(0, total))
+            outcomes: dict[int, tuple] = {}
+
+            async def one(i):
+                try:
+                    got = await client.multiply("accurate", [i], [i + 1])
+                    outcome = ("ok", got)
+                except ServeError as exc:
+                    outcome = (exc.code, None)
+                assert i not in outcomes  # exactly one outcome per request
+                outcomes[i] = outcome
+
+            drain_task = None
+            tasks = []
+            for i in range(total):
+                tasks.append(asyncio.ensure_future(one(i)))
+                for _ in range(int(rng.integers(0, 3))):
+                    await asyncio.sleep(0)
+                if i == drain_at:
+                    drain_task = asyncio.ensure_future(service.drain())
+                    for _ in range(int(rng.integers(0, 3))):
+                        await asyncio.sleep(0)
+            if drain_task is None:  # pragma: no cover - range guards this
+                drain_task = asyncio.ensure_future(service.drain())
+            await asyncio.gather(*tasks)
+            await drain_task
+            assert len(outcomes) == total
+            replied = 0
+            for i, (kind, got) in sorted(outcomes.items()):
+                assert kind in ("ok", "overloaded", "shutting-down"), kind
+                if kind == "ok":
+                    replied += 1
+                    assert got == [i * (i + 1)]  # its own product, uncorrupted
+            assert replied >= 1  # at least the earliest admissions resolve
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Readiness (status op)
+# ----------------------------------------------------------------------
+
+
+class TestReadiness:
+    def test_status_reflects_drain_state(self):
+        async def scenario():
+            service = Service(sleep=NeverSleep())
+            client = InProcessClient(service)
+            status = await client.call({"op": "status"})
+            assert status["ready"] is True
+            assert status["role"] == "service"
+            assert isinstance(status["queue_depth"], int)
+            await service.drain()
+            status = await client.call({"op": "status"})  # still answerable
+            assert status["ready"] is False
+            assert status["draining"] is True
+
+        run(scenario())
+
+    def test_status_over_tcp(self):
+        async def scenario():
+            service = Service(policy=BatchPolicy(max_latency=0.001))
+            server = TcpServer(service, port=0)
+            await server.start()
+            host, port = server.address
+            try:
+                async with await AsyncClient.connect(host, port) as client:
+                    status = await client.call({"op": "status"})
+                    assert status["ready"] is True
+            finally:
+                await server.close()
 
         run(scenario())

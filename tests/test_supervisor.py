@@ -1,0 +1,543 @@
+"""Deterministic tests for the supervised shard fleet.
+
+Two tiers mirror the shard flavours:
+
+* :class:`~repro.serve.shard.LocalShard` fleets — no processes, no
+  sockets, no timers — drive every supervisor code path that doesn't
+  need OS isolation: consistent-hash routing, sub-id remapping under
+  concurrent identical client ids, corrupt-reply rejection, circuit
+  breakers (with an injectable clock), restart budgets, degradation,
+  drain semantics, rolling restart.
+* :class:`~repro.serve.shard.ProcessShard` fleets prove the full
+  contract against real worker processes with chaos plans injected via
+  the environment: a deterministic crash and a deterministic hang are
+  each detected, the shard restarted, and every admitted request
+  answered bit-identically to direct ``Multiplier.multiply`` — zero
+  dropped connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis.chaos import CHAOS_ENV, ChaosPlan, FaultSpec
+from repro.multipliers.registry import build
+from repro.serve import (
+    HashRing,
+    InProcessClient,
+    LocalShard,
+    ProcessShard,
+    ShardConfig,
+    Supervisor,
+    SupervisorPolicy,
+)
+from repro.serve.supervisor import CircuitBreaker
+
+run = asyncio.run
+
+DESIGNS = ["realm16-t4", "drum-k6", "accurate", "mbm-t4"]
+
+
+def direct(design: str, a, b) -> list[int]:
+    model = build(design)
+    products = model.multiply(
+        np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64)
+    )
+    return [int(v) for v in np.atleast_1d(products)]
+
+
+def quiet_policy(**overrides) -> SupervisorPolicy:
+    """A policy whose jitter/backoff never actually sleeps."""
+    defaults = dict(
+        restart_base=1e-9,
+        restart_cap=1e-9,
+        jitter=lambda low, high: low,
+    )
+    defaults.update(overrides)
+    return SupervisorPolicy(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Hash ring
+# ----------------------------------------------------------------------
+
+
+class TestHashRing:
+    def test_deterministic_and_complete_order(self):
+        labels = [f"shard-{i}" for i in range(5)]
+        ring_a = HashRing(labels, replicas=32)
+        ring_b = HashRing(labels, replicas=32)
+        for key in ("alpha", "beta", "gamma", "a-long-fingerprint-key"):
+            order = ring_a.order(key)
+            assert order == ring_b.order(key)
+            assert sorted(order) == sorted(labels)  # all, owner first
+
+    def test_placement_known_before_any_shard_exists(self):
+        # the property chaos schedules rely on: ring order is a pure
+        # function of the label set, so two Supervisor instances agree
+        labels = ["shard-0", "shard-1", "shard-2"]
+        sup_a = Supervisor([LocalShard(l) for l in labels])
+        sup_b = Supervisor([LocalShard(l) for l in labels])
+        for design in DESIGNS:
+            assert sup_a.route(design) == sup_b.route(design)
+
+    def test_spread(self):
+        ring = HashRing([f"shard-{i}" for i in range(4)], replicas=64)
+        owners = {ring.owner(f"key-{i}") for i in range(64)}
+        assert len(owners) == 4  # every shard owns something
+
+    def test_rejects_duplicates_and_empty(self):
+        with pytest.raises(ValueError):
+            HashRing(["a", "a"])
+        with pytest.raises(ValueError):
+            HashRing([])
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def test_trip_and_half_open_probe(self):
+        clock = {"t": 0.0}
+        policy = quiet_policy(
+            breaker_threshold=3, breaker_reset=5.0, clock=lambda: clock["t"]
+        )
+        breaker = CircuitBreaker(policy)
+        assert breaker.allows()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.allows()  # below threshold
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allows()
+        clock["t"] = 4.9
+        assert not breaker.allows()
+        clock["t"] = 5.0
+        assert breaker.allows()  # half-open probe admitted
+        assert breaker.state == "half-open"
+        breaker.record_failure()  # probe failed: straight back to open
+        assert breaker.state == "open"
+        clock["t"] = 10.0
+        assert breaker.allows()
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_consecutive_failures_only(self):
+        breaker = CircuitBreaker(quiet_policy(breaker_threshold=2))
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # success resets the streak
+
+
+# ----------------------------------------------------------------------
+# Supervised fleet over LocalShards
+# ----------------------------------------------------------------------
+
+
+async def local_fleet(n=3, policy=None):
+    shards = [LocalShard(f"shard-{i}") for i in range(n)]
+    supervisor = Supervisor(shards, policy=policy or quiet_policy())
+    await supervisor.up()
+    return supervisor, shards
+
+
+class TestSupervisedRouting:
+    @pytest.mark.parametrize("design", DESIGNS)
+    def test_bit_identical_to_direct(self, design):
+        async def scenario():
+            supervisor, _ = await local_fleet()
+            client = InProcessClient(supervisor)
+            rng = np.random.default_rng(7)
+            for _ in range(5):
+                n = int(rng.integers(1, 9))
+                a = rng.integers(0, 1 << 16, size=n).tolist()
+                b = rng.integers(0, 1 << 16, size=n).tolist()
+                assert await client.multiply(design, a, b) == direct(design, a, b)
+            await supervisor.drain()
+
+        run(scenario())
+
+    def test_same_client_ids_never_cross_wire(self):
+        # two fronts reusing id=1 concurrently: sub-id remapping keeps
+        # the replies tied to their own operands, and each reply echoes
+        # the id its requester sent
+        async def scenario():
+            supervisor, _ = await local_fleet()
+            jobs = [(3, 5), (11, 13), (100, 200), (40000, 50000)]
+            responses = await asyncio.gather(
+                *(
+                    supervisor.handle(
+                        {"op": "multiply", "design": "accurate",
+                         "a": a, "b": b, "id": 1}
+                    )
+                    for a, b in jobs
+                )
+            )
+            for (a, b), response in zip(jobs, responses):
+                assert response["id"] == 1
+                assert response["ok"] is True
+                assert response["result"]["product"] == a * b
+            await supervisor.drain()
+
+        run(scenario())
+
+    def test_unknown_design_is_structured(self):
+        async def scenario():
+            supervisor, _ = await local_fleet()
+            response = await supervisor.handle(
+                {"op": "multiply", "design": "nope", "a": 1, "b": 2, "id": 9}
+            )
+            assert response["ok"] is False
+            assert response["error"]["code"] == "unknown-design"
+            await supervisor.drain()
+
+        run(scenario())
+
+    def test_designs_ping_status_answer_locally(self):
+        async def scenario():
+            supervisor, _ = await local_fleet()
+            client = InProcessClient(supervisor)
+            listing = await client.designs(prefix="realm16")
+            assert all(d["id"].startswith("realm16") for d in listing)
+            ping = await client.ping()
+            assert ping["role"] == "supervisor"
+            assert ping["shards_up"] == 3
+            status = await client.call({"op": "status"})
+            assert status["ready"] is True
+            assert set(status["shards"]) == {"shard-0", "shard-1", "shard-2"}
+            await supervisor.drain()
+
+        run(scenario())
+
+
+class TestFailureSemantics:
+    def test_dead_owner_redirects_to_successor(self):
+        async def scenario():
+            supervisor, shards = await local_fleet()
+            owner = supervisor.route("realm16-t4")[0]
+            supervisor.shards[owner].kill()
+            client = InProcessClient(supervisor)
+            # still answered, bit-identically, by a ring successor
+            assert await client.multiply("realm16-t4", [9], [9]) == direct(
+                "realm16-t4", [9], [9]
+            )
+            await supervisor.drain()
+
+        run(scenario())
+
+    def test_check_fleet_restarts_dead_shard(self):
+        async def scenario():
+            supervisor, shards = await local_fleet()
+            shards[1].kill()
+            assert not shards[1].alive
+            await supervisor.check_fleet()
+            assert shards[1].alive
+            assert supervisor.restart_counts["shard-1"] == 1
+            await supervisor.drain()
+
+        run(scenario())
+
+    def test_restart_budget_exhausts_to_permanent_down(self):
+        async def scenario():
+            supervisor, shards = await local_fleet(
+                policy=quiet_policy(max_restarts=2)
+            )
+            for expected in (1, 2):
+                shards[0].kill()
+                await supervisor.check_fleet()
+                assert supervisor.restart_counts["shard-0"] == expected
+            shards[0].kill()
+            await supervisor.check_fleet()
+            assert supervisor.restart_counts["shard-0"] == 2  # budget spent
+            status = await supervisor.handle({"op": "status", "id": 1})
+            assert status["result"]["shards"]["shard-0"]["failed"] is True
+            await supervisor.drain()
+
+        run(scenario())
+
+    def test_degraded_multiply_when_fleet_exhausted(self):
+        async def scenario():
+            supervisor, shards = await local_fleet(
+                n=2, policy=quiet_policy(max_restarts=0, allow_degraded=True)
+            )
+            for shard in shards:
+                shard.kill()
+            client = InProcessClient(supervisor)
+            # answered in-parent; still bit-identical (same model)
+            assert await client.multiply("drum-k6", [777], [888]) == direct(
+                "drum-k6", [777], [888]
+            )
+            status = await client.call({"op": "status"})
+            assert status["ready"] is True  # degraded still counts as ready
+            await supervisor.drain()
+
+        run(scenario())
+
+    def test_shard_down_when_degradation_disabled(self):
+        async def scenario():
+            supervisor, shards = await local_fleet(
+                n=2, policy=quiet_policy(max_restarts=0, allow_degraded=False)
+            )
+            for shard in shards:
+                shard.kill()
+            response = await supervisor.handle(
+                {"op": "multiply", "design": "accurate", "a": 1, "b": 2, "id": 5}
+            )
+            assert response["ok"] is False
+            assert response["error"]["code"] == "shard-down"
+            status = await supervisor.handle({"op": "status", "id": 6})
+            assert status["result"]["ready"] is False
+            await supervisor.drain()
+
+        run(scenario())
+
+    def test_characterize_gets_shard_down_not_degraded(self):
+        async def scenario():
+            supervisor, shards = await local_fleet(
+                n=2, policy=quiet_policy(max_restarts=0, allow_degraded=True)
+            )
+            for shard in shards:
+                shard.kill()
+            response = await supervisor.handle(
+                {"op": "characterize", "design": "accurate",
+                 "samples": 16, "id": 2}
+            )
+            assert response["ok"] is False
+            assert response["error"]["code"] == "shard-down"
+            await supervisor.drain()
+
+        run(scenario())
+
+    def test_deadline_exceeded_is_structured(self):
+        class StuckShard:
+            """A shard handle whose requests never complete."""
+
+            name = "shard-0"
+            alive = True
+
+            async def start(self):
+                pass
+
+            async def stop(self):
+                pass
+
+            async def request(self, obj):
+                await asyncio.Event().wait()
+
+        async def scenario():
+            supervisor = Supervisor(
+                [StuckShard()],
+                policy=quiet_policy(
+                    request_deadline=0.02, allow_degraded=False
+                ),
+            )
+            await supervisor.up()
+            response = await supervisor.handle(
+                {"op": "multiply", "design": "accurate", "a": 1, "b": 2, "id": 3}
+            )
+            assert response["ok"] is False
+            assert response["error"]["code"] == "deadline-exceeded"
+            await supervisor.drain()
+
+        run(scenario())
+
+    def test_corrupt_reply_is_rejected_and_rerouted(self, tmp_path):
+        # chaos 'corrupt' truncates the owner's product vector; the
+        # supervisor's validation must reject it and the ring successor
+        # must produce the honest answer
+        async def scenario():
+            supervisor, _ = await local_fleet()
+            owner = supervisor.route("realm16-t4")[0]
+            os.environ[CHAOS_ENV] = ChaosPlan(
+                (FaultSpec("corrupt", 0, design=owner),), str(tmp_path)
+            ).to_json()
+            try:
+                client = InProcessClient(supervisor)
+                got = await client.multiply("realm16-t4", [5, 6], [7, 8])
+                assert got == direct("realm16-t4", [5, 6], [7, 8])
+                assert supervisor.breakers[owner].failures == 1
+            finally:
+                del os.environ[CHAOS_ENV]
+            await supervisor.drain()
+
+        run(scenario())
+
+    def test_breaker_routes_around_flapping_shard(self, tmp_path):
+        async def scenario():
+            clock = {"t": 0.0}
+            supervisor, _ = await local_fleet(
+                policy=quiet_policy(
+                    breaker_threshold=2,
+                    breaker_reset=100.0,
+                    clock=lambda: clock["t"],
+                )
+            )
+            owner = supervisor.route("realm16-t4")[0]
+            os.environ[CHAOS_ENV] = ChaosPlan(
+                tuple(
+                    FaultSpec("corrupt", i, design=owner) for i in range(2)
+                ),
+                str(tmp_path),
+            ).to_json()
+            try:
+                client = InProcessClient(supervisor)
+                for _ in range(2):  # two corrupt replies trip the breaker
+                    assert await client.multiply(
+                        "realm16-t4", [5], [7]
+                    ) == direct("realm16-t4", [5], [7])
+                assert supervisor.breakers[owner].state == "open"
+                # while open, the owner is skipped entirely: its multiply
+                # ordinal counter stays put across further traffic
+                seq_before = supervisor.shards[owner].service._multiply_seq
+                for _ in range(3):
+                    await client.multiply("realm16-t4", [5], [7])
+                assert (
+                    supervisor.shards[owner].service._multiply_seq
+                    == seq_before
+                )
+                # past breaker_reset the half-open probe readmits it
+                clock["t"] = 100.0
+                assert await client.multiply("realm16-t4", [5], [7]) == direct(
+                    "realm16-t4", [5], [7]
+                )
+                assert supervisor.breakers[owner].state == "closed"
+            finally:
+                del os.environ[CHAOS_ENV]
+            await supervisor.drain()
+
+        run(scenario())
+
+
+class TestLifecycle:
+    def test_drain_refuses_new_work_answers_probes(self):
+        async def scenario():
+            supervisor, _ = await local_fleet()
+            await supervisor.drain()
+            refused = await supervisor.handle(
+                {"op": "multiply", "design": "accurate", "a": 1, "b": 2, "id": 1}
+            )
+            assert refused["error"]["code"] == "shutting-down"
+            ping = await supervisor.handle({"op": "ping", "id": 2})
+            assert ping["ok"] is True
+            status = await supervisor.handle({"op": "status", "id": 3})
+            assert status["result"]["ready"] is False
+
+        run(scenario())
+
+    def test_rolling_restart_replaces_every_shard(self):
+        async def scenario():
+            supervisor, shards = await local_fleet()
+            client = InProcessClient(supervisor)
+            await supervisor.rolling_restart()
+            assert all(shard.restarts == 1 for shard in shards)
+            assert all(shard.alive for shard in shards)
+            # maintenance restarts don't burn the failure budget
+            assert all(v == 0 for v in supervisor.restart_counts.values())
+            assert await client.multiply("accurate", 12, 12) == 144
+            await supervisor.drain()
+
+        run(scenario())
+
+    def test_heartbeat_loop_runs_and_drains_cleanly(self):
+        async def scenario():
+            supervisor, shards = await local_fleet(
+                policy=quiet_policy(heartbeat_interval=0.005)
+            )
+            supervisor.start()
+            shards[2].kill()
+            for _ in range(200):
+                await asyncio.sleep(0.005)
+                if shards[2].alive:
+                    break
+            assert shards[2].alive  # background loop restarted it
+            await supervisor.drain()
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Process shards + chaos: the integration contract
+# ----------------------------------------------------------------------
+
+
+def process_policy() -> SupervisorPolicy:
+    return SupervisorPolicy(
+        heartbeat_interval=0.1,
+        heartbeat_timeout=0.5,
+        max_heartbeat_misses=2,
+        request_deadline=1.0,
+        restart_base=0.01,
+        restart_cap=0.05,
+        allow_degraded=False,
+    )
+
+
+class TestProcessFleetChaos:
+    def test_crash_detected_restarted_all_answered(self, tmp_path):
+        async def scenario():
+            shards = [ProcessShard(ShardConfig(f"shard-{i}")) for i in range(2)]
+            supervisor = Supervisor(shards, policy=process_policy())
+            owner = supervisor.route("realm16-t4")[0]
+            os.environ[CHAOS_ENV] = ChaosPlan(
+                (FaultSpec("crash", 1, design=owner),), str(tmp_path)
+            ).to_json()
+            try:
+                await supervisor.up()
+                client = InProcessClient(supervisor)
+                pairs = [([7 + i], [9 + i]) for i in range(5)]
+                for a, b in pairs:  # request 1 at the owner crashes it
+                    assert await client.multiply("realm16-t4", a, b) == direct(
+                        "realm16-t4", a, b
+                    )
+                await supervisor.check_fleet()
+                assert supervisor.restart_counts[owner] == 1
+                # the restarted owner serves again
+                assert await client.multiply(
+                    "realm16-t4", [123], [321]
+                ) == direct("realm16-t4", [123], [321])
+                await supervisor.drain()
+            finally:
+                del os.environ[CHAOS_ENV]
+
+        run(scenario())
+
+    def test_hang_detected_killed_restarted(self, tmp_path):
+        async def scenario():
+            shards = [ProcessShard(ShardConfig(f"shard-{i}")) for i in range(2)]
+            supervisor = Supervisor(shards, policy=process_policy())
+            owner = supervisor.route("realm16-t4")[0]
+            os.environ[CHAOS_ENV] = ChaosPlan(
+                (FaultSpec("hang", 0, design=owner, seconds=30.0),),
+                str(tmp_path),
+            ).to_json()
+            try:
+                await supervisor.up()
+                client = InProcessClient(supervisor)
+                # the owner's event loop blocks; the per-attempt deadline
+                # fires and the successor answers — never a lost request
+                got = await asyncio.wait_for(
+                    client.multiply("realm16-t4", [3], [5]), timeout=10.0
+                )
+                assert got == direct("realm16-t4", [3], [5])
+                # heartbeat misses accumulate to a kill + restart
+                deadline = asyncio.get_running_loop().time() + 30.0
+                while not supervisor.restart_counts[owner]:
+                    assert asyncio.get_running_loop().time() < deadline
+                    await supervisor.check_fleet()
+                    await asyncio.sleep(0.1)
+                assert supervisor.restart_counts[owner] == 1
+                assert await client.multiply("realm16-t4", [3], [5]) == direct(
+                    "realm16-t4", [3], [5]
+                )
+                await supervisor.drain()
+            finally:
+                del os.environ[CHAOS_ENV]
+
+        run(scenario())

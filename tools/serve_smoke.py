@@ -1,15 +1,33 @@
 #!/usr/bin/env python
-"""CI smoke test for the serving layer.
+"""CI smoke tests for the serving layer: base transport + chaos fleet.
 
-Starts a real :class:`~repro.serve.TcpServer` on an ephemeral loopback
-port with tracing enabled, drives a mixed multiply/characterize/designs
-workload through pipelined TCP clients, drains the server, and then
-asserts on the recorded trace:
+Two phases (select with ``--only base`` / ``--only chaos``; default both):
+
+**base** — starts a real :class:`~repro.serve.TcpServer` on an ephemeral
+loopback port with tracing enabled, drives a mixed
+multiply/characterize/designs workload through pipelined TCP clients,
+drains the server, and asserts on the recorded trace:
 
 * every multiply response is bit-identical to a direct model call;
 * the characterize response matches a direct engine run exactly;
 * the trace contains ``serve.batch`` spans (requests actually fused)
   and **zero** shed events — the workload fits the default queue.
+
+**chaos** — the kill-the-workers load test: a supervised fleet of 4
+:class:`~repro.serve.ProcessShard` workers behind a TCP front, with a
+deterministic chaos plan (two worker crashes + one worker hang, exact
+firing counts via the cross-process claim files) injected through
+``REPRO_CHAOS``.  Asserts the full robustness contract:
+
+* **zero lost responses**: every request the client sends is answered
+  (an unanswered request would hang the await; a dropped connection
+  would raise) — across crashes, the hang, and the restarts;
+* **no cross-wiring**: every reply is bit-identical to direct
+  ``Multiplier.multiply`` on its own operands;
+* **recovery within budget**: both crashed lives of the crash-target
+  shard and the hung shard are restarted within the deadline;
+* **bounded p99**: even with faults firing, the 99th-percentile request
+  latency stays under the supervisor's redirect budget.
 
 Exit status 0 on success; any assertion failure or unexpected error is
 a non-zero exit, which fails the CI job.  Run it from the repo root:
@@ -19,22 +37,45 @@ a non-zero exit, which fails the CI job.  Run it from the repo root:
 
 from __future__ import annotations
 
+import argparse
 import asyncio
 import dataclasses
+import os
 import sys
 import tempfile
+import time
 from pathlib import Path
 
 import numpy as np
 
 from repro.analysis import telemetry
+from repro.analysis.chaos import CHAOS_ENV, ChaosPlan, FaultSpec
 from repro.analysis.montecarlo import characterize
 from repro.multipliers.registry import build
-from repro.serve import AsyncClient, BatchPolicy, Service, TcpServer
+from repro.serve import (
+    AsyncClient,
+    BatchPolicy,
+    ProcessShard,
+    Service,
+    ShardConfig,
+    Supervisor,
+    SupervisorPolicy,
+    TcpServer,
+)
 
 DESIGNS = ["accurate", "calm", "realm16-t4", "drum-k8"]
 SAMPLES = 1 << 12
 SEED = 7
+
+#: chaos phase budgets
+SHARDS = 4
+RECOVERY_BUDGET = 60.0   # seconds to detect + restart all injected faults
+P99_BUDGET = 5.0         # seconds; deadline 1.0 + redirects leaves headroom
+
+
+# ----------------------------------------------------------------------
+# Base phase: single service over TCP
+# ----------------------------------------------------------------------
 
 
 async def one_client(host: str, port: int, design: str, seed: int) -> None:
@@ -86,7 +127,7 @@ async def workload(host: str, port: int) -> None:
     await asyncio.gather(*fleets, characterize_probe())
 
 
-async def main() -> int:
+async def base_phase() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         trace = Path(tmp) / "serve-trace.jsonl"
         with telemetry.tracing(trace):
@@ -114,8 +155,180 @@ async def main() -> int:
         f"serve smoke OK: {int(requests)} requests, "
         f"{batches.count} fused batches, 0 shed"
     )
+
+
+# ----------------------------------------------------------------------
+# Chaos phase: supervised fleet with injected crashes + hang
+# ----------------------------------------------------------------------
+
+
+def fleet_policy() -> SupervisorPolicy:
+    return SupervisorPolicy(
+        heartbeat_interval=0.1,
+        heartbeat_timeout=0.5,
+        max_heartbeat_misses=2,
+        request_deadline=1.0,
+        restart_base=0.01,
+        restart_cap=0.1,
+        allow_degraded=False,  # every answer must come from the fleet
+    )
+
+
+def pick_targets(supervisor: Supervisor) -> tuple[str, str, str, str]:
+    """Crash/hang target designs with *distinct* owning shards.
+
+    Placement is a pure function of the label set (the ring is built
+    from labels only), so the schedule is fixed before any worker
+    process exists.
+    """
+    crash_design = "realm16-t4"
+    crash_owner = supervisor.route(crash_design)[0]
+    for hang_design in ("drum-k8", "calm", "accurate", "mbm-t4", "essm8"):
+        hang_owner = supervisor.route(hang_design)[0]
+        if hang_owner != crash_owner:
+            return crash_design, crash_owner, hang_design, hang_owner
+    raise AssertionError("no design with a distinct owner found")
+
+
+async def drive_until(
+    client: AsyncClient,
+    design: str,
+    model,
+    done,
+    latencies: list[float],
+    *,
+    cap: int = 200,
+    pace: float = 0.05,
+) -> int:
+    """Send verified multiplies until ``done()`` (or the cap).
+
+    Returns the number of requests sent.  Every single one must be
+    answered with its own bit-identical products — a lost response
+    would hang, a dropped connection would raise, a cross-wired reply
+    would mismatch.
+    """
+    rng = np.random.default_rng(sum(design.encode()))
+    sent = 0
+    while sent < cap:
+        n = int(rng.integers(1, 9))
+        a = rng.integers(0, 1 << 16, size=n)
+        b = rng.integers(0, 1 << 16, size=n)
+        t0 = time.monotonic()
+        got = await client.multiply(design, a.tolist(), b.tolist())
+        latencies.append(time.monotonic() - t0)
+        expected = [int(v) for v in model.multiply(a, b)]
+        assert got == expected, (
+            f"{design}: reply diverged from direct evaluation "
+            f"(cross-wired or corrupted): {got} != {expected}"
+        )
+        sent += 1
+        if done():
+            return sent
+        await asyncio.sleep(pace)
+    return sent
+
+
+async def chaos_phase() -> None:
+    shards = [ProcessShard(ShardConfig(f"shard-{i}")) for i in range(SHARDS)]
+    supervisor = Supervisor(shards, policy=fleet_policy())
+    crash_design, crash_owner, hang_design, hang_owner = pick_targets(
+        supervisor
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        trace = Path(tmp) / "chaos-trace.jsonl"
+        # two crashes in the crash owner's first and second lives (the
+        # multiply ordinal resets with the process), one 30s hang at the
+        # hang owner's first multiply; claim files make each fire exactly
+        # once no matter how requests interleave with restarts
+        plan = ChaosPlan(
+            (
+                FaultSpec("crash", 1, design=crash_owner),
+                FaultSpec("crash", 2, design=crash_owner),
+                FaultSpec("hang", 0, design=hang_owner, seconds=30.0),
+            ),
+            str(Path(tmp) / "claims"),
+        )
+        os.environ[CHAOS_ENV] = plan.to_json()
+        try:
+            with telemetry.tracing(trace):
+                await supervisor.up()
+                server = TcpServer(supervisor, port=0)
+                await server.start()
+                host, port = server.address
+                started = time.monotonic()
+                latencies: list[float] = []
+                try:
+                    async with await AsyncClient.connect(host, port) as client:
+                        crash_sent = await drive_until(
+                            client,
+                            crash_design,
+                            build(crash_design),
+                            lambda: supervisor.restart_counts[crash_owner] >= 2,
+                            latencies,
+                        )
+                        hang_sent = await drive_until(
+                            client,
+                            hang_design,
+                            build(hang_design),
+                            lambda: supervisor.restart_counts[hang_owner] >= 1,
+                            latencies,
+                        )
+                        # fleet healthy again: a final verified burst
+                        for design in (crash_design, hang_design):
+                            model = build(design)
+                            got = await client.multiply(design, [9, 10], [11, 12])
+                            expected = [
+                                int(v)
+                                for v in model.multiply(
+                                    np.array([9, 10]), np.array([11, 12])
+                                )
+                            ]
+                            assert got == expected, f"{design}: post-recovery"
+                        status = await client.call({"op": "status"})
+                finally:
+                    await server.close()
+            elapsed = time.monotonic() - started
+        finally:
+            del os.environ[CHAOS_ENV]
+        summary = telemetry.summarize_trace(trace)
+
+    assert supervisor.restart_counts[crash_owner] >= 2, (
+        f"both crashes should have been detected and restarted: "
+        f"{supervisor.restart_counts}"
+    )
+    assert supervisor.restart_counts[hang_owner] >= 1, (
+        f"the hang should have been detected and restarted: "
+        f"{supervisor.restart_counts}"
+    )
+    assert elapsed < RECOVERY_BUDGET, (
+        f"recovery took {elapsed:.1f}s, budget {RECOVERY_BUDGET}s"
+    )
+    assert status["ready"], "fleet should be ready after recovery"
+    restarts = summary["counters"].get("supervisor.restarts", 0)
+    assert restarts >= 3, f"expected >= 3 supervised restarts, saw {restarts}"
+    misses = summary["counters"].get("supervisor.heartbeat_misses", 0)
+    assert misses >= 2, f"the hang should cost heartbeat misses, saw {misses}"
+    p99 = float(np.percentile(np.asarray(latencies), 99))
+    assert p99 < P99_BUDGET, f"p99 latency {p99:.2f}s exceeds {P99_BUDGET}s"
+    print(
+        f"serve chaos OK: {crash_sent + hang_sent + 2} verified requests, "
+        f"0 lost, {restarts} restarts "
+        f"(crash x2 on {crash_owner}, hang on {hang_owner}), "
+        f"{misses} heartbeat misses, p99 {p99 * 1000:.0f}ms, "
+        f"recovered in {elapsed:.1f}s"
+    )
+
+
+async def main(only: str | None) -> int:
+    if only in (None, "base"):
+        await base_phase()
+    if only in (None, "chaos"):
+        await chaos_phase()
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(asyncio.run(main()))
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--only", choices=["base", "chaos"], default=None)
+    args = parser.parse_args()
+    sys.exit(asyncio.run(main(args.only)))
