@@ -18,7 +18,7 @@ test:
 # exhaustive 256x256 model-vs-RTL sweep + full-budget conformance fuzzing
 # (what the scheduled CI job runs)
 nightly:
-	PYTHONPATH=src REPRO_NIGHTLY=1 $(PYTHON) -m pytest tests/test_rtl_equivalence.py tests/test_conformance.py -m nightly
+	PYTHONPATH=src REPRO_NIGHTLY=1 $(PYTHON) -m pytest tests/test_rtl_equivalence.py tests/test_conformance.py tests/test_formal.py -m nightly
 
 verify:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -x -q
@@ -35,6 +35,8 @@ verify:
 	@echo "--- compiled-kernel smoke ---"
 	PYTHONPATH=src $(PYTHON) -m repro conform --design realm-16-m4-q5 --budget 20000 --seed 0 \
 		--layers model kernel exact
+	@echo "--- formal smoke (8-bit equivalence proof + certified peaks) ---"
+	PYTHONPATH=src $(PYTHON) -m repro formal --design realm-8-m4-q5 --prove-equiv --max-error --no-cache
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_kernels.py
 
 # live TCP server under a mixed workload; asserts fused serve.batch

@@ -59,6 +59,22 @@ CACHE_ENV = "REPRO_CACHE_DIR"
 STALE_TEMP_SECONDS = 3600.0
 
 _METRIC_FIELDS = tuple(field.name for field in dataclasses.fields(ErrorMetrics))
+_NUMERIC_FIELDS = tuple(
+    name for name in _METRIC_FIELDS if name != "peak_certified"
+)
+
+
+def _load_certified(value) -> tuple[float, float] | None:
+    """Validate a stored ``peak_certified`` entry (JSON list or null)."""
+    if value is None:
+        return None
+    if not isinstance(value, (list, tuple)) or len(value) != 2:
+        raise ValueError("peak_certified must be a 2-element pair or null")
+    lo, hi = value
+    for side in (lo, hi):
+        if isinstance(side, bool) or not isinstance(side, (int, float)):
+            raise ValueError("non-numeric peak_certified bound")
+    return (float(lo), float(hi))
 
 
 @dataclasses.dataclass
@@ -120,14 +136,17 @@ def load_metrics(directory, key: str) -> ErrorMetrics | None:
     try:
         data = json.loads(path.read_text())
         fields = data["metrics"]
-        if set(fields) != set(_METRIC_FIELDS):
+        # peak_certified arrived after the first cache format; entries
+        # written without it stay loadable (they simply carry no proof)
+        if set(fields) - {"peak_certified"} != set(_NUMERIC_FIELDS):
             raise ValueError("unexpected metric fields")
         values = {}
-        for name in _METRIC_FIELDS:
+        for name in _NUMERIC_FIELDS:
             value = fields[name]
             if isinstance(value, bool) or not isinstance(value, (int, float)):
                 raise ValueError(f"non-numeric metric field {name!r}")
             values[name] = int(value) if name == "samples" else float(value)
+        values["peak_certified"] = _load_certified(fields.get("peak_certified"))
         metrics = ErrorMetrics(**values)
     except (OSError, ValueError, KeyError, TypeError):
         # missing, unreadable, truncated or hand-edited entries all fall

@@ -122,7 +122,8 @@ def sweep(
     points = []
     for name, multiplier, columns in chosen:
         metrics = measured[name]
-        peak = max(abs(metrics.peak_min), abs(metrics.peak_max))
+        peak_min, peak_max = metrics.peaks()  # certified when available
+        peak = max(abs(peak_min), abs(peak_max))
         points.append(
             DesignPoint(
                 name=name,

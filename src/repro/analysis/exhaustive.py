@@ -9,6 +9,8 @@ standard the test suite uses for 8-bit designs, where the full
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
 from ..multipliers.base import Multiplier
@@ -60,4 +62,11 @@ def exhaustive_metrics(multiplier: Multiplier, lo: int = 0, hi: int | None = Non
     a = a.ravel()
     b = b.ravel()
     approx = multiplier.multiply(a, b)
-    return compute_metrics(approx, a * b, max_product=multiplier.max_operand**2)
+    metrics = compute_metrics(approx, a * b, max_product=multiplier.max_operand**2)
+    if lo <= 1 and hi == multiplier.max_operand:
+        # the sweep visited every pair with a defined relative error, so
+        # the observed extremes are the certified worst case
+        metrics = dataclasses.replace(
+            metrics, peak_certified=(metrics.peak_min, metrics.peak_max)
+        )
+    return metrics

@@ -48,15 +48,32 @@ class ErrorMetrics:
     rms: float
     nmed: float
     samples: int
+    #: formally certified worst-case peaks ``(min%, max%)`` when a
+    #: certificate covers this design (exhaustive sweep or
+    #: :func:`repro.formal.certify_worst_error`); ``None`` for sampled runs
+    peak_certified: tuple[float, float] | None = None
 
     def row(self) -> tuple[float, float, float, float, float]:
-        """The five Table I error columns, in table order."""
-        return (self.bias, self.mean_error, self.peak_min, self.peak_max, self.variance)
+        """The five Table I error columns, in table order.
+
+        Certified peaks take precedence over the sampled extremes when a
+        certificate is attached.
+        """
+        peak_min, peak_max = self.peaks()
+        return (self.bias, self.mean_error, peak_min, peak_max, self.variance)
+
+    def peaks(self) -> tuple[float, float]:
+        """``(peak_min, peak_max)``, preferring the certified values."""
+        if self.peak_certified is not None:
+            return self.peak_certified
+        return (self.peak_min, self.peak_max)
 
     def __str__(self) -> str:
+        peak_min, peak_max = self.peaks()
+        certified = "certified " if self.peak_certified is not None else ""
         return (
             f"bias {self.bias:+.2f}%  ME {self.mean_error:.2f}%  "
-            f"peak [{self.peak_min:.2f}%, {self.peak_max:.2f}%]  "
+            f"{certified}peak [{peak_min:.2f}%, {peak_max:.2f}%]  "
             f"var {self.variance:.2f}  ({self.samples} samples)"
         )
 

@@ -703,6 +703,87 @@ def cmd_conform(args) -> int:
     return 0 if result.ok else 2
 
 
+def cmd_formal(args) -> int:
+    import json
+
+    from .formal import certify_worst_error, prove_equivalence
+    from .formal.certificates import save_certificate
+    from .formal.encode import UnsupportedDesignError
+
+    if not args.prove_equiv and not args.max_error:
+        print(
+            "error: nothing to do; pass --prove-equiv and/or --max-error",
+            file=sys.stderr,
+        )
+        return 2
+    cache = False if args.no_cache else args.cache
+    payloads = []
+    exit_code = 0
+    try:
+        if args.prove_equiv:
+            result = prove_equivalence(
+                args.design,
+                args.bitwidth,
+                backend=args.backend,
+                samples=args.samples,
+                seed=args.seed,
+            )
+            payloads.append(result.to_payload())
+            print(f"equivalence {result.design} @ {result.bitwidth}-bit")
+            for leg in result.legs:
+                line = f"  {leg.leg:14s} {leg.status}"
+                if leg.backend:
+                    line += f" [{leg.backend}]"
+                if leg.witness is not None:
+                    line += f" witness a={leg.witness[0]} b={leg.witness[1]}"
+                if leg.detail:
+                    line += f" ({leg.detail})"
+                print(line)
+            if result.refuted:
+                exit_code = 2
+            elif not result.proved:
+                exit_code = max(exit_code, 1)
+        if args.max_error:
+            bounds = certify_worst_error(
+                args.design, args.bitwidth, method=args.method
+            )
+            payloads.append(bounds.to_payload())
+            print(
+                f"worst-case error {bounds.design} @ {bounds.bitwidth}-bit "
+                f"via {bounds.method}"
+            )
+            for cert in (bounds.peak_min, bounds.peak_max):
+                quality = "exact" if cert.exact else "sound bound"
+                replay = "replayed" if cert.replayed else "REPLAY FAILED"
+                print(
+                    f"  peak_{cert.direction}: {cert.error_percent:+.6f}% "
+                    f"({quality}, {replay}) witness a={cert.a} b={cert.b} "
+                    f"err={cert.witness_num}/{cert.witness_den}"
+                )
+            if not bounds.replayed:
+                exit_code = 2
+    except UnsupportedDesignError as exc:
+        print(f"unsupported: {exc}", file=sys.stderr)
+        return 1
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        print("hint: 'repro-realm list' shows all design ids", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for payload in payloads:
+        path = save_certificate(payload, cache)
+        if path is not None:
+            print(f"# certificate written to {path}", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payloads, handle, sort_keys=True, indent=1)
+            handle.write("\n")
+        print(f"# JSON report written to {args.json}", file=sys.stderr)
+    return exit_code
+
+
 def _conform_progress(args):
     if not getattr(args, "progress", False):
         return None
@@ -925,7 +1006,7 @@ def make_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "conform",
         help="coverage-guided differential fuzzing across model/RTL/kernel/"
-        "serve/exact layers; exits 2 on any divergence",
+        "serve/formal/exact layers; exits 2 on any divergence",
     )
     p.add_argument(
         "--design", required=True,
@@ -938,8 +1019,8 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=_nonnegative_int, default=0)
     p.add_argument(
         "--layers", nargs="+", default=None, metavar="LAYER",
-        help="layers to cross-check (model rtl kernel serve exact); default: "
-        "all available for the design",
+        help="layers to cross-check (model rtl kernel serve formal exact); "
+        "default: all available for the design",
     )
     p.add_argument(
         "--bitwidth", type=_positive_int, default=None,
@@ -973,6 +1054,58 @@ def make_parser() -> argparse.ArgumentParser:
         "spans) to PATH",
     )
     p.set_defaults(func=cmd_conform)
+
+    p = sub.add_parser(
+        "formal",
+        help="equivalence proofs and exact worst-case error certificates; "
+        "exits 2 on any refuted claim, 1 when a claim stays unknown",
+    )
+    p.add_argument(
+        "--design", required=True,
+        help="registry id, or an ad-hoc REALM spec like 'realm-16-m4-q3'",
+    )
+    p.add_argument(
+        "--bitwidth", type=_positive_int, default=None,
+        help="operand bitwidth (default: the design's own)",
+    )
+    p.add_argument(
+        "--prove-equiv", action="store_true",
+        help="prove model~RTL~kernel agreement through the backend ladder",
+    )
+    p.add_argument(
+        "--max-error", action="store_true",
+        help="certify the exact worst-case relative error with a replayed "
+        "(a*, b*, err*) witness",
+    )
+    p.add_argument(
+        "--backend", choices=("z3", "bdd", "exhaustive"), default=None,
+        help="pin one equivalence backend instead of the ladder",
+    )
+    p.add_argument(
+        "--method", choices=("sweep", "smt", "interval"), default=None,
+        help="pin the worst-case-error route (default: by width and "
+        "backend availability)",
+    )
+    p.add_argument(
+        "--samples", type=_positive_int, default=4096,
+        help="operand pairs for sampled validation legs",
+    )
+    p.add_argument("--seed", type=_nonnegative_int, default=0)
+    p.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the certificates as JSON to PATH",
+    )
+    p.add_argument(
+        "--cache", nargs="?", const=True, default=None, metavar="DIR",
+        help="persist certificates under <cache>/formal/",
+    )
+    p.add_argument("--no-cache", action="store_true")
+    p.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a JSONL telemetry trace (formal.encode/formal.solve "
+        "spans) to PATH",
+    )
+    p.set_defaults(func=cmd_formal)
 
     p = sub.add_parser("client", help="talk to a running 'repro-realm serve'")
     p.add_argument("--host", default="127.0.0.1")

@@ -1,11 +1,12 @@
 """Differential and metamorphic oracles across the repo's answer layers.
 
-The repository holds five independent answers to "what does design X
+The repository holds six independent answers to "what does design X
 return on ``(a, b)``": the functional NumPy model, the gate-level RTL
 netlist, the compiled kernel (:mod:`repro.kernels` — table-specialized
 model and bit-parallel netlist programs), the served (batched protocol)
-path, and — on inputs where a family guarantees exactness — arithmetic
-itself.  The :class:`DifferentialOracle` evaluates operand batches
+path, the formal layer's bit-vector formula (:mod:`repro.formal` — the
+object equivalence proofs and error certificates reason about), and —
+on inputs where a family guarantees exactness — arithmetic itself.  The :class:`DifferentialOracle` evaluates operand batches
 through every available layer and reports structured
 :class:`Divergence` records wherever two layers disagree.
 
@@ -55,8 +56,12 @@ __all__ = [
 #: evaluation layers, in reporting order; "model" is the reference.
 #: "kernel" is the compiled evaluator of :mod:`repro.kernels` — always
 #: available (every design compiles, worst case to an interpreted
-#: fallback) and required to be bit-identical to the model.
-LAYERS = ("model", "rtl", "kernel", "serve", "exact")
+#: fallback) and required to be bit-identical to the model.  "formal"
+#: evaluates the bit-vector formula the formal layer lowers the model
+#: into (:mod:`repro.formal`) — a third independent interpretation of
+#: the design, available for every symbolic family and for table
+#: families at enumerable widths.
+LAYERS = ("model", "rtl", "kernel", "serve", "formal", "exact")
 
 #: metamorphic relations checked on the model layer
 RELATIONS = ("commute", "pow2-shift", "underestimate")
@@ -208,6 +213,14 @@ class DifferentialOracle:
                 self._rtl_kernel = compile_netlist(self._netlist)
         if "serve" in requested and not servable:
             self.skipped_layers["serve"] = "not a registry id; serve cannot resolve it"
+        self._formal_encoding = None
+        if "formal" in requested:
+            from ..formal.encode import UnsupportedDesignError, encode_model
+
+            try:
+                self._formal_encoding = encode_model(self.model, self.design)
+            except UnsupportedDesignError as exc:
+                self.skipped_layers["formal"] = str(exc)
         self.layers = tuple(
             name
             for name in LAYERS
@@ -260,6 +273,12 @@ class DifferentialOracle:
 
     def _eval_kernel(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return kernel_for(self.model)(a, b)
+
+    def _eval_formal(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        # the lowered bit-vector formula, evaluated bit-parallel — a
+        # third independent interpretation of the design (and the one
+        # equivalence proofs and error certificates reason about)
+        return self._formal_encoding.eval_pairs(a, b)
 
     def _eval_serve(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         import asyncio
@@ -339,6 +358,8 @@ class DifferentialOracle:
                 yield name, self._eval_kernel(a, b)
             elif name == "serve":
                 yield name, self._eval_serve(a, b)
+            elif name == "formal":
+                yield name, self._eval_formal(a, b)
             elif name == "exact":
                 mask = self.exactness_mask(a, b)
                 # outside the guaranteed region the model is the truth

@@ -135,19 +135,46 @@ def table1_errors(
     for name, multiplier in designs:
         metrics = measured[name]
         reference = paper.TABLE1.get(name)
+        certified = _certified_peaks(name, multiplier, metrics, cache)
         rows.append(
             {
                 "name": name,
                 "display": multiplier.name,
                 "bias": metrics.bias,
                 "mean_error": metrics.mean_error,
-                "peak_min": metrics.peak_min,
-                "peak_max": metrics.peak_max,
+                "peak_min": certified[0] if certified else metrics.peak_min,
+                "peak_max": certified[1] if certified else metrics.peak_max,
+                "peak_certified": certified is not None,
                 "variance": metrics.variance,
                 "paper": reference,
             }
         )
     return rows
+
+
+def _certified_peaks(name, multiplier, metrics, cache):
+    """Certified ``(min%, max%)`` peaks for a Table I row, else ``None``.
+
+    Prefers a certificate attached to the metrics themselves (exhaustive
+    sweeps), then a stored ``repro formal`` worst-case certificate that is
+    both exact and replayed.
+    """
+    if metrics.peak_certified is not None:
+        return metrics.peak_certified
+    from .formal.certificates import load_certificate
+
+    payload = load_certificate(
+        name, multiplier.bitwidth, "worst-case-error", cache
+    )
+    if not payload or not payload.get("exact") or not payload.get("replayed"):
+        return None
+    try:
+        return tuple(
+            100.0 * payload[side]["error_num"] / payload[side]["error_den"]
+            for side in ("peak_min", "peak_max")
+        )
+    except (KeyError, TypeError, ZeroDivisionError):
+        return None
 
 
 def table1_synthesis(ids: Sequence[str] = TABLE1_IDS) -> list[dict]:
@@ -216,12 +243,15 @@ def table1_text(
                 _fmt(ref.bias if ref else None),
                 _fmt(err["mean_error"]),
                 _fmt(ref.mean_error if ref else None),
-                _fmt(err["peak_min"]),
-                _fmt(err["peak_max"]),
+                _fmt(err["peak_min"]) + ("*" if err["peak_certified"] else ""),
+                _fmt(err["peak_max"]) + ("*" if err["peak_certified"] else ""),
                 _fmt(err["variance"]),
             ]
         )
-    return format_table(headers, rows)
+    table = format_table(headers, rows)
+    if any(err["peak_certified"] for err in errors.values()):
+        table += "\n* formally certified worst-case peak (repro formal)"
+    return table
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,65 @@
+"""Formal layer: bit-vector equivalence certificates and exact error bounds.
+
+This package replaces *sampled* confidence with *certified* claims:
+
+* :mod:`~repro.formal.bitvec` — a hash-consed boolean DAG IR with
+  word-level helpers and a bit-parallel concrete evaluator;
+* :mod:`~repro.formal.encode` — lowers registered netlists and the
+  functional models into formulas over shared operand variables;
+* :mod:`~repro.formal.backends` — the solver ladder: z3 (strictly
+  optional, used when importable) → bounded pure-python BDD →
+  exhaustive bit-parallel sweep; tier-1 never needs a dependency;
+* :mod:`~repro.formal.equiv` — model↔RTL↔kernel equivalence proofs with
+  concrete divergence witnesses that feed the conformance shrinker;
+* :mod:`~repro.formal.bounds` — exact worst-case relative-error
+  certificates ``(a*, b*, err*)``, replayed through the concrete model
+  as a self-check, via exhaustive formula sweep, SMT binary search, or
+  a branch-and-bound interval engine for wide log/segment designs;
+* :mod:`~repro.formal.certificates` — JSON persistence of proofs and
+  bounds under the cache directory.
+
+The ``formal`` conformance layer (:mod:`repro.conformance.oracles`) and
+the ``repro formal`` CLI are the consumer surfaces.
+"""
+
+from __future__ import annotations
+
+from .backends import BddBackend, ExhaustiveBackend, available_backends, z3_available
+from .bitvec import Builder, Evaluator
+from .bounds import ErrorCertificate, WorstCaseBounds, certify_worst_error
+from .certificates import certificate_dir, load_certificate, save_certificate
+from .encode import (
+    SYMBOLIC_FAMILIES,
+    Encoding,
+    UnsupportedDesignError,
+    encode_kernel,
+    encode_model,
+    encode_netlist,
+    encode_table,
+)
+from .equiv import EquivalenceResult, LegResult, prove_equivalence
+
+__all__ = [
+    "BddBackend",
+    "Builder",
+    "Encoding",
+    "EquivalenceResult",
+    "ErrorCertificate",
+    "LegResult",
+    "WorstCaseBounds",
+    "Evaluator",
+    "ExhaustiveBackend",
+    "SYMBOLIC_FAMILIES",
+    "UnsupportedDesignError",
+    "available_backends",
+    "certificate_dir",
+    "certify_worst_error",
+    "encode_kernel",
+    "encode_model",
+    "encode_netlist",
+    "encode_table",
+    "load_certificate",
+    "prove_equivalence",
+    "save_certificate",
+    "z3_available",
+]

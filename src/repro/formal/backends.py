@@ -1,0 +1,266 @@
+"""The solver ladder: optional SMT on top, pure python underneath.
+
+Equivalence queries run through one of three interchangeable backends:
+
+* :class:`Z3Backend` — lowers both DAGs into z3 and checks the miter.
+  **Strictly optional**: z3 is imported lazily and its absence only
+  removes this rung; nothing in tier-1 touches it.
+* :class:`BddBackend` — canonicalizes both DAGs in one bounded ROBDD
+  manager (:mod:`repro.formal.bdd`).  Complete while the diagrams fit
+  the node budget; answers ``unknown`` (never wrong) when they don't —
+  which the exact-multiplier cores of the product-form families always
+  will, BDDs of multiplication being exponential in every order.
+* :class:`ExhaustiveBackend` — bit-parallel sweep of the full
+  ``2**(2N)`` pair grid through both compiled evaluators.  Complete and
+  fast for narrow operands, gated by ``max_bitwidth``.
+
+``check_equal(f, g)`` returns ``(status, witness)`` with status
+``"proved"`` / ``"refuted"`` / ``"unknown"``; a witness is the concrete
+``(a, b)`` pair on which the encodings disagree.  Buses of different
+widths compare as unsigned integers (zero-extended).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import telemetry
+from .bdd import Bdd, BudgetExceeded, interleaved_order
+from .encode import Encoding
+
+__all__ = [
+    "BddBackend",
+    "ExhaustiveBackend",
+    "Z3Backend",
+    "available_backends",
+    "default_ladder",
+    "import_z3",
+    "resolve_backend",
+    "z3_available",
+]
+
+
+def import_z3():
+    """The z3 module, or ``None`` when not installed (never raises)."""
+    try:
+        import z3  # type: ignore
+    except ImportError:
+        return None
+    return z3
+
+
+def z3_available() -> bool:
+    return import_z3() is not None
+
+
+class ExhaustiveBackend:
+    """Complete equivalence by sweeping every operand pair.
+
+    ``chunk`` bounds the pairs evaluated per batch so the uint64 lane
+    matrices stay cache-sized; ``max_bitwidth`` bounds the total
+    ``4**N`` sweep (N=12 is ~17M pairs, a few seconds of NumPy).
+    """
+
+    name = "exhaustive"
+
+    def __init__(self, max_bitwidth: int = 12, chunk: int = 1 << 18):
+        self.max_bitwidth = max_bitwidth
+        self.chunk = chunk
+
+    def check_equal(self, f: Encoding, g: Encoding):
+        n = f.bitwidth
+        if n != g.bitwidth:
+            raise ValueError("encodings disagree on bitwidth")
+        if n > self.max_bitwidth:
+            return "unknown", None
+        tele = telemetry.get()
+        with tele.span(
+            "formal.solve", backend=self.name, design=f.design, bitwidth=n
+        ):
+            space = np.arange(np.int64(1) << n, dtype=np.int64)
+            rows = max(self.chunk >> n, 1)
+            for start in range(0, space.size, rows):
+                a_block = space[start : start + rows]
+                a = np.repeat(a_block, space.size)
+                b = np.tile(space, a_block.size)
+                fv = f.eval_pairs(a, b)
+                gv = g.eval_pairs(a, b)
+                diff = np.nonzero(fv != gv)[0]
+                if diff.size:
+                    i = int(diff[0])
+                    return "refuted", (int(a[i]), int(b[i]))
+            return "proved", None
+
+
+class BddBackend:
+    """Canonical equivalence through a bounded shared ROBDD manager."""
+
+    name = "bdd"
+
+    def __init__(self, budget: int = 2_000_000):
+        self.budget = budget
+
+    def check_equal(self, f: Encoding, g: Encoding):
+        tele = telemetry.get()
+        labels = [node.label for node in f.builder.nodes if node.op == "var"]
+        labels += [node.label for node in g.builder.nodes if node.op == "var"]
+        manager = Bdd(interleaved_order(labels), budget=self.budget)
+        with tele.span(
+            "formal.solve", backend=self.name, design=f.design,
+            bitwidth=f.bitwidth,
+        ):
+            try:
+                f_bits = manager.from_dag(f.builder, f.outputs)
+                g_bits = manager.from_dag(g.builder, g.outputs)
+                width = max(len(f_bits), len(g_bits))
+                f_bits += [0] * (width - len(f_bits))
+                g_bits += [0] * (width - len(g_bits))
+                miter = 0
+                for fb, gb in zip(f_bits, g_bits):
+                    miter = manager.or_(miter, manager.xor(fb, gb))
+            except BudgetExceeded as exc:
+                tele.counter("formal.bdd_budget_exceeded")
+                return "unknown", str(exc)
+            if miter == 0:
+                return "proved", None
+            assignment = manager.satisfying_assignment(miter)
+            return "refuted", _assignment_to_pair(assignment, f.bitwidth)
+
+
+class Z3Backend:
+    """Miter check through z3's bit-blasted SAT core (when installed)."""
+
+    name = "z3"
+
+    def __init__(self, timeout_ms: int | None = None):
+        self.timeout_ms = timeout_ms
+
+    def check_equal(self, f: Encoding, g: Encoding):
+        z3 = import_z3()
+        if z3 is None:
+            return "unknown", "z3 is not installed"
+        tele = telemetry.get()
+        with tele.span(
+            "formal.solve", backend=self.name, design=f.design,
+            bitwidth=f.bitwidth,
+        ):
+            variables: dict[str, object] = {}
+            f_bits = _to_z3(z3, f, variables)
+            g_bits = _to_z3(z3, g, variables)
+            width = max(len(f_bits), len(g_bits))
+            false = z3.BoolVal(False)
+            f_bits += [false] * (width - len(f_bits))
+            g_bits += [false] * (width - len(g_bits))
+            solver = z3.Solver()
+            if self.timeout_ms is not None:
+                solver.set("timeout", self.timeout_ms)
+            solver.add(
+                z3.Or([z3.Xor(fb, gb) for fb, gb in zip(f_bits, g_bits)])
+            )
+            status = solver.check()
+            if status == z3.unsat:
+                return "proved", None
+            if status == z3.sat:
+                model = solver.model()
+                assignment = {
+                    label: int(
+                        bool(model.eval(var, model_completion=True))
+                    )
+                    for label, var in variables.items()
+                }
+                return "refuted", _assignment_to_pair(assignment, f.bitwidth)
+            return "unknown", f"z3 returned {status!r}"
+
+
+def _to_z3(z3, encoding: Encoding, variables: dict):
+    """Lower an encoding's output cone to z3 booleans; shared var map."""
+    roots = encoding.outputs
+    needed: set[int] = set()
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        if node.id in needed:
+            continue
+        needed.add(node.id)
+        stack.extend(node.args)
+    values: dict[int, object] = {}
+    for node in encoding.builder.nodes:
+        if node.id not in needed:
+            continue
+        op = node.op
+        if op == "const0":
+            values[node.id] = z3.BoolVal(False)
+        elif op == "const1":
+            values[node.id] = z3.BoolVal(True)
+        elif op == "var":
+            if node.label not in variables:
+                variables[node.label] = z3.Bool(node.label)
+            values[node.id] = variables[node.label]
+        elif op == "not":
+            values[node.id] = z3.Not(values[node.args[0].id])
+        elif op == "and":
+            values[node.id] = z3.And(
+                values[node.args[0].id], values[node.args[1].id]
+            )
+        elif op == "or":
+            values[node.id] = z3.Or(
+                values[node.args[0].id], values[node.args[1].id]
+            )
+        elif op == "xor":
+            values[node.id] = z3.Xor(
+                values[node.args[0].id], values[node.args[1].id]
+            )
+        else:  # mux
+            d0, d1, sel = (values[arg.id] for arg in node.args)
+            values[node.id] = z3.If(sel, d1, d0)
+    return [values[root.id] for root in roots]
+
+
+def _assignment_to_pair(assignment: dict[str, int], bitwidth: int):
+    """Rebuild the concrete ``(a, b)`` witness; unassigned bits are 0."""
+    a = b = 0
+    for label, bit in (assignment or {}).items():
+        if not bit:
+            continue
+        prefix, _, index = label.rpartition("[")
+        if prefix == "a":
+            a |= 1 << int(index[:-1])
+        elif prefix == "b":
+            b |= 1 << int(index[:-1])
+    return a, b
+
+
+def available_backends() -> list[str]:
+    """Backend names usable right now, strongest first."""
+    names = []
+    if z3_available():
+        names.append("z3")
+    names.extend(["bdd", "exhaustive"])
+    return names
+
+
+def resolve_backend(name: str):
+    """One backend instance by name (``z3``/``bdd``/``exhaustive``)."""
+    if name == "z3":
+        return Z3Backend()
+    if name == "bdd":
+        return BddBackend()
+    if name == "exhaustive":
+        return ExhaustiveBackend()
+    raise ValueError(
+        f"unknown backend {name!r}; choose from z3, bdd, exhaustive"
+    )
+
+
+def default_ladder(bitwidth: int) -> list:
+    """The fallback order a proof attempt walks through.
+
+    Narrow designs try the exhaustive sweep first (complete, fast, no
+    diagram blowup risk); wide designs need a symbolic backend and only
+    fall back to exhaustion when it still applies.
+    """
+    symbolic = [Z3Backend()] if z3_available() else []
+    symbolic.append(BddBackend())
+    if bitwidth <= 8:
+        return [ExhaustiveBackend(), *symbolic]
+    return [*symbolic, ExhaustiveBackend()]

@@ -1,0 +1,642 @@
+"""Exact worst-case relative-error certificates.
+
+:func:`certify_worst_error` answers, for one design, the question the
+Monte-Carlo characterization can only sample: *what is the exact
+extreme of the signed relative error ``(P̂ - ab) / ab`` over every
+nonzero operand pair?*  Three routes, picked by width and availability:
+
+* **formula sweep** — at narrow widths the encoded formula is evaluated
+  over the complete pair grid in bit-parallel chunks; the extreme is
+  located in float64 and then re-resolved *exactly* among the near-tied
+  candidates with rational arithmetic, so the certified error and its
+  canonical (lexicographically smallest) witness are bit-identical to
+  brute force by construction.
+* **SMT ascent** — with z3 installed, a witness-guided climb: ask the
+  solver for any pair whose error strictly beats the best concrete
+  error seen, replace the best with the witness's exact error, repeat;
+  the final UNSAT is a machine-checked proof that no pair does better,
+  i.e. the best is the global extreme.  Terminates because every
+  iteration strictly improves a value drawn from a finite set.
+* **interval branch-and-bound** — pure python for wide operands: the
+  operand space is split into boxes on which the datapath's interval
+  enclosure is sound (log families: fixed characteristic per box makes
+  truncated fraction and segment index monotone; product-form
+  families: range extrema of the per-operand approximation table), and
+  boxes whose enclosure cannot beat the best concrete error are pruned.
+  If the queue drains, the result is exact; if the box budget trips
+  first, the certificate degrades honestly to a *sound bound* with
+  ``exact=False``.
+
+Every certificate is **replayed**: the witness pair is pushed through
+the concrete model and the recomputed error must match (equal for exact
+certificates, within the bound otherwise).  A failed replay marks the
+certificate refuted — that is the formal layer catching its own encoder
+drift, and the CLI turns it into exit code 2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from fractions import Fraction
+
+import numpy as np
+
+from ..analysis import telemetry
+from .backends import import_z3
+from .encode import Encoding, UnsupportedDesignError, encode_model
+
+__all__ = [
+    "ErrorCertificate",
+    "WorstCaseBounds",
+    "certify_worst_error",
+]
+
+#: families the interval branch-and-bound engine can box soundly
+_INTERVAL_LOG_FAMILIES = frozenset({"REALM", "MBM", "cALM"})
+_INTERVAL_PRODUCT_FAMILIES = frozenset({"DRUM", "SSM", "ESSM", "Accurate"})
+
+
+@dataclasses.dataclass(frozen=True)
+class ErrorCertificate:
+    """One certified error extreme: bound, witness, and its provenance.
+
+    ``error_num / error_den`` is the certified bound (the exact extreme
+    when ``exact``, a sound outer bound otherwise); the witness
+    ``(a, b)`` achieves ``witness_num / witness_den``, which equals the
+    bound exactly when ``exact``.  ``replayed`` records that the
+    concrete model reproduced the witness error on replay.
+    """
+
+    direction: str  # "min" | "max"
+    a: int
+    b: int
+    error_num: int
+    error_den: int
+    witness_num: int
+    witness_den: int
+    exact: bool
+    replayed: bool
+
+    @property
+    def error(self) -> float:
+        return self.error_num / self.error_den
+
+    @property
+    def error_percent(self) -> float:
+        return 100.0 * self.error_num / self.error_den
+
+    def as_fraction(self) -> Fraction:
+        return Fraction(self.error_num, self.error_den)
+
+    def to_payload(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class WorstCaseBounds:
+    """Both certified peaks for one design at one bitwidth."""
+
+    design: str
+    bitwidth: int
+    method: str  # "formula-sweep" | "smt-ascent" | "interval-bb"
+    peak_min: ErrorCertificate
+    peak_max: ErrorCertificate
+
+    @property
+    def exact(self) -> bool:
+        return self.peak_min.exact and self.peak_max.exact
+
+    @property
+    def replayed(self) -> bool:
+        return self.peak_min.replayed and self.peak_max.replayed
+
+    def peak_certified(self) -> tuple[float, float]:
+        """The ``ErrorMetrics.peak_certified`` payload, in percent."""
+        return (self.peak_min.error_percent, self.peak_max.error_percent)
+
+    def to_payload(self) -> dict:
+        return {
+            "design": self.design,
+            "bitwidth": self.bitwidth,
+            "kind": "worst-case-error",
+            "method": self.method,
+            "exact": self.exact,
+            "replayed": self.replayed,
+            "peak_min": self.peak_min.to_payload(),
+            "peak_max": self.peak_max.to_payload(),
+        }
+
+
+def _replay(model, a: int, b: int, claimed: Fraction) -> bool:
+    """Self-check: the concrete model must reproduce the witness error."""
+    product = int(model.multiply(a, b))
+    return a > 0 and b > 0 and Fraction(product - a * b, a * b) == claimed
+
+
+def _certificate(
+    model, direction: str, a: int, b: int, bound: Fraction, exact: bool
+) -> ErrorCertificate:
+    witness = Fraction(int(model.multiply(a, b)) - a * b, a * b)
+    if exact:
+        bound = witness if bound is None else bound
+    return ErrorCertificate(
+        direction=direction,
+        a=a,
+        b=b,
+        error_num=bound.numerator,
+        error_den=bound.denominator,
+        witness_num=witness.numerator,
+        witness_den=witness.denominator,
+        exact=exact,
+        replayed=_replay(model, a, b, witness)
+        and (not exact or bound == witness),
+    )
+
+
+# ----------------------------------------------------------------------
+# route 1: exhaustive formula sweep (exact, narrow widths)
+# ----------------------------------------------------------------------
+
+def _sweep(model, encoding: Encoding, chunk_rows: int = 64):
+    """Exact extremes of the encoded formula over the full pair grid.
+
+    Floats preselect candidates; rationals decide.  Witnesses are
+    canonical: the lexicographically smallest ``(a, b)`` among exact
+    ties, i.e. the first hit of a row-major brute-force scan.
+    """
+    n = encoding.bitwidth
+    space = np.arange(np.int64(1) << n, dtype=np.int64)
+    best: dict[str, tuple[Fraction, int, int]] = {}
+    for start in range(1, space.size, chunk_rows):  # a = 0 has no valid pairs
+        a_block = space[start : start + chunk_rows]
+        a = np.repeat(a_block, space.size - 1)
+        b = np.tile(space[1:], a_block.size)
+        approx = encoding.eval_pairs(a, b)
+        exact_products = a * b
+        errors = (approx - exact_products) / exact_products
+        for direction, pick in (("min", np.argmin), ("max", np.argmax)):
+            extreme = float(errors[pick(errors)])
+            tolerance = 1e-9 * max(1.0, abs(extreme))
+            if direction == "max":
+                candidates = np.nonzero(errors >= extreme - tolerance)[0]
+            else:
+                candidates = np.nonzero(errors <= extreme + tolerance)[0]
+            for i in candidates:
+                value = Fraction(
+                    int(approx[i]) - int(exact_products[i]),
+                    int(exact_products[i]),
+                )
+                key = (int(a[i]), int(b[i]))
+                incumbent = best.get(direction)
+                better = (
+                    incumbent is None
+                    or (value > incumbent[0] if direction == "max" else value < incumbent[0])
+                    or (value == incumbent[0] and key < incumbent[1:])
+                )
+                if better:
+                    best[direction] = (value, *key)
+    return best["min"], best["max"]
+
+
+# ----------------------------------------------------------------------
+# route 2: SMT witness-guided ascent (exact, needs z3)
+# ----------------------------------------------------------------------
+
+def _smt_ascent(model, encoding: Encoding, direction: str, timeout_ms: int | None):
+    """Climb to the exact extreme with z3; final UNSAT is the proof."""
+    z3 = import_z3()
+    assert z3 is not None
+    from .backends import _to_z3
+
+    variables: dict[str, object] = {}
+    bits = _to_z3(z3, encoding, variables)
+    n = encoding.bitwidth
+
+    def bus_int(prefix: str):
+        return z3.Sum(
+            [
+                z3.If(variables[f"{prefix}[{i}]"], 1 << i, 0)
+                for i in range(n)
+                if f"{prefix}[{i}]" in variables
+            ]
+        )
+
+    a_int, b_int = bus_int("a"), bus_int("b")
+    p_int = z3.Sum([z3.If(bit, 1 << i, 0) for i, bit in enumerate(bits)])
+    product = a_int * b_int
+
+    # seed with structured concrete samples so the climb starts close
+    from .equiv import sample_operands
+
+    sa, sb = sample_operands(n, 2048, seed=0)
+    valid = (sa > 0) & (sb > 0)
+    sa, sb = sa[valid], sb[valid]
+    approx = encoding.eval_pairs(sa, sb)
+    err_f = (approx - sa * sb) / (sa * sb)
+    i = int(np.argmax(err_f) if direction == "max" else np.argmin(err_f))
+    best_pair = (int(sa[i]), int(sb[i]))
+    best = Fraction(int(approx[i]) - best_pair[0] * best_pair[1],
+                    best_pair[0] * best_pair[1])
+
+    while True:
+        solver = z3.Solver()
+        if timeout_ms is not None:
+            solver.set("timeout", timeout_ms)
+        solver.add(a_int > 0, b_int > 0)
+        # strict improvement over the incumbent: (P - ab) / ab > best
+        gap = (p_int - product) * best.denominator
+        threshold = product * best.numerator
+        solver.add(gap > threshold if direction == "max" else gap < threshold)
+        status = solver.check()
+        if status == z3.unsat:
+            return best, best_pair, True
+        if status != z3.sat:
+            return best, best_pair, False  # timeout: best is only a lower bound
+        m = solver.model()
+        a_val = b_val = 0
+        for label, var in variables.items():
+            if bool(m.eval(var, model_completion=True)):
+                prefix, _, index = label.rpartition("[")
+                if prefix == "a":
+                    a_val |= 1 << int(index[:-1])
+                elif prefix == "b":
+                    b_val |= 1 << int(index[:-1])
+        approx_val = int(encoding.eval_pairs(a_val, b_val)[0])
+        best = Fraction(approx_val - a_val * b_val, a_val * b_val)
+        best_pair = (a_val, b_val)
+
+
+# ----------------------------------------------------------------------
+# route 3: interval branch-and-bound (pure python, wide operands)
+# ----------------------------------------------------------------------
+
+def _shift_floor(value: int, shift: int) -> int:
+    return value << shift if shift >= 0 else value >> -shift
+
+
+class _LogBoxEngine:
+    """Interval enclosures for the REALM/MBM/cALM datapath skeleton.
+
+    Boxes live inside a fixed characteristic pair ``(ka, kb)``, where
+    the truncated fraction ``u = xt(v)`` and segment index are monotone
+    in the operand value.  The enclosure exploits the shape of
+
+        err + 1  =  (base_c + s + u_a + u_b) * 2^E
+                    / ((2^raw + x_a) (2^raw + x_b))
+
+    per carry branch: with the LUT term pinned to its extreme over the
+    segment rectangle and each denominator bounded by the truncation
+    bucket of ``u``, the expression is a two-variable fractional form
+    whose per-axis derivative has constant sign — so its extreme over a
+    box is attained at one of the four ``(u_a, u_b)`` corners.  That
+    makes the enclosure *exact* on the corners for cALM (no truncation,
+    no LUT) and tight to the bucket/LUT granularity for REALM/MBM,
+    which is what lets boxes along the zero-error power-of-two edges
+    prune instead of splintering into singletons.
+    """
+
+    def __init__(self, model):
+        from ..core.bitops import floor_log2, log_fraction, truncate_fraction
+
+        family = model.family
+        n = model.bitwidth
+        raw = n - 1
+        v = np.arange(np.int64(1) << n, dtype=np.int64)
+        safe = np.where(v > 0, v, 1)
+        self.k = floor_log2(safe)
+        x = log_fraction(safe, self.k, n)
+        self.raw = raw
+        if family == "REALM":
+            cfg = model.config
+            if model.overflow == "saturate":
+                raise UnsupportedDesignError(
+                    "interval engine models the extend overflow mode only"
+                )
+            from ..core.factors import segment_index
+
+            self.t = cfg.t
+            self.forced = True  # truncation ORs a 1 into the kept LSB
+            self.width = cfg.fraction_width
+            self.xt = truncate_fraction(x, cfg.t, raw)
+            self.seg = segment_index(x, raw, cfg.m)
+            codes = model.lut_codes
+        elif family == "MBM":
+            self.t = model.t
+            self.forced = True
+            self.width = raw - model.t
+            self.xt = truncate_fraction(x, model.t, raw)
+            self.seg = np.zeros_like(v)
+            codes = np.array([[model.correction_code]], dtype=np.int64)
+        else:  # cALM: untruncated fraction, no correction
+            self.t = 0
+            self.forced = False
+            self.width = raw
+            self.xt = x
+            self.seg = np.zeros_like(v)
+            codes = np.zeros((1, 1), dtype=np.int64)
+        q = model.config.q if family == "REALM" else getattr(model, "q", 0)
+        self.s_full = np.array(
+            [[_shift_floor(int(c), self.width - q) for c in row] for row in codes],
+            dtype=np.int64,
+        )
+        self.s_half = np.array(
+            [[_shift_floor(int(c), self.width - q - 1) for c in row] for row in codes],
+            dtype=np.int64,
+        )
+
+    def initial_boxes(self, bitwidth: int):
+        for ka in range(bitwidth):
+            for kb in range(bitwidth):
+                yield (
+                    1 << ka,
+                    min((1 << (ka + 1)) - 1, (1 << bitwidth) - 1),
+                    1 << kb,
+                    min((1 << (kb + 1)) - 1, (1 << bitwidth) - 1),
+                )
+
+    def _bucket(self, u: int) -> tuple[int, int]:
+        """The raw-fraction interval consistent with truncated value ``u``."""
+        if not self.forced:
+            return u, u
+        lo = max((u - 1) << self.t, 0)
+        hi = min(((u + 1) << self.t) - 1, (1 << self.raw) - 1)
+        return lo, hi
+
+    def enclosure(self, a_lo, a_hi, b_lo, b_hi) -> tuple[Fraction, Fraction]:
+        """Sound bounds on the relative error over the box."""
+        width, raw = self.width, self.raw
+        one = 1 << width
+        big = 1 << raw
+        ka, kb = int(self.k[a_lo]), int(self.k[b_lo])
+        ua = (int(self.xt[a_lo]), int(self.xt[a_hi]))
+        ub = (int(self.xt[b_lo]), int(self.xt[b_hi]))
+        sa_lo, sa_hi = int(self.seg[a_lo]), int(self.seg[a_hi])
+        sb_lo, sb_hi = int(self.seg[b_lo]), int(self.seg[b_hi])
+        err_hi = err_lo = None
+        for carry in (0, 1):
+            if carry == 0 and ua[0] + ub[0] > one - 1:
+                continue  # every fraction sum in the box carries out
+            if carry == 1 and ua[1] + ub[1] < one:
+                continue  # no fraction sum in the box can carry out
+            lut = (self.s_half if carry else self.s_full)[
+                sa_lo : sa_hi + 1, sb_lo : sb_hi + 1
+            ]
+            s_min, s_max = int(lut.min()), int(lut.max())
+            base = 0 if carry else one
+            exponent = 2 * raw + carry - width  # always >= 0
+            corner_hi = corner_lo = None
+            for corner_a in ua:
+                da_min = big + self._bucket(corner_a)[0]
+                da_max = big + self._bucket(corner_a)[1]
+                for corner_b in ub:
+                    db_min = big + self._bucket(corner_b)[0]
+                    db_max = big + self._bucket(corner_b)[1]
+                    shared = corner_a + corner_b + base
+                    hi = Fraction((shared + s_max) << exponent, da_min * db_min)
+                    lo = Fraction((shared + s_min) << exponent, da_max * db_max)
+                    corner_hi = hi if corner_hi is None else max(corner_hi, hi)
+                    corner_lo = lo if corner_lo is None else min(corner_lo, lo)
+            # the corner bound ignores the carry band; a decoupled bound
+            # that clamps the fraction sum to the band is also sound, and
+            # tighter on boxes straddling the carry boundary — keep the
+            # intersection of the two
+            fs_hi = min(ua[1] + ub[1], one - 1 + (carry << width))
+            fs_lo = max(ua[0] + ub[0], carry << width)
+            band_hi = Fraction(
+                (base + fs_hi + s_max) << exponent,
+                (big + self._bucket(ua[0])[0]) * (big + self._bucket(ub[0])[0]),
+            )
+            band_lo = Fraction(
+                (base + fs_lo + s_min) << exponent,
+                (big + self._bucket(ua[1])[1]) * (big + self._bucket(ub[1])[1]),
+            )
+            hi = min(corner_hi, band_hi)
+            lo = max(corner_lo, band_lo)
+            err_hi = hi if err_hi is None else max(err_hi, hi)
+            err_lo = lo if err_lo is None else min(err_lo, lo)
+        assert err_hi is not None, "no feasible carry branch in a nonempty box"
+        err_hi = err_hi - 1
+        err_lo = err_lo - 1
+        if ka + kb < width:
+            # final right shift floors; it can lose at most 1 ulp of product
+            err_lo -= Fraction(1, a_lo * b_lo)
+        return err_lo, err_hi
+
+
+def _product_form_extremes(model):
+    """Exact extremes for ``approx(a) * approx(b)`` designs, closed form.
+
+    The error factors per operand: ``err + 1 = r(a) * r(b)`` with
+    ``r(v) = approx(v) / v > 0``, so the extremes over the full pair
+    grid are exactly ``max(r)^2 - 1`` and ``min(r)^2 - 1``, attained at
+    the (smallest) per-operand ratio extremizers — no search needed at
+    any bitwidth.  Floats preselect the extremizers; exact rational
+    comparison decides among near-ties.
+    """
+    n = model.bitwidth
+    v = np.arange(1, np.int64(1) << n, dtype=np.int64)
+    if model.family == "DRUM":
+        approx = model._approximate(v)
+    elif model.family in ("SSM", "ESSM"):
+        seg, shift = model._segment(v)
+        approx = seg << shift
+    else:  # Accurate
+        approx = v.copy()
+    ratio = approx / v
+    out = {}
+    for direction, pick in (("min", np.argmin), ("max", np.argmax)):
+        extreme = float(ratio[pick(ratio)])
+        tolerance = 1e-9 * max(1.0, abs(extreme))
+        if direction == "max":
+            candidates = np.nonzero(ratio >= extreme - tolerance)[0]
+        else:
+            candidates = np.nonzero(ratio <= extreme + tolerance)[0]
+        best_num = best_den = best_v = None
+        for i in candidates:  # increasing v: ties keep the first (smallest)
+            num, den = int(approx[i]), int(v[i])
+            if best_num is None:
+                best_num, best_den, best_v = num, den, den
+                continue
+            left, right = num * best_den, best_num * den
+            if left > right if direction == "max" else left < right:
+                best_num, best_den, best_v = num, den, den
+        ratio_best = Fraction(best_num, best_den)
+        out[direction] = (ratio_best * ratio_best - 1, best_v, best_v)
+    return out["min"], out["max"]
+
+
+def _interval_engine(model):
+    if model.family in _INTERVAL_LOG_FAMILIES:
+        return _LogBoxEngine(model)
+    raise UnsupportedDesignError(
+        f"no interval enclosure for family {model.family!r}; install z3 or "
+        f"use a width the exhaustive sweep covers"
+    )
+
+
+def _branch_and_bound(model, engine, direction: str, budget: int):
+    """Prune-and-split search for one error extreme.
+
+    Exact iff the queue drains within the budget: every discarded box
+    was proven (in exact rational arithmetic) unable to beat the best
+    concrete witness.  On budget exhaustion the sound outer bound is
+    the extreme over the surviving boxes' enclosures.
+    """
+    sign = 1 if direction == "max" else -1
+
+    def box_bound(box) -> Fraction:
+        lo, hi = engine.enclosure(*box)
+        return hi if sign > 0 else -lo
+
+    best: Fraction | None = None
+    best_pair = None
+
+    def observe(a_vals, b_vals):
+        nonlocal best, best_pair
+        a_vals = np.asarray(a_vals, dtype=np.int64)
+        b_vals = np.asarray(b_vals, dtype=np.int64)
+        products = model.multiply(a_vals, b_vals)
+        for a, b, p in zip(a_vals, b_vals, products):
+            value = sign * Fraction(int(p) - int(a) * int(b), int(a) * int(b))
+            if best is None or value > best:
+                best, best_pair = value, (int(a), int(b))
+
+    heap: list = []
+    counter = 0
+    def observe_corners(box):
+        a_lo, a_hi, b_lo, b_hi = box
+        mid_a, mid_b = (a_lo + a_hi) // 2, (b_lo + b_hi) // 2
+        observe(
+            [a_lo, a_lo, a_hi, a_hi, mid_a],
+            [b_lo, b_hi, b_lo, b_hi, mid_b],
+        )
+
+    # seed the incumbent from the structured sample so pruning starts
+    # against a near-extreme witness instead of discovering one box by box
+    from .equiv import sample_operands
+
+    seed_a, seed_b = sample_operands(model.bitwidth, 4096, seed=0)
+    valid = (seed_a > 0) & (seed_b > 0)
+    observe(seed_a[valid], seed_b[valid])
+
+    for box in engine.initial_boxes(model.bitwidth):
+        bound = box_bound(box)
+        heap.append((-float(bound), counter, bound, box))
+        counter += 1
+        observe_corners(box)
+    heapq.heapify(heap)
+
+    processed = 0
+    while heap and processed < budget:
+        processed += 1
+        _, _, bound, box = heapq.heappop(heap)
+        if best is not None and bound <= best:
+            continue  # exact comparison: the box cannot improve the best
+        a_lo, a_hi, b_lo, b_hi = box
+        if a_lo == a_hi and b_lo == b_hi:
+            observe([a_lo], [b_lo])
+            continue
+        if a_hi - a_lo >= b_hi - b_lo:
+            mid = (a_lo + a_hi) // 2
+            children = ((a_lo, mid, b_lo, b_hi), (mid + 1, a_hi, b_lo, b_hi))
+        else:
+            mid = (b_lo + b_hi) // 2
+            children = ((a_lo, a_hi, b_lo, mid), (a_lo, a_hi, mid + 1, b_hi))
+        for child in children:
+            child_bound = box_bound(child)
+            if best is not None and child_bound <= best:
+                continue
+            observe_corners(child)
+            heapq.heappush(heap, (-float(child_bound), counter, child_bound, child))
+            counter += 1
+
+    exact = not heap
+    bound = best
+    for _, _, child_bound, _ in heap:
+        if child_bound > bound:
+            bound = child_bound
+    return sign * bound, best_pair, exact, processed
+
+
+# ----------------------------------------------------------------------
+# dispatch
+# ----------------------------------------------------------------------
+
+def certify_worst_error(
+    design: str,
+    bitwidth: int | None = None,
+    *,
+    method: str | None = None,
+    sweep_max_bitwidth: int = 11,
+    box_budget: int = 50_000,
+    smt_timeout_ms: int | None = None,
+) -> WorstCaseBounds:
+    """Certify both peaks of the signed relative error for a design.
+
+    ``method`` pins a route (``"sweep"``/``"smt"``/``"interval"``);
+    by default narrow designs sweep exhaustively, wider ones use z3
+    when installed and the interval engine otherwise.  Raises
+    :class:`UnsupportedDesignError` when no route applies.
+    """
+    from ..conformance.oracles import resolve_design
+
+    design_id, model, _, _ = resolve_design(design, bitwidth)
+    n = model.bitwidth
+    if method is None:
+        if n <= sweep_max_bitwidth:
+            method = "sweep"
+        elif import_z3() is not None:
+            method = "smt"
+        else:
+            method = "interval"
+
+    tele = telemetry.get()
+    with tele.span(
+        "formal.solve", design=design_id, bitwidth=n, query="max-error",
+        method=method,
+    ):
+        if method == "sweep":
+            if n > sweep_max_bitwidth:
+                raise UnsupportedDesignError(
+                    f"exhaustive sweep gated to N <= {sweep_max_bitwidth}, "
+                    f"got {n}; use method='smt' or 'interval'"
+                )
+            encoding = encode_model(model, design_id)
+            (lo, a_lo, b_lo), (hi, a_hi, b_hi) = _sweep(model, encoding)
+            peak_min = _certificate(model, "min", a_lo, b_lo, lo, True)
+            peak_max = _certificate(model, "max", a_hi, b_hi, hi, True)
+            return WorstCaseBounds(design_id, n, "formula-sweep", peak_min, peak_max)
+
+        if method == "smt":
+            if import_z3() is None:
+                raise UnsupportedDesignError(
+                    "method 'smt' requires z3, which is not installed"
+                )
+            encoding = encode_model(model, design_id)
+            lo, pair_lo, exact_lo = _smt_ascent(model, encoding, "min", smt_timeout_ms)
+            hi, pair_hi, exact_hi = _smt_ascent(model, encoding, "max", smt_timeout_ms)
+            peak_min = _certificate(model, "min", *pair_lo, lo, exact_lo)
+            peak_max = _certificate(model, "max", *pair_hi, hi, exact_hi)
+            return WorstCaseBounds(design_id, n, "smt-ascent", peak_min, peak_max)
+
+        if method == "interval":
+            if model.family in _INTERVAL_PRODUCT_FAMILIES:
+                (lo, a_lo, b_lo), (hi, a_hi, b_hi) = _product_form_extremes(model)
+                peak_min = _certificate(model, "min", a_lo, b_lo, lo, True)
+                peak_max = _certificate(model, "max", a_hi, b_hi, hi, True)
+                return WorstCaseBounds(
+                    design_id, n, "ratio-exact", peak_min, peak_max
+                )
+            engine = _interval_engine(model)
+            hi, pair_hi, exact_hi, _ = _branch_and_bound(
+                model, engine, "max", box_budget
+            )
+            lo, pair_lo, exact_lo, _ = _branch_and_bound(
+                model, engine, "min", box_budget
+            )
+            peak_min = _certificate(model, "min", *pair_lo, lo, exact_lo)
+            peak_max = _certificate(model, "max", *pair_hi, hi, exact_hi)
+            return WorstCaseBounds(design_id, n, "interval-bb", peak_min, peak_max)
+
+    raise ValueError(f"unknown method {method!r}; use sweep, smt or interval")

@@ -19,10 +19,12 @@ __all__ = [
     "POW2_EXACT_IDS",
     "UNDERESTIMATE_IDS",
     "bitwidths",
+    "corner_operands",
     "design_ids",
     "exponents",
     "operand_pairs",
     "operands",
+    "signed_operands",
 ]
 
 ALL_IDS = sorted(REGISTRY)
@@ -69,6 +71,34 @@ def operand_pairs(bitwidth: int = 16) -> st.SearchStrategy:
     """An ``(a, b)`` operand pair of the given width."""
     one = operands(bitwidth)
     return st.tuples(one, one)
+
+
+def signed_operands(bitwidth: int = 16) -> st.SearchStrategy:
+    """A two's-complement operand for the signed wrapper interface."""
+    return st.integers(
+        min_value=-(1 << (bitwidth - 1)), max_value=(1 << (bitwidth - 1)) - 1
+    )
+
+
+def corner_operands(bitwidth: int = 16) -> st.SearchStrategy:
+    """An operand biased toward the structural corners of the datapaths.
+
+    Half the draws land on the characteristic-switch points — zero, the
+    extremes, and power-of-two neighborhoods where the log families'
+    leading-one position changes — the same high-yield regions
+    ``repro.formal.equiv.sample_operands`` seeds validation legs with.
+    """
+    top = (1 << bitwidth) - 1
+    corners = sorted(
+        {
+            v
+            for k in range(bitwidth)
+            for v in ((1 << k) - 1, 1 << k, (1 << k) + 1)
+            if 0 <= v <= top
+        }
+        | {0, 1, top, top - 1}
+    )
+    return st.one_of(st.sampled_from(corners), operands(bitwidth))
 
 
 def exponents(bitwidth: int = 16) -> st.SearchStrategy:

@@ -97,6 +97,7 @@ class TestOracleAgreement:
         assert "model" in result.layers
         assert "rtl" in result.layers
         assert "serve" in result.layers
+        assert "formal" in result.layers
         assert "exact" in result.layers
         assert not result.skipped_layers
 
@@ -104,7 +105,7 @@ class TestOracleAgreement:
         result = fuzz("realm-16-m4-q5", 2048, seed=0)
         assert result.ok, render_text(result)
         assert "serve" in result.skipped_layers
-        assert result.layers == ("model", "rtl", "kernel", "exact")
+        assert result.layers == ("model", "rtl", "kernel", "formal", "exact")
 
     def test_relations_follow_family(self):
         oracle = DifferentialOracle("realm16-t0")

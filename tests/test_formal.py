@@ -1,0 +1,306 @@
+"""Tests for the formal layer: encoders, equivalence, certified bounds.
+
+The load-bearing claim is the brute-force cross-check: for ≤8-bit
+designs the certified worst case ``(a*, b*, err*)`` must equal the
+maximum over the full ``2^2N`` operand grid, computed here by an
+independent exact scan (integer cross-multiplication, no floats).  A
+seeded slice of designs runs in tier-1; the full registry sweep is
+``nightly``-marked, matching ``test_rtl_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis import chaos
+from repro.analysis.exhaustive import exhaustive_metrics
+from repro.conformance.fuzz import shrink_pair
+from repro.conformance.oracles import LAYERS, DifferentialOracle, resolve_design
+from repro.formal import (
+    UnsupportedDesignError,
+    certify_worst_error,
+    encode_model,
+    load_certificate,
+    prove_equivalence,
+    save_certificate,
+)
+from repro.multipliers.registry import REGISTRY
+
+from tests.strategies import corner_operands
+
+# tier-1 slice: one design per certification route (log-family interval,
+# LUT-corrected REALM, truncation, product-form ratio, exact baseline)
+SLICE_DESIGNS = ["realm8-t2", "mbm-t2", "calm", "drum-k5", "accurate"]
+
+
+def brute_force_extremes(model):
+    """Exact error extremes over the full positive operand grid.
+
+    Independent of the formal sweep: comparisons use integer
+    cross-multiplication, and the lexicographically first ``(a, b)``
+    wins ties — the same canonical witness the certificates promise.
+    """
+    values = np.arange(1, 1 << model.bitwidth, dtype=np.int64)
+    a = np.repeat(values, values.size)
+    b = np.tile(values, values.size)
+    exact = a * b
+    num = (np.asarray(model.multiply(a, b), dtype=np.int64) - exact).tolist()
+    den = exact.tolist()
+    pairs = list(zip(a.tolist(), b.tolist()))
+    extremes = {}
+    for direction, keep in (
+        ("min", lambda n1, d1, n2, d2: n1 * d2 < n2 * d1),
+        ("max", lambda n1, d1, n2, d2: n1 * d2 > n2 * d1),
+    ):
+        best = 0
+        for i in range(1, len(num)):
+            if keep(num[i], den[i], num[best], den[best]):
+                best = i
+        extremes[direction] = (Fraction(num[best], den[best]), *pairs[best])
+    return extremes
+
+
+def assert_matches_brute_force(design: str, bitwidth: int = 8) -> None:
+    _, model, _, _ = resolve_design(design, bitwidth)
+    bounds = certify_worst_error(design, bitwidth)
+    assert bounds.exact, f"{design}: certificate not exact"
+    assert bounds.replayed, f"{design}: witness failed model replay"
+    reference = brute_force_extremes(model)
+    for cert, direction in ((bounds.peak_min, "min"), (bounds.peak_max, "max")):
+        want_err, want_a, want_b = reference[direction]
+        assert cert.as_fraction() == want_err, f"{design} {direction}"
+        assert (cert.a, cert.b) == (want_a, want_b), f"{design} {direction}"
+        assert Fraction(cert.witness_num, cert.witness_den) == want_err
+
+
+class TestCertifiedVsBruteForce:
+    @pytest.mark.parametrize("design", SLICE_DESIGNS)
+    def test_slice_matches_brute_force(self, design):
+        assert_matches_brute_force(design)
+
+    @pytest.mark.nightly
+    @pytest.mark.skipif(
+        not os.environ.get("REPRO_NIGHTLY"),
+        reason="full-registry sweep runs nightly (set REPRO_NIGHTLY=1)",
+    )
+    @pytest.mark.parametrize("design", sorted(REGISTRY))
+    def test_every_eightbit_design_matches_brute_force(self, design):
+        try:
+            resolve_design(design, 8)
+        except ValueError as exc:
+            pytest.skip(f"not buildable at 8 bits: {exc}")
+        assert_matches_brute_force(design)
+
+    def test_interval_route_agrees_with_sweep(self):
+        # the wide-operand engines, forced at a sweepable width so their
+        # answers can be checked against the exhaustive route
+        for design in ("realm8-t2", "mbm-t2", "calm", "drum-k5", "accurate"):
+            sweep = certify_worst_error(design, 8, method="sweep")
+            interval = certify_worst_error(design, 8, method="interval")
+            assert interval.exact, design
+            for side in ("peak_min", "peak_max"):
+                got = getattr(interval, side)
+                want = getattr(sweep, side)
+                assert got.as_fraction() == want.as_fraction(), (design, side)
+
+    def test_sixteen_bit_bounds_are_sound(self):
+        # pure-python at 16 bits gives honest outer bounds, not exact
+        bounds = certify_worst_error("realm-16-m4-q3", method="interval",
+                                     box_budget=2000)
+        lo = bounds.peak_min
+        hi = bounds.peak_max
+        assert lo.as_fraction() <= Fraction(lo.witness_num, lo.witness_den)
+        assert hi.as_fraction() >= Fraction(hi.witness_num, hi.witness_den)
+        assert bounds.method in ("interval-bb", "ratio-exact")
+
+
+class TestCertifiedDominatesSampling:
+    BOUNDS = None
+
+    @classmethod
+    def bounds(cls):
+        if cls.BOUNDS is None:
+            cls.BOUNDS = certify_worst_error("realm8-t2", 8)
+        return cls.BOUNDS
+
+    @given(a=corner_operands(8), b=corner_operands(8))
+    @settings(max_examples=300, deadline=None)
+    def test_certified_extremes_contain_every_sample(self, a, b):
+        if a == 0 or b == 0:
+            return  # relative error undefined
+        bounds = self.bounds()
+        _, model, _, _ = resolve_design("realm8-t2", 8)
+        err = Fraction(int(model.multiply(a, b)) - a * b, a * b)
+        assert bounds.peak_min.as_fraction() <= err
+        assert err <= bounds.peak_max.as_fraction()
+
+
+class TestEquivalence:
+    def test_realm_eightbit_all_legs_discharged(self):
+        result = prove_equivalence("realm8-t2", 8)
+        assert not result.refuted
+        assert result.proved
+        legs = {leg.leg: leg for leg in result.legs}
+        assert legs["formula~model"].status == "proved"
+        assert legs["model~kernel"].status == "proved"
+
+    def test_adhoc_spec_proves(self):
+        result = prove_equivalence("realm-8-m4-q5")
+        assert result.proved, [leg.detail for leg in result.legs]
+
+    def test_unsupported_design_raises(self):
+        with pytest.raises(UnsupportedDesignError):
+            encode_model(resolve_design("am1-nb13", 16)[1], "am1-nb13")
+
+
+class TestFormalConformanceLayer:
+    def test_formal_is_a_registered_layer(self):
+        assert "formal" in LAYERS
+
+    def test_chaos_corruption_refuted_with_shrunk_witness(self, tmp_path):
+        spec = chaos.FaultSpec(
+            kind="corrupt", block=0, design="realm16-t0", times=1 << 30
+        )
+        chaos.install([spec], tmp_path / "claims")
+        try:
+            oracle = DifferentialOracle(
+                "realm16-t0", layers=("model", "formal")
+            )
+            rng = np.random.default_rng(0)
+            a = rng.integers(0, 1 << 16, 256, dtype=np.int64)
+            b = rng.integers(0, 1 << 16, 256, dtype=np.int64)
+            records, total = oracle.evaluate(a, b)
+            assert total > 0
+            divergence = next(
+                r for r in records if r.kind == "layer" and r.name == "formal"
+            )
+            witness = shrink_pair(
+                lambda x, y: oracle.check_pair("layer", "formal", x, y),
+                divergence.a,
+                divergence.b,
+            )
+            # the corruption (+1 on nonzero products) reduces to the
+            # smallest nonzero pair
+            assert witness == (1, 1)
+        finally:
+            chaos.uninstall()
+
+    def test_formal_layer_skips_unencodable_designs(self):
+        oracle = DifferentialOracle("am1-nb13", layers=("model", "formal"))
+        assert "formal" in oracle.skipped_layers
+
+
+class TestCertificateStore:
+    def test_roundtrip(self, tmp_path):
+        bounds = certify_worst_error("calm", 6)
+        path = save_certificate(bounds.to_payload(), tmp_path)
+        assert path is not None and path.exists()
+        loaded = load_certificate("calm", 6, "worst-case-error", tmp_path)
+        assert loaded == bounds.to_payload()
+
+    def test_kind_mismatch_returns_none(self, tmp_path):
+        bounds = certify_worst_error("calm", 6)
+        save_certificate(bounds.to_payload(), tmp_path)
+        assert load_certificate("calm", 6, "equivalence", tmp_path) is None
+
+    def test_corrupt_certificate_returns_none(self, tmp_path):
+        bounds = certify_worst_error("calm", 6)
+        path = save_certificate(bounds.to_payload(), tmp_path)
+        path.write_text("{broken")
+        assert load_certificate("calm", 6, "worst-case-error", tmp_path) is None
+
+    def test_disabled_cache_stores_nothing(self):
+        bounds = certify_worst_error("calm", 6)
+        assert save_certificate(bounds.to_payload(), False) is None
+
+
+class TestPeakCertified:
+    def test_full_range_exhaustive_sweep_certifies(self):
+        _, model, _, _ = resolve_design("realm-8-m4-q5", None)
+        metrics = exhaustive_metrics(model)
+        assert metrics.peak_certified == (metrics.peak_min, metrics.peak_max)
+        # row() and the design-space peak prefer the certified values
+        assert metrics.row()[2:4] == metrics.peak_certified
+        assert "certified peak" in str(metrics)
+
+    def test_partial_range_sweep_does_not_certify(self):
+        _, model, _, _ = resolve_design("realm-8-m4-q5", None)
+        assert exhaustive_metrics(model, 32, 255).peak_certified is None
+
+    def test_cache_roundtrips_and_tolerates_old_entries(self, tmp_path):
+        from repro.analysis.cache import load_metrics, store_metrics
+        from repro.analysis.metrics import ErrorMetrics
+
+        metrics = ErrorMetrics(
+            bias=0.1, mean_error=1.0, peak_min=-2.0, peak_max=3.0,
+            variance=0.5, rms=1.1, nmed=0.2, samples=100,
+            peak_certified=(-2.5, 3.5),
+        )
+        store_metrics(tmp_path, "k", metrics, {})
+        loaded = load_metrics(tmp_path, "k")
+        assert loaded == metrics
+        assert loaded.peak_certified == (-2.5, 3.5)
+
+        # entries written before the field existed still load
+        entry = tmp_path / "k.json"
+        data = json.loads(entry.read_text())
+        del data["metrics"]["peak_certified"]
+        entry.write_text(json.dumps(data))
+        old = load_metrics(tmp_path, "k")
+        assert old is not None and old.peak_certified is None
+
+    def test_table1_prefers_stored_certificates(self, tmp_path):
+        from repro.experiments import table1_errors
+
+        payload = {
+            "design": "mbm-t2", "bitwidth": 16, "kind": "worst-case-error",
+            "method": "smt-ascent", "exact": True, "replayed": True,
+            "peak_min": {"error_num": -1, "error_den": 12},
+            "peak_max": {"error_num": 1, "error_den": 8},
+        }
+        save_certificate(payload, tmp_path)
+        rows = {
+            r["name"]: r
+            for r in table1_errors(
+                samples=2048, ids=["mbm-t2", "calm"], cache=tmp_path
+            )
+        }
+        assert rows["mbm-t2"]["peak_certified"]
+        assert rows["mbm-t2"]["peak_min"] == pytest.approx(-100.0 / 12)
+        assert rows["mbm-t2"]["peak_max"] == pytest.approx(100.0 / 8)
+        assert not rows["calm"]["peak_certified"]
+
+
+class TestFormalCli:
+    def run(self, capsys, *argv):
+        from repro.cli import main
+
+        code = main(list(argv))
+        captured = capsys.readouterr()
+        return code, captured.out
+
+    def test_prove_and_max_error(self, capsys):
+        code, out = self.run(
+            capsys, "formal", "--design", "realm-8-m4-q5",
+            "--prove-equiv", "--max-error", "--no-cache",
+        )
+        assert code == 0
+        assert "proved" in out
+        assert "peak_max" in out
+        assert "exact" in out
+
+    def test_requires_a_query(self, capsys):
+        code, _ = self.run(capsys, "formal", "--design", "calm")
+        assert code == 2
+
+    def test_unknown_design_exits_two(self, capsys):
+        code, _ = self.run(
+            capsys, "formal", "--design", "nope", "--max-error", "--no-cache"
+        )
+        assert code == 2

@@ -5,11 +5,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core.realm import RealmMultiplier
 from repro.multipliers.accurate import AccurateMultiplier
 from repro.multipliers.signed import SignedMultiplier, convolve2d, dot_product
+
+from tests.strategies import signed_operands
 
 
 def accurate_signed(bitwidth: int = 16) -> SignedMultiplier:
@@ -54,10 +55,7 @@ class TestSignedMultiplier:
         with pytest.raises(ValueError):
             SignedMultiplier(lambda n: AccurateMultiplier(8), bitwidth=16)
 
-    @given(
-        st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1),
-        st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1),
-    )
+    @given(signed_operands(16), signed_operands(16))
     @settings(max_examples=200, deadline=None)
     def test_sign_magnitude_property(self, a, b):
         signed = SignedMultiplier(lambda n: RealmMultiplier(bitwidth=n, m=16), 16)
