@@ -37,6 +37,13 @@ verify:
 		--layers model kernel exact
 	@echo "--- formal smoke (8-bit equivalence proof + certified peaks) ---"
 	PYTHONPATH=src $(PYTHON) -m repro formal --design realm-8-m4-q5 --prove-equiv --max-error --no-cache
+	@echo "--- warehouse smoke (record, warm reuse, trend report) ---"
+	rm -rf .repro-warehouse
+	PYTHONPATH=src REPRO_WAREHOUSE_DIR=.repro-warehouse $(PYTHON) -m repro characterize calm --quick --no-cache
+	PYTHONPATH=src REPRO_WAREHOUSE_DIR=.repro-warehouse $(PYTHON) -m repro characterize calm --quick --no-cache
+	PYTHONPATH=src REPRO_WAREHOUSE_DIR=.repro-warehouse $(PYTHON) -m repro report
+	PYTHONPATH=src REPRO_WAREHOUSE_DIR=.repro-warehouse $(PYTHON) -m repro report --json > /dev/null
+	rm -rf .repro-warehouse
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_kernels.py
 
 # live TCP server under a mixed workload; asserts fused serve.batch
@@ -66,5 +73,5 @@ quick:
 	$(PYTHON) -m repro table1 --quick
 
 clean:
-	rm -rf build *.egg-info .pytest_cache benchmarks/results .repro-cache
+	rm -rf build *.egg-info .pytest_cache benchmarks/results .repro-cache .repro-warehouse
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -45,6 +45,7 @@ __all__ = [
     "default_cache_dir",
     "invalidate",
     "load_metrics",
+    "metrics_from_fields",
     "reset_cache_stats",
     "resolve_cache_dir",
     "store_metrics",
@@ -130,24 +131,36 @@ def _entry_path(directory: pathlib.Path, key: str) -> pathlib.Path:
     return pathlib.Path(directory) / f"{key}.json"
 
 
+def metrics_from_fields(fields: dict) -> ErrorMetrics:
+    """Strictly validate a metrics field mapping into :class:`ErrorMetrics`.
+
+    The shared deserializer of the metrics cache and the experiment
+    warehouse: every numeric field must be present and numeric (booleans
+    rejected), unknown fields are refused, and ``peak_certified`` is
+    optional — entries written before that field arrived stay loadable
+    (they simply carry no proof).  Raises ``ValueError``/``TypeError``/
+    ``KeyError`` on anything else.
+    """
+    if not isinstance(fields, dict):
+        raise TypeError("metric fields must be a mapping")
+    if set(fields) - {"peak_certified"} != set(_NUMERIC_FIELDS):
+        raise ValueError("unexpected metric fields")
+    values = {}
+    for name in _NUMERIC_FIELDS:
+        value = fields[name]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"non-numeric metric field {name!r}")
+        values[name] = int(value) if name == "samples" else float(value)
+    values["peak_certified"] = _load_certified(fields.get("peak_certified"))
+    return ErrorMetrics(**values)
+
+
 def load_metrics(directory, key: str) -> ErrorMetrics | None:
     """The cached metrics for ``key``, or ``None`` (missing or corrupt)."""
     path = _entry_path(directory, key)
     try:
         data = json.loads(path.read_text())
-        fields = data["metrics"]
-        # peak_certified arrived after the first cache format; entries
-        # written without it stay loadable (they simply carry no proof)
-        if set(fields) - {"peak_certified"} != set(_NUMERIC_FIELDS):
-            raise ValueError("unexpected metric fields")
-        values = {}
-        for name in _NUMERIC_FIELDS:
-            value = fields[name]
-            if isinstance(value, bool) or not isinstance(value, (int, float)):
-                raise ValueError(f"non-numeric metric field {name!r}")
-            values[name] = int(value) if name == "samples" else float(value)
-        values["peak_certified"] = _load_certified(fields.get("peak_certified"))
-        metrics = ErrorMetrics(**values)
+        metrics = metrics_from_fields(data["metrics"])
     except (OSError, ValueError, KeyError, TypeError):
         # missing, unreadable, truncated or hand-edited entries all fall
         # back to recomputation; store_metrics repairs the file afterwards
@@ -227,25 +240,39 @@ def invalidate(key: str, cache=True) -> bool:
         return False
 
 
+#: cache-dir glob patterns covering every subsystem store that lives
+#: under the metrics cache directory; clear_cache drops them all
+_SUBSYSTEM_GLOBS = (
+    "*.json",                 # metrics entries
+    "checkpoints/*.json",     # campaign checkpoints (runtime.Checkpoint)
+    "formal/*.json",          # equivalence/worst-case certificates
+    "conformance/*.json",     # shrunk fuzzing counterexamples
+    "warehouse/warehouse.db*",  # experiment warehouse + quarantined copies
+)
+
+
 def clear_cache(cache=True) -> int:
     """Drop every entry in the resolved directory; returns the count.
 
-    Also clears campaign checkpoints (``checkpoints/``) and sweeps
-    orphaned temp files left by writers that died mid-store (the
-    entry count covers entries only, not the swept temps).
+    Covers all subsystem stores under the cache dir — metrics entries,
+    campaign checkpoints (``checkpoints/``), formal certificates
+    (``formal/``), conformance counterexamples (``conformance/``) and
+    the experiment warehouse database (``warehouse/``, including
+    quarantined copies) — and sweeps orphaned temp files left by
+    writers that died mid-store (the returned count covers removed
+    entries only, not the swept temps).
     """
     directory = resolve_cache_dir(cache)
     if directory is None or not directory.is_dir():
         return 0
     removed = 0
-    for path in list(directory.glob("*.json")) + list(
-        directory.glob("checkpoints/*.json")
-    ):
-        try:
-            path.unlink()
-            removed += 1
-        except FileNotFoundError:
-            pass
-    sweep_stale_temps(directory)
-    sweep_stale_temps(directory / "checkpoints")
+    for pattern in _SUBSYSTEM_GLOBS:
+        for path in directory.glob(pattern):
+            try:
+                path.unlink()
+                removed += 1
+            except (FileNotFoundError, IsADirectoryError):
+                pass
+    for subdirectory in ("", "checkpoints", "formal", "conformance"):
+        sweep_stale_temps(directory / subdirectory if subdirectory else directory)
     return removed

@@ -76,6 +76,7 @@ def sweep(
     checkpoint: bool = False,
     resume: bool = False,
     with_telemetry: bool = False,
+    warehouse=None,
 ) -> list[DesignPoint]:
     """Characterize error and synthesis cost for each design.
 
@@ -89,6 +90,11 @@ def sweep(
     the unfinished blocks/designs.  ``with_telemetry=True`` returns
     ``(points, TelemetrySnapshot)`` with the sweep's per-phase timings
     and counters (see :mod:`repro.analysis.telemetry`).
+    ``warehouse`` opts into the experiment warehouse (see
+    :mod:`repro.warehouse`): a warm sweep over an unchanged registry
+    performs zero model evaluations — every design is served from the
+    store by fingerprint — and the sweep is recorded as one ``sweep``
+    run whose rows carry the synthesis columns alongside the metrics.
     """
     if with_telemetry:
         with telemetry.recording() as rec:
@@ -97,6 +103,7 @@ def sweep(
                 workers=workers, cache=cache, progress=progress,
                 max_retries=max_retries, batch_timeout=batch_timeout,
                 policy=policy, checkpoint=checkpoint, resume=resume,
+                warehouse=warehouse,
             )
         return points, rec.snapshot
     chosen = []
@@ -104,6 +111,7 @@ def sweep(
         columns = _synthesis_columns(name, source)
         if columns is not None:
             chosen.append((name, build(name), columns))
+    synthesis = {name: columns for name, _, columns in chosen}
     engine = {} if chunk is None else {"chunk": chunk}
     measured = characterize_many(
         [(name, multiplier) for name, multiplier, _ in chosen],
@@ -118,6 +126,13 @@ def sweep(
         policy=policy,
         checkpoint=checkpoint,
         resume=resume,
+        warehouse=warehouse,
+        _warehouse_kind="sweep",
+        _warehouse_decorate=lambda name: {
+            "source": source,
+            "area_reduction": synthesis[name][0],
+            "power_reduction": synthesis[name][1],
+        },
     )
     points = []
     for name, multiplier, columns in chosen:

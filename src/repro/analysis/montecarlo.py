@@ -172,6 +172,96 @@ def _uniform_payload(multiplier: Multiplier, samples: int, seed: int) -> dict:
     }
 
 
+def _warehouse_many(
+    wh,
+    items,
+    *,
+    samples,
+    seed,
+    chunk,
+    workers,
+    cache,
+    progress,
+    policy,
+    checkpoint,
+    resume,
+    kind="characterize",
+    decorate=None,
+) -> dict[str, ErrorMetrics]:
+    """Incremental recompute through the experiment warehouse.
+
+    Looks every design up by its content-addressed fingerprint first
+    (``warehouse.hits``/``warehouse.misses`` counters); only designs whose
+    fingerprint is absent — new designs, changed knobs, a bumped engine —
+    are recomputed (``warehouse.deltas``), by recursing into
+    :func:`characterize_many` with the warehouse off.  The run is then
+    recorded whole: hit rows flagged ``reused``, recomputed rows carrying
+    the telemetry counters of the recompute.  Stored metrics are canonical
+    JSON with ``repr`` float semantics, so a warm result is bit-identical
+    to the cold run that produced it.
+    """
+    from ..warehouse.store import WarehouseError, metrics_fields
+
+    tele = telemetry.get()
+    start = time.perf_counter()
+    payloads = {name: _uniform_payload(m, samples, seed) for name, m in items}
+    hits: dict[str, ErrorMetrics] = {}
+    misses = []
+    with tele.span("warehouse.lookup", kind=kind, designs=len(items)):
+        for name, multiplier in items:
+            metrics = wh.latest_metrics(cache_key(payloads[name]))
+            if metrics is not None:
+                hits[name] = metrics
+                tele.counter("warehouse.hits")
+            else:
+                misses.append((name, multiplier))
+                tele.counter("warehouse.misses")
+    tele.counter("warehouse.deltas", len(misses))
+    fresh: dict[str, ErrorMetrics] = {}
+    counters: dict = {}
+    if misses:
+        with telemetry.recording() as rec:
+            fresh = characterize_many(
+                misses, samples=samples, seed=seed, chunk=chunk,
+                workers=workers, cache=cache, progress=progress,
+                policy=policy, checkpoint=checkpoint, resume=resume,
+                warehouse=False,
+            )
+        counters = dict(rec.snapshot.counters)
+        for phase, stat in rec.snapshot.phases.items():
+            counters[f"phase.{phase}"] = stat.count
+    elif progress is not None:
+        for index, (name, _) in enumerate(items, start=1):
+            _emit(
+                progress, event="design", design=name, index=index,
+                total=len(items), samples=samples, seconds=0.0,
+                cache="warehouse",
+            )
+    results = {
+        name: fresh[name] if name in fresh else hits[name] for name, _ in items
+    }
+    rows = []
+    for name, _ in items:
+        data = metrics_fields(results[name])
+        if decorate is not None:
+            # extra columns ride under their own keys; the metrics stay an
+            # exact, strictly-validated field set under "metrics"
+            data = {"metrics": data, **decorate(name)}
+        rows.append((name, payloads[name], data, name in hits))
+    wall = time.perf_counter() - start
+    with tele.span("warehouse.record", kind=kind, designs=len(items)):
+        try:
+            wh.record_run(
+                kind, rows, seed=seed, samples=samples,
+                wall_seconds=wall, counters=counters,
+            )
+        except WarehouseError as exc:
+            # provenance must never take the computation down with it
+            tele.counter("warehouse.errors")
+            tele.event("warehouse.error", kind=kind, cause=str(exc))
+    return results
+
+
 def _run_cached(
     multiplier: Multiplier,
     payload: dict | None,
@@ -275,6 +365,7 @@ def characterize(
     resume: bool = False,
     with_telemetry: bool = False,
     pool=None,
+    warehouse=None,
 ) -> ErrorMetrics:
     """Monte-Carlo error statistics of one design.
 
@@ -296,6 +387,9 @@ def characterize(
     counters this call recorded (see :mod:`repro.analysis.telemetry`).
     ``pool`` is an optional :class:`~repro.analysis.runtime.SharedPool`
     whose workers are reused across calls (the serving layer's mode).
+    ``warehouse`` opts the run into the experiment warehouse (see
+    :mod:`repro.warehouse`): the stored result for this exact fingerprint
+    is reused if present, and the run is recorded with full provenance.
     """
     if with_telemetry:
         return _recorded(
@@ -304,10 +398,25 @@ def characterize(
                 workers=workers, cache=cache, progress=progress,
                 max_retries=max_retries, batch_timeout=batch_timeout,
                 policy=policy, checkpoint=checkpoint, resume=resume,
-                pool=pool,
+                pool=pool, warehouse=warehouse,
             )
         )
     _validate_engine_args(samples, chunk, workers)
+    if warehouse is not False and pool is None:
+        from ..warehouse.store import open_warehouse
+
+        wh = open_warehouse(warehouse, cache)
+        if wh is not None:
+            try:
+                return _warehouse_many(
+                    wh, [(multiplier.name, multiplier)],
+                    samples=samples, seed=seed, chunk=chunk,
+                    workers=workers, cache=cache, progress=progress,
+                    policy=_resolve_policy(policy, max_retries, batch_timeout),
+                    checkpoint=checkpoint, resume=resume,
+                )[multiplier.name]
+            finally:
+                wh.close()
     return _run_cached(
         multiplier,
         _uniform_payload(multiplier, samples, seed),
@@ -367,6 +476,9 @@ def characterize_many(
     checkpoint: bool = False,
     resume: bool = False,
     with_telemetry: bool = False,
+    warehouse=None,
+    _warehouse_kind: str = "characterize",
+    _warehouse_decorate=None,
 ) -> dict[str, ErrorMetrics]:
     """Characterize ``{name: multiplier}`` or ``(name, multiplier)`` pairs.
 
@@ -384,6 +496,11 @@ def characterize_many(
     restarted with ``resume=True`` recomputes only unfinished designs
     (finished ones are cache hits) and, within those, only unfinished
     blocks.  ``with_telemetry=True`` returns ``(results, snapshot)``.
+    ``warehouse`` opts into the experiment warehouse (see
+    :mod:`repro.warehouse`): designs whose exact fingerprint was already
+    recorded are served from the store without a single model
+    evaluation, only changed fingerprints recompute, and the whole run is
+    recorded with provenance and reused-vs-recomputed flags per design.
     """
     if with_telemetry:
         return _recorded(
@@ -392,11 +509,27 @@ def characterize_many(
                 workers=workers, cache=cache, progress=progress,
                 max_retries=max_retries, batch_timeout=batch_timeout,
                 policy=policy, checkpoint=checkpoint, resume=resume,
+                warehouse=warehouse, _warehouse_kind=_warehouse_kind,
+                _warehouse_decorate=_warehouse_decorate,
             )
         )
     _validate_engine_args(samples, chunk, workers)
     policy = _resolve_policy(policy, max_retries, batch_timeout)
     items = list(multipliers.items() if hasattr(multipliers, "items") else multipliers)
+    if warehouse is not False:
+        from ..warehouse.store import open_warehouse
+
+        wh = open_warehouse(warehouse, cache)
+        if wh is not None:
+            try:
+                return _warehouse_many(
+                    wh, items, samples=samples, seed=seed, chunk=chunk,
+                    workers=workers, cache=cache, progress=progress,
+                    policy=policy, checkpoint=checkpoint, resume=resume,
+                    kind=_warehouse_kind, decorate=_warehouse_decorate,
+                )
+            finally:
+                wh.close()
     total = len(items)
     results: dict[str, ErrorMetrics] = {}
 
@@ -496,6 +629,7 @@ def characterize_many(
             multiplier, samples=samples, seed=seed, chunk=chunk,
             workers=workers, cache=cache, progress=None,
             policy=policy, checkpoint=checkpoint, resume=resume,
+            warehouse=False,
         )
         results[name] = metrics
         after = cache_stats()

@@ -70,6 +70,21 @@ The conformance harness (:mod:`repro.conformance`) likewise:
   ``conform.pairs`` (operand pairs evaluated);
 * the gauge ``conform.coverage`` (reachable segment-cell hit fraction,
   0..1, sampled per fuzzing round).
+
+The experiment warehouse (:mod:`repro.warehouse`), asserted by
+``tests/test_warehouse.py``:
+
+* spans ``warehouse.lookup`` (fingerprint resolution for one campaign;
+  fields ``kind``/``designs``) and ``warehouse.record`` (one atomic
+  run insert);
+* counters ``warehouse.hits`` / ``warehouse.misses`` (per-design
+  lookup outcomes), ``warehouse.deltas`` (designs actually recomputed
+  — zero on a warm run over an unchanged registry),
+  ``warehouse.records`` (runs persisted), ``warehouse.errors``
+  (recording failures swallowed so the computation survives) and
+  ``warehouse.quarantined`` (corrupt databases moved aside);
+* the ``warehouse.quarantined`` event naming the damaged file and
+  where its evidence went.
 """
 
 from __future__ import annotations

@@ -100,7 +100,15 @@ def _engine_options(args) -> dict:
         # --resume implies checkpointing, else there is nothing to resume to
         "checkpoint": getattr(args, "checkpoint", False) or resume,
         "resume": resume,
+        "warehouse": _warehouse_option(args),
     }
+
+
+def _warehouse_option(args):
+    """The experiment-warehouse argument from ``--warehouse``/``--no-warehouse``."""
+    if getattr(args, "no_warehouse", False):
+        return False
+    return getattr(args, "warehouse", None)
 
 
 def _progress_printer(args):
@@ -348,10 +356,28 @@ def cmd_verilog(args) -> int:
 
 
 def cmd_report(args) -> int:
-    from .circuits.catalog import netlist_for
-    from .synth.report import design_report
+    if args.design is not None:
+        from .circuits.catalog import netlist_for
+        from .synth.report import design_report
 
-    print(design_report(netlist_for(args.design)))
+        print(design_report(netlist_for(args.design)))
+        return 0
+    from .warehouse import build_trends, open_warehouse, render_json, render_text
+
+    warehouse = _warehouse_option(args)
+    wh = open_warehouse(True if warehouse is None else warehouse)
+    if wh is None:
+        print(
+            "no experiment warehouse available (pass --warehouse DIR or set "
+            "REPRO_WAREHOUSE_DIR / REPRO_CACHE_DIR)",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        trends = build_trends(wh, kind=args.kind, limit=args.limit)
+    finally:
+        wh.close()
+    sys.stdout.write(render_json(trends) if args.json else render_text(trends))
     return 0
 
 
@@ -687,6 +713,7 @@ def cmd_conform(args) -> int:
             m=args.m,
             cache=cache,
             on_progress=_conform_progress(args),
+            warehouse=_warehouse_option(args),
         )
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
@@ -776,12 +803,41 @@ def cmd_formal(args) -> int:
         path = save_certificate(payload, cache)
         if path is not None:
             print(f"# certificate written to {path}", file=sys.stderr)
+    if payloads:
+        _record_certificates(payloads, args, cache)
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(payloads, handle, sort_keys=True, indent=1)
             handle.write("\n")
         print(f"# JSON report written to {args.json}", file=sys.stderr)
     return exit_code
+
+
+def _record_certificates(payloads, args, cache) -> None:
+    """Record a ``repro formal`` run in the experiment warehouse, if on."""
+    from .warehouse import WarehouseError, open_warehouse
+
+    wh = open_warehouse(_warehouse_option(args), cache)
+    if wh is None:
+        return
+    rows = []
+    for payload in payloads:
+        description = {
+            "kind": "formal",
+            "certificate": payload.get("kind"),
+            "design": payload.get("design", args.design),
+            "bitwidth": payload.get("bitwidth"),
+        }
+        rows.append(
+            (payload.get("design", args.design), description, payload, False)
+        )
+    try:
+        wh.record_run("formal", rows, seed=getattr(args, "seed", None))
+    except WarehouseError as exc:
+        telemetry.get().counter("warehouse.errors")
+        print(f"# warehouse recording failed: {exc}", file=sys.stderr)
+    finally:
+        wh.close()
 
 
 def _conform_progress(args):
@@ -805,6 +861,24 @@ def make_parser() -> argparse.ArgumentParser:
         description="Reproduce the REALM paper's tables and figures.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def _warehouse_flags(p):
+        p.add_argument(
+            "--warehouse",
+            nargs="?",
+            const=True,
+            default=None,
+            metavar="DIR",
+            help="record this run in the experiment warehouse and reuse "
+            "stored results by fingerprint (bare flag: $REPRO_WAREHOUSE_DIR "
+            "or <cache>/warehouse; default: only if $REPRO_WAREHOUSE_DIR is "
+            "set)",
+        )
+        p.add_argument(
+            "--no-warehouse",
+            action="store_true",
+            help="disable the experiment warehouse",
+        )
 
     def common(p):
         p.add_argument(
@@ -867,6 +941,7 @@ def make_parser() -> argparse.ArgumentParser:
             help="write a JSONL telemetry trace of this run to PATH "
             "(summarize it with 'repro-realm telemetry summarize PATH')",
         )
+        _warehouse_flags(p)
 
     sub.add_parser("list").set_defaults(func=cmd_list)
 
@@ -923,8 +998,29 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--vectors", type=int, default=64)
     p.set_defaults(func=cmd_verilog)
 
-    p = sub.add_parser("report", help="area/power/timing report for a design")
-    p.add_argument("design")
+    p = sub.add_parser(
+        "report",
+        help="warehouse trend report (no argument), or the area/power/"
+        "timing report for one design",
+    )
+    p.add_argument(
+        "design", nargs="?", default=None,
+        help="design id for a synthesis report; omit for warehouse trends",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the trends as byte-stable JSON instead of text tables",
+    )
+    p.add_argument(
+        "--kind", default=None,
+        choices=("characterize", "sweep", "table1", "conformance", "formal"),
+        help="only runs of this kind",
+    )
+    p.add_argument(
+        "--limit", type=_positive_int, default=None, metavar="N",
+        help="only the most recent N runs",
+    )
+    _warehouse_flags(p)
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("theory", help="closed-form REALM error predictions")
@@ -1053,6 +1149,7 @@ def make_parser() -> argparse.ArgumentParser:
         help="write a JSONL telemetry trace (conform.eval/conform.shrink "
         "spans) to PATH",
     )
+    _warehouse_flags(p)
     p.set_defaults(func=cmd_conform)
 
     p = sub.add_parser(
@@ -1105,6 +1202,7 @@ def make_parser() -> argparse.ArgumentParser:
         help="write a JSONL telemetry trace (formal.encode/formal.solve "
         "spans) to PATH",
     )
+    _warehouse_flags(p)
     p.set_defaults(func=cmd_formal)
 
     p = sub.add_parser("client", help="talk to a running 'repro-realm serve'")
@@ -1177,6 +1275,8 @@ def main(argv=None) -> int:
         parser.error("--cache and --no-cache are mutually exclusive")
     if getattr(args, "no_cache", False) and getattr(args, "resume", False):
         parser.error("--resume needs the cache; it conflicts with --no-cache")
+    if getattr(args, "no_warehouse", False) and getattr(args, "warehouse", None) is not None:
+        parser.error("--warehouse and --no-warehouse are mutually exclusive")
     trace = getattr(args, "trace", None)
     if trace is not None:
         with telemetry.tracing(trace):

@@ -34,6 +34,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import pathlib
+import time
 
 import numpy as np
 
@@ -317,6 +318,7 @@ def fuzz(
     limit: int = 8,
     cache=None,
     on_progress=None,
+    warehouse=None,
 ) -> FuzzResult:
     """Run one coverage-guided conformance campaign.
 
@@ -325,10 +327,14 @@ def fuzz(
     fans batch evaluation out over a process pool — the result is
     bit-identical at any worker count.  ``cache`` resolves like the
     metrics cache (``None``: only if ``REPRO_CACHE_DIR`` is set) and
-    receives the shrunk counterexamples of a failing run.
+    receives the shrunk counterexamples of a failing run.  ``warehouse``
+    opts into the experiment warehouse: the campaign summary (coverage,
+    divergences, counterexample count) is recorded as one
+    ``conformance`` run with full provenance.
     """
     if budget < 1:
         raise ValueError(f"budget must be >= 1, got {budget}")
+    campaign_start = time.perf_counter()
     layers = tuple(layers) if layers else None
     oracle = DifferentialOracle(design, bitwidth, layers)
     n = oracle.bitwidth
@@ -467,6 +473,7 @@ def fuzz(
     )
     if shrunk:
         result.counterexample_path = _persist_counterexamples(result, cache)
+    _record_campaign(result, time.perf_counter() - campaign_start, warehouse, cache)
     return result
 
 
@@ -511,6 +518,49 @@ def _shrink_candidates(a: int, b: int):
         yield a - 1, b
     if b > 0:
         yield a, b - 1
+
+
+def _record_campaign(result: FuzzResult, wall: float, warehouse, cache) -> None:
+    """Record the campaign summary in the experiment warehouse, if on."""
+    from ..warehouse.store import WarehouseError, open_warehouse
+
+    wh = open_warehouse(warehouse, cache)
+    if wh is None:
+        return
+    payload = {
+        "kind": "conformance",
+        "design": result.design,
+        "bitwidth": result.bitwidth,
+        "m": result.m,
+        "seed": result.seed,
+        "budget": result.budget,
+        "layers": list(result.layers),
+        "relations": list(result.relations),
+    }
+    data = {
+        "pairs": result.pairs,
+        "rounds": result.rounds,
+        "full_cover": result.full_cover,
+        "coverage": result.coverage.segment_cell_coverage(),
+        "total_divergences": result.total_divergences,
+        "counts": dict(sorted(result.counts.items())),
+        "counterexamples": len(result.shrunk),
+    }
+    try:
+        wh.record_run(
+            "conformance",
+            [(result.design, payload, data, False)],
+            seed=result.seed,
+            samples=result.pairs,
+            wall_seconds=wall,
+        )
+    except WarehouseError as exc:
+        telemetry.get().counter("warehouse.errors")
+        telemetry.get().event(
+            "warehouse.error", kind="conformance", cause=str(exc)
+        )
+    finally:
+        wh.close()
 
 
 def _persist_counterexamples(result: FuzzResult, cache) -> str | None:

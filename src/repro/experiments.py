@@ -97,6 +97,7 @@ def table1_errors(
     checkpoint: bool = False,
     resume: bool = False,
     with_telemetry: bool = False,
+    warehouse=None,
 ) -> list[dict]:
     """Error columns of Table I: measured next to the published values.
 
@@ -107,7 +108,10 @@ def table1_errors(
     ``resume``) forward to the engine, so a long campaign survives
     worker faults and can resume after an interruption.
     ``with_telemetry=True`` returns ``(rows, TelemetrySnapshot)`` with
-    the campaign's per-phase timings and counters.
+    the campaign's per-phase timings and counters.  ``warehouse`` opts
+    into the experiment warehouse (see :mod:`repro.warehouse`): designs
+    whose fingerprint is already recorded are served from the store,
+    and the campaign is recorded as one ``table1`` run.
     """
     if with_telemetry:
         with telemetry.recording() as rec:
@@ -115,7 +119,7 @@ def table1_errors(
                 samples, ids, seed, workers=workers, cache=cache,
                 progress=progress, max_retries=max_retries,
                 batch_timeout=batch_timeout, checkpoint=checkpoint,
-                resume=resume,
+                resume=resume, warehouse=warehouse,
             )
         return rows, rec.snapshot
     designs = [(name, build(name)) for name in ids]
@@ -130,6 +134,8 @@ def table1_errors(
         batch_timeout=batch_timeout,
         checkpoint=checkpoint,
         resume=resume,
+        warehouse=warehouse,
+        _warehouse_kind="table1",
     )
     rows = []
     for name, multiplier in designs:
@@ -212,6 +218,7 @@ def table1_text(
     batch_timeout: float | None = None,
     checkpoint: bool = False,
     resume: bool = False,
+    warehouse=None,
 ) -> str:
     """Rendered Table I: measured vs. paper for every column."""
     errors = {
@@ -219,7 +226,7 @@ def table1_text(
         for r in table1_errors(
             samples, ids, workers=workers, cache=cache, progress=progress,
             max_retries=max_retries, batch_timeout=batch_timeout,
-            checkpoint=checkpoint, resume=resume,
+            checkpoint=checkpoint, resume=resume, warehouse=warehouse,
         )
     }
     synthesis = {r["name"]: r for r in table1_synthesis(ids)}
@@ -351,6 +358,7 @@ def fig4_designspace(
     checkpoint: bool = False,
     resume: bool = False,
     with_telemetry: bool = False,
+    warehouse=None,
 ) -> dict:
     """Fig. 4: the four panels' points and Pareto fronts.
 
@@ -363,7 +371,7 @@ def fig4_designspace(
                 source, samples, workers=workers, cache=cache,
                 progress=progress, max_retries=max_retries,
                 batch_timeout=batch_timeout, checkpoint=checkpoint,
-                resume=resume,
+                resume=resume, warehouse=warehouse,
             )
         result["telemetry"] = rec.snapshot
         return result
@@ -377,6 +385,7 @@ def fig4_designspace(
         batch_timeout=batch_timeout,
         checkpoint=checkpoint,
         resume=resume,
+        warehouse=warehouse,
     )
     kept = fig4_points(points)
     fronts = {

@@ -1,0 +1,56 @@
+"""Experiment warehouse: provenance-complete store of every recorded run.
+
+A SQLite database (by default ``<cache-dir>/warehouse/warehouse.db``)
+recording each characterization, design-space sweep, conformance
+campaign and formal-certificate run together with its provenance —
+registry fingerprints, engine/kernel versions, seed, git revision,
+wall clock and telemetry counters.  Sitting above the per-entry metrics
+cache, it answers two questions the cache cannot: *how did this design's
+error trend across runs* (``repro report``) and *which designs actually
+changed since last time* (incremental recompute in
+:func:`repro.analysis.montecarlo.characterize_many`,
+:func:`repro.analysis.designspace.sweep` and
+:func:`repro.experiments.table1_errors`).
+
+Opt-in resolution (mirrors the metrics cache): pass ``warehouse=True`` /
+a path, or set :data:`REPRO_WAREHOUSE_DIR <WAREHOUSE_ENV>`; the default
+``None`` enables the store only when that variable is set, so existing
+cache-only workflows are untouched.
+"""
+
+from .provenance import Provenance, capture, git_rev
+from .report import build_trends, render_json, render_text
+from .schema import SCHEMA_VERSION, SchemaError, create_schema, migrate
+from .store import (
+    DB_NAME,
+    WAREHOUSE_ENV,
+    ResultRow,
+    RunRow,
+    Warehouse,
+    WarehouseError,
+    metrics_fields,
+    open_warehouse,
+    resolve_warehouse_path,
+)
+
+__all__ = [
+    "DB_NAME",
+    "Provenance",
+    "ResultRow",
+    "RunRow",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "WAREHOUSE_ENV",
+    "Warehouse",
+    "WarehouseError",
+    "build_trends",
+    "capture",
+    "create_schema",
+    "git_rev",
+    "metrics_fields",
+    "migrate",
+    "open_warehouse",
+    "render_json",
+    "render_text",
+    "resolve_warehouse_path",
+]

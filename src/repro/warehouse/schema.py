@@ -1,0 +1,171 @@
+"""Versioned SQLite schema for the experiment warehouse.
+
+The warehouse stores two kinds of rows:
+
+* **runs** — one per recorded campaign (a ``characterize_many`` sweep, a
+  design-space sweep, a conformance campaign, a formal-certificate run),
+  carrying the full provenance: kind, creation time, wall seconds,
+  git revision, engine/kernel schema versions, seed, sample depth and the
+  telemetry counters the run observed;
+* **results** — one per design within a run, keyed by the design's
+  content-addressed *fingerprint* (the :func:`repro.analysis.cache.
+  cache_key` of the exact run payload), holding the payload and the
+  result data as canonical JSON text.  JSON keeps floats bit-exact
+  (``repr`` semantics) and rationals arbitrary-precision, so a row read
+  back compares equal to the recorded object — the property the delta
+  recompute and the Hypothesis roundtrip suite rely on.
+
+Schema history (``meta['schema_version']``):
+
+* **v1** — runs + results, no per-run telemetry counters and no
+  reused-vs-recomputed marker on results;
+* **v2** (current) — adds ``runs.counters`` (JSON telemetry counters)
+  and ``results.reused`` (1 when the row was served from the warehouse
+  instead of recomputed).  The v1→v2 migration is two ``ADD COLUMN``
+  statements with constant defaults: no row is dropped or rewritten.
+
+Migrations run inside one transaction on open; a database written by a
+*newer* schema than this process understands is refused (raising
+:class:`SchemaError`), never silently downgraded.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+__all__ = ["SCHEMA_VERSION", "SchemaError", "create_schema", "migrate"]
+
+#: the schema version this module writes
+SCHEMA_VERSION = 2
+
+#: v1 DDL, kept verbatim so tests can build migration fixtures
+DDL_V1 = (
+    """
+    CREATE TABLE IF NOT EXISTS meta (
+        key   TEXT PRIMARY KEY,
+        value TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS runs (
+        id             INTEGER PRIMARY KEY AUTOINCREMENT,
+        kind           TEXT NOT NULL,
+        created        REAL NOT NULL,
+        wall_seconds   REAL,
+        git_rev        TEXT,
+        engine_version INTEGER,
+        kernel_version INTEGER,
+        seed           INTEGER,
+        samples        INTEGER
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS results (
+        id          INTEGER PRIMARY KEY AUTOINCREMENT,
+        run_id      INTEGER NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
+        design      TEXT NOT NULL,
+        fingerprint TEXT NOT NULL,
+        payload     TEXT NOT NULL,
+        data        TEXT NOT NULL
+    )
+    """,
+    "CREATE INDEX IF NOT EXISTS idx_results_fingerprint"
+    " ON results(fingerprint)",
+    "CREATE INDEX IF NOT EXISTS idx_results_design ON results(design)",
+    "CREATE INDEX IF NOT EXISTS idx_runs_kind ON runs(kind)",
+)
+
+#: per-version upgrade statements; step ``n`` takes a v``n`` database to
+#: v``n+1``.  Additive-only: existing rows survive every step unchanged.
+_UPGRADES: dict[int, tuple[str, ...]] = {
+    1: (
+        "ALTER TABLE runs ADD COLUMN counters TEXT",
+        "ALTER TABLE results ADD COLUMN reused INTEGER NOT NULL DEFAULT 0",
+    ),
+}
+
+
+class SchemaError(Exception):
+    """The database schema cannot be brought to :data:`SCHEMA_VERSION`."""
+
+
+def _transaction(connection: sqlite3.Connection, statements) -> None:
+    """Run ``statements`` as one explicit transaction (any isolation mode)."""
+    fresh = not connection.in_transaction
+    if fresh:
+        connection.execute("BEGIN IMMEDIATE")
+    try:
+        for statement in statements:
+            if isinstance(statement, tuple):
+                connection.execute(*statement)
+            else:
+                connection.execute(statement)
+    except BaseException:
+        if fresh:
+            connection.rollback()
+        raise
+    if fresh:
+        connection.commit()
+
+
+def _read_version(connection: sqlite3.Connection) -> int:
+    """The stored schema version; 0 for a database with no tables yet."""
+    row = connection.execute(
+        "SELECT name FROM sqlite_master WHERE type='table' AND name='meta'"
+    ).fetchone()
+    if row is None:
+        return 0
+    row = connection.execute(
+        "SELECT value FROM meta WHERE key='schema_version'"
+    ).fetchone()
+    if row is None:
+        return 0
+    try:
+        return int(row[0])
+    except (TypeError, ValueError):
+        raise SchemaError(f"unreadable schema_version {row[0]!r}") from None
+
+
+def _set_version(version: int) -> tuple[str, tuple]:
+    return (
+        "INSERT INTO meta (key, value) VALUES ('schema_version', ?) "
+        "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+        (str(version),),
+    )
+
+
+def create_schema(connection: sqlite3.Connection, version: int = SCHEMA_VERSION) -> None:
+    """Create a fresh schema at ``version`` (v1 kept for test fixtures)."""
+    if not 1 <= version <= SCHEMA_VERSION:
+        raise SchemaError(f"cannot create schema version {version}")
+    statements: list = list(DDL_V1)
+    for step in range(1, version):
+        statements.extend(_UPGRADES[step])
+    statements.append(_set_version(version))
+    _transaction(connection, statements)
+
+
+def migrate(connection: sqlite3.Connection) -> int:
+    """Bring the database to :data:`SCHEMA_VERSION`; returns the version
+    found before migrating.
+
+    Fresh databases are created at the current version; older ones are
+    upgraded step by step inside a single transaction (an interrupted
+    migration rolls back wholesale); newer ones raise :class:`SchemaError`.
+    """
+    found = _read_version(connection)
+    if found == 0:
+        create_schema(connection)
+        return found
+    if found > SCHEMA_VERSION:
+        raise SchemaError(
+            f"database schema v{found} is newer than this build "
+            f"(v{SCHEMA_VERSION}); refusing to touch it"
+        )
+    if found < SCHEMA_VERSION:
+        statements: list = []
+        for step in range(found, SCHEMA_VERSION):
+            statements.extend(_UPGRADES[step])
+        statements.append(_set_version(SCHEMA_VERSION))
+        _transaction(connection, statements)
+    return found

@@ -225,3 +225,61 @@ class TestStaleTempSweep:
         assert list(tmp_path.glob("*.json")) == []
         assert not (ckpt_dir / "run.json").exists()
         assert not orphan.exists()
+
+
+class TestClearCacheSubsystems:
+    """clear_cache must empty every store that lives under the cache
+    directory, not just the top-level metrics entries — one regression
+    per subsystem so a future store addition that forgets to register
+    its glob fails here by name."""
+
+    def test_clears_formal_certificates(self, tmp_path):
+        formal = tmp_path / "formal"
+        formal.mkdir()
+        (formal / "cert-a.json").write_text("{}")
+        (formal / "cert-b.json").write_text("{}")
+        assert clear_cache(tmp_path) == 2
+        assert list(formal.glob("*.json")) == []
+
+    def test_clears_conformance_counterexamples(self, tmp_path):
+        conformance = tmp_path / "conformance"
+        conformance.mkdir()
+        (conformance / "campaign.json").write_text("{}")
+        assert clear_cache(tmp_path) == 1
+        assert list(conformance.glob("*.json")) == []
+
+    def test_clears_checkpoints(self, tmp_path):
+        checkpoints = tmp_path / "checkpoints"
+        checkpoints.mkdir()
+        (checkpoints / "sweep.json").write_text("{}")
+        assert clear_cache(tmp_path) == 1
+        assert list(checkpoints.glob("*.json")) == []
+
+    def test_clears_warehouse_database_and_quarantines(self, tmp_path):
+        warehouse = tmp_path / "warehouse"
+        warehouse.mkdir()
+        (warehouse / "warehouse.db").write_text("not a real db")
+        (warehouse / "warehouse.db.corrupt-123").write_text("evidence")
+        assert clear_cache(tmp_path) == 2
+        assert list(warehouse.iterdir()) == []
+
+    def test_clears_every_store_in_one_call(self, tmp_path):
+        (tmp_path / ("a" * 64 + ".json")).write_text("{}")
+        for name in ("checkpoints", "formal", "conformance", "warehouse"):
+            (tmp_path / name).mkdir()
+        (tmp_path / "checkpoints" / "run.json").write_text("{}")
+        (tmp_path / "formal" / "cert.json").write_text("{}")
+        (tmp_path / "conformance" / "campaign.json").write_text("{}")
+        (tmp_path / "warehouse" / "warehouse.db").write_text("x")
+        assert clear_cache(tmp_path) == 5
+        for name in ("checkpoints", "formal", "conformance", "warehouse"):
+            assert list((tmp_path / name).iterdir()) == []
+
+    def test_sweeps_stale_temps_in_subdirectories(self, tmp_path):
+        formal = tmp_path / "formal"
+        formal.mkdir()
+        orphan = formal / "cert.tmp42"
+        orphan.write_text("x")
+        _backdate(orphan, STALE_TEMP_SECONDS + 60)
+        assert clear_cache(tmp_path) == 0  # temps are swept, not counted
+        assert not orphan.exists()

@@ -324,3 +324,74 @@ class TestArgumentValidation:
         code = main(["client", "--port", str(port), "ping"])
         assert code == 1
         assert "cannot reach" in capsys.readouterr().err
+
+
+class TestWarehouseReport:
+    """`repro report` with no design renders warehouse trends; with a
+    design id it stays the synthesis report it always was."""
+
+    def _populate(self, capsys, tmp_path):
+        code, _ = run_cli(
+            capsys, "characterize", "calm", "--quick", "--no-cache",
+            "--warehouse", str(tmp_path),
+        )
+        assert code == 0
+
+    def test_trend_text_report(self, capsys, tmp_path):
+        self._populate(capsys, tmp_path)
+        code, out = run_cli(capsys, "report", "--warehouse", str(tmp_path))
+        assert code == 0
+        assert "cALM" in out  # the registry display name, not the CLI id
+        assert "characterize" in out
+
+    def test_trend_json_is_byte_stable(self, capsys, tmp_path):
+        import json
+
+        self._populate(capsys, tmp_path)
+        code, first = run_cli(
+            capsys, "report", "--json", "--warehouse", str(tmp_path)
+        )
+        assert code == 0
+        _, second = run_cli(
+            capsys, "report", "--json", "--warehouse", str(tmp_path)
+        )
+        assert first == second
+        trends = json.loads(first)
+        assert "cALM" in trends["designs"]
+        assert trends["runs"][0]["kind"] == "characterize"
+
+    def test_kind_filter_and_limit(self, capsys, tmp_path):
+        self._populate(capsys, tmp_path)
+        code, out = run_cli(
+            capsys, "report", "--json", "--kind", "sweep",
+            "--limit", "1", "--warehouse", str(tmp_path),
+        )
+        import json
+
+        assert code == 0
+        assert json.loads(out)["runs"] == []
+
+    def test_unusable_warehouse_is_a_clean_failure(self, capsys, tmp_path):
+        import sqlite3
+
+        connection = sqlite3.connect(tmp_path / "warehouse.db")
+        connection.execute("CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT)")
+        connection.execute("INSERT INTO meta VALUES ('schema_version', '99')")
+        connection.commit()
+        connection.close()
+        code = main(["report", "--warehouse", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "no experiment warehouse available" in captured.err
+
+    def test_warehouse_flags_are_mutually_exclusive(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as info:
+            run_cli(
+                capsys, "report", "--warehouse", str(tmp_path), "--no-warehouse"
+            )
+        assert info.value.code == 2
+
+    def test_design_argument_still_means_synthesis_report(self, capsys):
+        code, out = run_cli(capsys, "report", "calm")
+        assert code == 0
+        assert "critical path" in out

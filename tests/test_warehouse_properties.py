@@ -1,0 +1,247 @@
+"""Property-based warehouse guarantees (Hypothesis).
+
+Three invariants the warehouse promises, checked over generated data
+rather than hand-picked examples:
+
+* a SQLite roundtrip preserves every field exactly — floats keep their
+  ``repr`` semantics, certificate rationals keep arbitrary precision;
+* the JSON trend export is byte-stable: exporting the same store twice
+  yields identical bytes;
+* migrating a populated v1 database to v2 loses no rows.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cache import cache_key
+from repro.analysis.metrics import ErrorMetrics
+from repro.warehouse import (
+    Provenance,
+    Warehouse,
+    build_trends,
+    create_schema,
+    metrics_fields,
+    migrate,
+    render_json,
+)
+
+PROVENANCE = Provenance(git_rev="0" * 40, engine_version=2, kernel_version=1)
+
+# JSON keeps float repr semantics but NaN breaks equality, so exclude it;
+# infinities survive Python's encoder and compare equal, keep them in.
+finite_or_inf = st.floats(allow_nan=False)
+
+metrics_strategy = st.builds(
+    ErrorMetrics,
+    bias=finite_or_inf,
+    mean_error=finite_or_inf,
+    peak_min=finite_or_inf,
+    peak_max=finite_or_inf,
+    variance=finite_or_inf,
+    rms=finite_or_inf,
+    nmed=finite_or_inf,
+    samples=st.integers(min_value=0, max_value=1 << 62),
+    peak_certified=st.one_of(
+        st.none(), st.tuples(finite_or_inf, finite_or_inf)
+    ),
+)
+
+# exact rationals as stored by formal certificates: arbitrary-precision
+# numerator/denominator pairs far beyond float range
+bigint = st.integers(min_value=-(1 << 256), max_value=1 << 256)
+
+json_scalar = st.one_of(
+    st.none(),
+    st.booleans(),
+    bigint,
+    finite_or_inf,
+    st.text(max_size=32),
+)
+
+json_value = st.recursive(
+    json_scalar,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=16), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+run_slack = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@run_slack
+@given(metrics=metrics_strategy, seed=st.integers(0, 1 << 31))
+def test_metrics_roundtrip_exact(tmp_path, metrics, seed):
+    """Every ErrorMetrics field survives storage bit-for-bit."""
+    wh = Warehouse(tmp_path / f"roundtrip-{seed}.db")
+    payload = {"kind": "uniform", "design": "calm", "seed": seed}
+    try:
+        wh.record_run(
+            "characterize",
+            [("calm", payload, metrics_fields(metrics), False)],
+            seed=seed,
+            provenance=PROVENANCE,
+            created=1754600000.0,
+        )
+        loaded = wh.latest_metrics(cache_key(payload))
+    finally:
+        wh.close()
+    assert loaded == metrics
+    assert type(loaded.samples) is int
+    if metrics.peak_certified is not None:
+        assert loaded.peak_certified == tuple(metrics.peak_certified)
+
+
+@run_slack
+@given(
+    numerator=bigint,
+    denominator=st.integers(min_value=1, max_value=1 << 256),
+    extra=json_value,
+)
+def test_certificate_rationals_roundtrip_exact(
+    tmp_path, numerator, denominator, extra
+):
+    """Exact-rational certificate tuples keep arbitrary precision."""
+    wh = Warehouse(tmp_path / "formal.db")
+    payload = {"kind": "formal", "design": "realm-8-m4-q4"}
+    data = {"worst": [numerator, denominator], "context": extra}
+    try:
+        wh.record_run(
+            "formal",
+            [("realm-8-m4-q4", payload, data, False)],
+            provenance=PROVENANCE,
+            created=1754600000.0,
+        )
+        row = wh.latest(cache_key(payload))
+    finally:
+        wh.close()
+    assert row.data["worst"] == [numerator, denominator]
+    assert type(row.data["worst"][0]) is int  # never collapsed to float
+    assert row.data["context"] == extra
+
+
+@run_slack
+@given(
+    runs=st.lists(
+        st.tuples(st.sampled_from(["calm", "mbm-t0", "realm4-t0"]), metrics_strategy),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_json_export_is_byte_stable(tmp_path, runs):
+    """Exporting the same store twice yields identical bytes."""
+    wh = Warehouse(tmp_path / "export.db")
+    try:
+        for index, (design, metrics) in enumerate(runs):
+            payload = {"kind": "uniform", "design": design, "seed": index}
+            wh.record_run(
+                "characterize",
+                [(design, payload, metrics_fields(metrics), False)],
+                seed=index,
+                provenance=PROVENANCE,
+                created=1754600000.0 + index,
+            )
+        first = render_json(build_trends(wh))
+        second = render_json(build_trends(wh))
+        raw_one = json.dumps(wh.export(), sort_keys=True)
+        raw_two = json.dumps(wh.export(), sort_keys=True)
+    finally:
+        wh.close()
+    assert first.encode() == second.encode()
+    assert raw_one == raw_two
+
+
+_LEGACY_DB = iter(range(1 << 30))
+
+
+@run_slack
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.sampled_from(["calm", "mbm-t0", "realm4-t0", "realm8-t2"]),
+            json_value,
+        ),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_v1_to_v2_migration_loses_no_rows(tmp_path, rows):
+    """Upgrading a populated v1 database preserves every row exactly."""
+    # tmp_path is shared across examples: a fresh file per example keeps
+    # each migration starting from a genuine v1 database
+    path = tmp_path / f"legacy-{next(_LEGACY_DB)}.db"
+    connection = sqlite3.connect(path)
+    try:
+        create_schema(connection, version=1)
+        for index, (design, data) in enumerate(rows):
+            payload = {"design": design, "n": index}
+            cursor = connection.execute(
+                "INSERT INTO runs (kind, created, wall_seconds, git_rev,"
+                " engine_version, kernel_version, seed, samples)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                ("characterize", 1754600000.0 + index, None,
+                 PROVENANCE.git_rev, 2, 1, index, None),
+            )
+            connection.execute(
+                "INSERT INTO results (run_id, design, fingerprint, payload,"
+                " data) VALUES (?, ?, ?, ?, ?)",
+                (
+                    cursor.lastrowid,
+                    design,
+                    cache_key(payload),
+                    json.dumps(payload, sort_keys=True, separators=(",", ":")),
+                    json.dumps(data, sort_keys=True, separators=(",", ":")),
+                ),
+            )
+        connection.commit()
+    finally:
+        connection.close()
+
+    wh = Warehouse(path)
+    try:
+        assert wh.schema_version == 2
+        recorded_runs = wh.runs()
+        recorded_results = wh.results()
+    finally:
+        wh.close()
+    assert len(recorded_runs) == len(rows)
+    assert len(recorded_results) == len(rows)
+    for (design, data), result in zip(rows, recorded_results):
+        assert result.design == design
+        assert result.data == data
+        assert result.reused is False  # backfilled default
+    for run in recorded_runs:
+        assert run.counters == {}  # backfilled default
+
+
+@run_slack
+@given(version=st.integers(min_value=-5, max_value=50))
+def test_unknown_schema_versions_are_refused(tmp_path, version):
+    """create_schema only builds versions this build understands."""
+    from repro.warehouse import SCHEMA_VERSION, SchemaError
+
+    connection = sqlite3.connect(":memory:")
+    try:
+        if 1 <= version <= SCHEMA_VERSION:
+            create_schema(connection, version=version)
+            # migrate reports the version it found, then upgrades in place
+            assert migrate(connection) == version
+        else:
+            with pytest.raises(SchemaError):
+                create_schema(connection, version=version)
+    finally:
+        connection.close()
