@@ -13,11 +13,13 @@ from collections.abc import Callable
 
 from ..logic.netlist import Netlist
 from .am_rtl import am_netlist
+from .dnnco_rtl import dnnco_netlist
 from .drum_rtl import drum_netlist
 from .implm_rtl import implm_netlist
 from .intalp_rtl import intalp_netlist
 from .mitchell_rtl import alm_netlist, mitchell_netlist
 from .realm_rtl import mbm_netlist, realm_netlist
+from .scaletrim_rtl import scaletrim_netlist
 from .ssm_rtl import essm_netlist, ssm_netlist
 from .wallace import wallace_netlist
 
@@ -52,6 +54,14 @@ def _build_catalog() -> dict[str, NetlistFactory]:
     for m in (10, 9, 8):
         catalog[f"ssm-m{m}"] = lambda n, m=m: ssm_netlist(n, m=m)
     catalog["essm8"] = lambda n: essm_netlist(n, m=8)
+    for t, c in ((3, 2), (4, 0), (4, 2), (6, 3)):
+        catalog[f"scaletrim-t{t}-c{c}"] = (
+            lambda n, t=t, c=c: scaletrim_netlist(n, t=t, c=c)
+        )
+    for level in (4, 6, 8):
+        catalog[f"dnnco-l{level}"] = lambda n, level=level: dnnco_netlist(
+            n, l=level
+        )
     return catalog
 
 

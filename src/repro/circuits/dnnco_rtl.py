@@ -1,0 +1,46 @@
+"""Structural DNN co-optimized multiplier (arXiv 2210.03916).
+
+An ``N x N`` AND-grid array whose low ``l`` result columns use a single
+OR gate in place of the exact column compressors — the cheapest possible
+compressor, wrong only when a column holds two or more set partial
+products.  Columns at and above ``l`` keep the Wallace carry-save
+reduction and the final ripple adder of the accurate reference, so the
+area saving scales with ``l`` while the high product bits stay exact.
+
+Bit-exact against :class:`repro.multipliers.dnnco.DnnCoMultiplier`
+(enforced by ``tests/test_rtl_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from ..logic.netlist import Netlist
+from .lod import or_tree
+from .wallace import partial_products, reduce_columns
+from .adders import ripple_adder
+
+__all__ = ["dnnco_netlist"]
+
+
+def dnnco_netlist(bitwidth: int = 16, l: int = 6) -> Netlist:
+    """DNN co-opt multiplier with ``l`` OR-approximated low columns."""
+    if not 1 <= l <= bitwidth:
+        raise ValueError(
+            f"approximated column count l must be in [1, {bitwidth}], got {l}"
+        )
+
+    nl = Netlist(f"dnnco{bitwidth}-l{l}")
+    a = nl.input_bus("a", bitwidth)
+    b = nl.input_bus("b", bitwidth)
+    columns = partial_products(nl, a, b)
+
+    # the approximate low columns produce their result bit directly and
+    # feed no carries upward — the OR replaces the whole compressor tree
+    low = [or_tree(nl, columns[j]) for j in range(l)]
+
+    row_a, row_b = reduce_columns(nl, columns[l:])
+    total, carry = ripple_adder(nl, row_a, row_b)
+    high = (total + [carry])[: 2 * bitwidth - l]
+
+    nl.set_outputs(low + high)
+    nl.prune()
+    return nl

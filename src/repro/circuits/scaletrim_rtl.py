@@ -1,0 +1,86 @@
+"""Structural scaleTRIM datapath (arXiv 2303.02495).
+
+The hardware mirrors the functional model block for block:
+
+* two LOD + priority-encoder + normalizing-shifter front ends (shared
+  with every log design, :func:`~repro.circuits.logdatapath.log_front_end`);
+* pure-rewiring fraction scaling — only the top ``t`` fraction bits ever
+  exist downstream, which is where scaleTRIM's area saving comes from;
+* a ``t``-bit fraction adder whose carry selects the linearization
+  overflow term (the gated sum re-entering one weight up);
+* the ``2^c x 2^c`` hardwired compensation LUT addressed by the top
+  ``c`` bits of each scaled fraction (a constant mux tree, like REALM's
+  factor LUT);
+* mantissa assembly on the ``2^-2t`` grid, exponent adder, output
+  scaling shifter and zero gating.
+
+Bit-exact against :class:`repro.multipliers.scaletrim.ScaleTrimMultiplier`
+(enforced by ``tests/test_rtl_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from ..logic.netlist import CONST0, Netlist
+from ..multipliers.scaletrim import compensation_lut
+from .adders import ripple_adder
+from .logdatapath import gate_output, log_front_end, mantissa_with_lead
+from .mux import constant_lut
+from .shifter import scaling_shifter
+
+__all__ = ["scaletrim_netlist"]
+
+Net = int
+Bus = list[Net]
+
+
+def scaletrim_netlist(bitwidth: int = 16, t: int = 4, c: int = 2) -> Netlist:
+    """scaleTRIM with ``t`` scaled-fraction bits, ``c`` LUT index bits."""
+    if not 1 <= t <= bitwidth - 1:
+        raise ValueError(
+            f"truncated fraction width t must be in [1, {bitwidth - 1}], got {t}"
+        )
+    if not 0 <= c <= t:
+        raise ValueError(f"compensation bits c must be in [0, t={t}], got {c}")
+
+    nl = Netlist(f"scaletrim{bitwidth}-t{t}-c{c}")
+    a = nl.input_bus("a", bitwidth)
+    b = nl.input_bus("b", bitwidth)
+    op_a = log_front_end(nl, a)
+    op_b = log_front_end(nl, b)
+
+    # scaled fractions: the top t bits of the left-aligned fraction
+    # (truncation for k >= t, exact scaling below — one rewiring)
+    xs_a = op_a.fraction[bitwidth - 1 - t :]
+    xs_b = op_b.fraction[bitwidth - 1 - t :]
+
+    # S = xs_a + xs_b; the carry says S >= 2^t, so the linearization
+    # term max(0, S - 2^t) is the carry-gated sum
+    fraction_sum, c_of = ripple_adder(nl, xs_a, xs_b)
+    overflow = [nl.add("AND2", bit, c_of) for bit in fraction_sum]
+
+    # mantissa head 2^t + S as [sum, NOT carry, carry], plus the gated
+    # overflow term: value (2^t + S + max(0, S - 2^t)) on the 2^-t grid
+    head = mantissa_with_lead(nl, fraction_sum, c_of)
+    high, high_carry = ripple_adder(nl, head, overflow)
+    high.append(high_carry)
+
+    # compensation LUT on the 2^-2t grid, indexed by the top c bits of
+    # each scaled fraction (select value = ia * 2^c + ib, row-major)
+    mantissa = [CONST0] * t + high
+    lut_values = [int(v) for v in compensation_lut(t, c)]
+    code_width = max(v for v in lut_values).bit_length()
+    if code_width:
+        select = xs_b[t - c :] + xs_a[t - c :]
+        code = constant_lut(nl, lut_values, code_width, select)
+        mantissa, comp_carry = ripple_adder(nl, mantissa, code)
+        mantissa.append(comp_carry)
+
+    exponent_base, exp_carry = ripple_adder(
+        nl, op_a.characteristic, op_b.characteristic
+    )
+    exponent = exponent_base + [exp_carry]
+
+    product = scaling_shifter(nl, mantissa, exponent, 2 * t, 2 * bitwidth + 1)
+    nl.set_outputs(gate_output(nl, product, op_a.nonzero, op_b.nonzero))
+    nl.prune()
+    return nl

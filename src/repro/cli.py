@@ -413,6 +413,13 @@ def cmd_nn(args) -> int:
     return 0
 
 
+def cmd_cnn(args) -> int:
+    from .experiments import cnn_text
+
+    print(cnn_text(args.designs or None, warehouse=_warehouse_option(args)))
+    return 0
+
+
 def cmd_fir(args) -> int:
     from .dsp import fir_filter, lowpass_taps, multitone_signal, output_snr_db, quantize_q15
     from .experiments import format_table
@@ -1013,7 +1020,8 @@ def make_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--kind", default=None,
-        choices=("characterize", "sweep", "table1", "conformance", "formal"),
+        choices=("characterize", "sweep", "table1", "conformance", "formal",
+                 "cnn"),
         help="only runs of this kind",
     )
     p.add_argument(
@@ -1030,6 +1038,13 @@ def make_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("nn", help="quantized-MLP accuracy per multiplier")
     p.add_argument("designs", nargs="*")
     p.set_defaults(func=cmd_nn)
+
+    p = sub.add_parser(
+        "cnn", help="fixed-point CNN accuracy-vs-area study (full registry)"
+    )
+    p.add_argument("designs", nargs="*")
+    _warehouse_flags(p)
+    p.set_defaults(func=cmd_cnn)
 
     p = sub.add_parser("fir", help="FIR filtering SNR per multiplier")
     p.add_argument("designs", nargs="*")

@@ -64,28 +64,33 @@ __all__ = [
 LAYERS = ("model", "rtl", "kernel", "serve", "formal", "exact")
 
 #: metamorphic relations checked on the model layer
-RELATIONS = ("commute", "pow2-shift", "underestimate")
+RELATIONS = ("commute", "pow2-shift", "underestimate", "comp-monotone")
 
 # family lists for the relations/exactness guarantees.  COMMUTE and the
 # exactness families mirror tests/test_multiplier_properties.py; the
 # POW2_SHIFT list is pinned by an exhaustive 8-bit + randomized 16-bit
 # sweep (DRUM/SSM/AM fail it: their truncation windows move with the
-# leading one or the array structure, not with a final barrel shift).
+# leading one or the array structure, not with a final barrel shift;
+# DNNCO fails it too — its OR window is anchored at the LSB).
 COMMUTE_FAMILIES = frozenset(
-    {"Accurate", "ALM-SOA", "ALM-LOA", "cALM", "DRUM", "ESSM", "ImpLM",
-     "IntALP", "MBM", "REALM", "SSM"}
+    {"Accurate", "ALM-SOA", "ALM-LOA", "cALM", "DNNCO", "DRUM", "ESSM",
+     "ImpLM", "IntALP", "MBM", "REALM", "scaleTRIM", "SSM"}
 )
 POW2_SHIFT_FAMILIES = frozenset(
     {"Accurate", "ALM-MAA", "ALM-SOA", "ALM-LOA", "cALM", "ImpLM",
-     "IntALP", "MBM", "REALM"}
+     "IntALP", "MBM", "REALM", "scaleTRIM"}
 )
 UNDERESTIMATE_FAMILIES = frozenset(
-    {"Accurate", "AM1", "AM2", "cALM", "ESSM", "SSM"}
+    {"Accurate", "AM1", "AM2", "cALM", "DNNCO", "ESSM", "scaleTRIM", "SSM"}
 )
 POW2_EXACT_FAMILIES = frozenset(
-    {"Accurate", "ALM-MAA", "AM1", "AM2", "cALM", "ESSM", "ImpLM",
-     "IntALP", "SSM"}
+    {"Accurate", "ALM-MAA", "AM1", "AM2", "cALM", "DNNCO", "ESSM", "ImpLM",
+     "IntALP", "scaleTRIM", "SSM"}
 )
+#: families with a compensation knob whose safe lower-bound LUT must never
+#: move the product past the exact value: the compensated result dominates
+#: the uncompensated one pointwise (and ``underestimate`` bounds it above)
+COMP_MONOTONE_FAMILIES = frozenset({"scaleTRIM"})
 
 #: ad-hoc REALM design spec: realm-<bitwidth>-m<M>-q<Q>[-t<T>]
 _REALM_SPEC = re.compile(r"^realm-(\d+)-m(\d+)-q(\d+)(?:-t(\d+))?$")
@@ -233,9 +238,11 @@ class DifferentialOracle:
                 ("commute", COMMUTE_FAMILIES),
                 ("pow2-shift", POW2_SHIFT_FAMILIES),
                 ("underestimate", UNDERESTIMATE_FAMILIES),
+                ("comp-monotone", COMP_MONOTONE_FAMILIES),
             )
             if family in families
         )
+        self._uncompensated = None
         self._broken_by_chaos: bool | None = None
 
     # -- layer evaluation ------------------------------------------------
@@ -378,6 +385,20 @@ class DifferentialOracle:
             elif name == "underestimate":
                 exact = a * b
                 yield name, np.maximum(reference, exact), exact, np.ones(
+                    a.shape, dtype=bool
+                )
+            elif name == "comp-monotone":
+                # compensation only ever moves the product toward the
+                # exact value: the c=0 sibling never exceeds the model
+                # (underestimate bounds the other side)
+                if self._uncompensated is None:
+                    from ..multipliers.scaletrim import ScaleTrimMultiplier
+
+                    self._uncompensated = ScaleTrimMultiplier(
+                        self.bitwidth, t=self.model.t, c=0
+                    )
+                plain = self._uncompensated.multiply(a, b)
+                yield name, np.maximum(plain, reference), reference, np.ones(
                     a.shape, dtype=bool
                 )
 

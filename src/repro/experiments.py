@@ -33,6 +33,8 @@ __all__ = [
     "DEFAULT_SAMPLES",
     "FIG1_DESIGNS",
     "FIG5_CONFIGS",
+    "cnn_study",
+    "cnn_text",
     "table1_errors",
     "table1_synthesis",
     "table2_jpeg",
@@ -404,3 +406,172 @@ def fig5_histograms(
         error_histogram(RealmMultiplier(m=m, t=t), samples=samples)
         for m, t in configs
     ]
+
+
+# ----------------------------------------------------------------------
+# CNN accuracy-vs-area study (application extension)
+# ----------------------------------------------------------------------
+
+
+def _pareto_accuracy_area(rows: list[dict]) -> None:
+    """Mark the accuracy/area Pareto front in-place (``row["pareto"]``).
+
+    A design is on the front when no other design offers at least its
+    accuracy AND at least its area reduction with one of the two strict.
+    """
+    for row in rows:
+        dominated = any(
+            other is not row
+            and other["accuracy"] >= row["accuracy"]
+            and other["area_reduction"] >= row["area_reduction"]
+            and (
+                other["accuracy"] > row["accuracy"]
+                or other["area_reduction"] > row["area_reduction"]
+            )
+            for other in rows
+        )
+        row["pareto"] = not dominated
+
+
+def cnn_study(
+    ids: Sequence[str] | None = None,
+    seed: int = 2020,
+    *,
+    warehouse=None,
+) -> list[dict]:
+    """Accuracy-vs-area of the fixed-point CNN across the registry.
+
+    Every design runs the quantized conv+pool+FC glyph classifier (see
+    :mod:`repro.nn.cnn`); the area/power columns come from the calibrated
+    synthesis cost model, so the rows plot directly as an accuracy-vs-area
+    Pareto study.  ``warehouse`` opts into the experiment warehouse: rows
+    whose content-addressed payload (design fingerprint + dataset seed)
+    is already stored are reused, and the campaign is recorded as one
+    ``cnn`` run — which is what feeds the ``repro report`` accuracy
+    trajectories.
+    """
+    import time as _time
+
+    from .analysis.cache import cache_key
+    from .multipliers.registry import fingerprint
+    from .nn import (
+        cnn_logit_distortion,
+        evaluate_cnn_multipliers,
+        float_cnn_accuracy,
+        trained_cnn_setup,
+    )
+    from .synth.cost import reductions
+
+    if ids is None:
+        from .multipliers.registry import REGISTRY
+
+        ids = [name for name in sorted(REGISTRY) if _buildable(name)]
+    else:
+        ids = list(ids)
+
+    data, params = trained_cnn_setup(seed)
+    reference = float_cnn_accuracy(data, params)
+
+    wh = None
+    if warehouse is not False:
+        from .warehouse.store import open_warehouse
+
+        wh = open_warehouse(warehouse)
+
+    start = _time.perf_counter()
+    payloads = {
+        name: {
+            "experiment": "cnn-study",
+            "design": fingerprint(build(name)),
+            "dataset_seed": seed,
+            "test_samples": int(len(data.test_y)),
+        }
+        for name in ids
+    }
+    reused: dict[str, dict] = {}
+    if wh is not None:
+        for name in ids:
+            row = wh.latest(cache_key(payloads[name]))
+            if row is not None and isinstance(row.data, dict):
+                reused[name] = row.data
+    fresh_ids = [name for name in ids if name not in reused]
+    accuracy = evaluate_cnn_multipliers(fresh_ids, seed)
+    distortion = cnn_logit_distortion(fresh_ids, seed)
+
+    rows = []
+    for name in ids:
+        if name in reused:
+            data_row = dict(reused[name])
+        else:
+            area_reduction, power_reduction = reductions(name)
+            data_row = {
+                "accuracy": accuracy[name],
+                "accuracy_drop": reference - accuracy[name],
+                "logit_distortion": distortion[name],
+                "area_reduction": area_reduction,
+                "power_reduction": power_reduction,
+                "float_reference": reference,
+            }
+        rows.append({"name": name, "display": build(name).name, **data_row})
+    _pareto_accuracy_area(rows)
+
+    if wh is not None:
+        from .warehouse.store import WarehouseError
+
+        results = [
+            (
+                name,
+                payloads[name],
+                {k: row[k] for k in row if k not in ("name", "display")},
+                name in reused,
+            )
+            for name, row in zip(ids, rows)
+        ]
+        try:
+            wh.record_run(
+                "cnn",
+                results,
+                seed=seed,
+                samples=int(len(data.test_y)),
+                wall_seconds=_time.perf_counter() - start,
+            )
+        except WarehouseError:
+            pass  # provenance must never take the study down with it
+        finally:
+            wh.close()
+    return rows
+
+
+def _buildable(name: str, bitwidth: int = 16) -> bool:
+    try:
+        build(name, bitwidth)
+    except ValueError:
+        return False
+    return True
+
+
+def cnn_text(ids: Sequence[str] | None = None, *, warehouse=None) -> str:
+    """Rendered CNN accuracy-vs-area table, Pareto designs starred."""
+    rows = cnn_study(ids, warehouse=warehouse)
+    headers = ["design", "accuracy", "drop", "logitD%", "areaR%", "powR%"]
+    table_rows = [
+        [
+            row["display"] + (" *" if row["pareto"] else ""),
+            _fmt(row["accuracy"], 3, 8),
+            _fmt(row["accuracy_drop"], 3, 7),
+            _fmt(row["logit_distortion"], 2, 7),
+            _fmt(row["area_reduction"], 1, 6),
+            _fmt(row["power_reduction"], 1, 6),
+        ]
+        for row in sorted(rows, key=lambda r: -r["area_reduction"])
+    ]
+    if rows:
+        reference = rows[0]["float_reference"]
+        header_line = f"float CNN reference accuracy: {reference:.3f}\n"
+    else:
+        header_line = ""
+    return (
+        header_line
+        + format_table(headers, table_rows)
+        + "\n* accuracy/area Pareto front"
+    )

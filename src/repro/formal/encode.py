@@ -58,8 +58,8 @@ __all__ = [
 
 #: families with a direct symbolic model encoder (any bitwidth)
 SYMBOLIC_FAMILIES = frozenset(
-    {"Accurate", "ALM-LOA", "ALM-MAA", "ALM-SOA", "cALM", "DRUM", "ESSM",
-     "MBM", "REALM", "SSM"}
+    {"Accurate", "ALM-LOA", "ALM-MAA", "ALM-SOA", "cALM", "DNNCO", "DRUM",
+     "ESSM", "MBM", "REALM", "scaleTRIM", "SSM"}
 )
 
 
@@ -399,6 +399,93 @@ def _encode_segment(design: str, n: int, offsets_above: list[tuple[int, int]]) -
     return Encoding(design, n, "model", "symbolic", builder, a, b, product)
 
 
+def _sub(builder: Builder, xs: list[Node], ys: list[Node]) -> list[Node]:
+    """``xs - ys`` in two's complement over ``len(xs)`` bits.
+
+    Callers guarantee ``xs >= ys`` (the encoders only subtract
+    non-negative deficits from values they bound), so the dropped
+    borrow is provably one.
+    """
+    from .bitvec import bus_zero_extend
+
+    width = len(xs)
+    ys = bus_zero_extend(builder, ys, width)
+    inverted = [builder.not_(y) for y in ys]
+    return add(builder, xs, inverted, cin=builder.true)[:width]
+
+
+def _encode_scaletrim(
+    design: str, n: int, t: int, c: int, lut: np.ndarray
+) -> Encoding:
+    """scaleTRIM: scaled-fraction linearized product + compensation LUT.
+
+    Mirrors the NumPy model: the scaled fraction is the top ``t`` bits
+    of the left-aligned log fraction, the fraction-sum carry gates the
+    linearization overflow term, and the compensation constants sit
+    behind a ``2c``-bit hardwired select — the same mantissa
+    ``2^2t + (S << t) + carry * (S mod 2^t) * 2^t + LB`` on the
+    ``2^-2t`` grid, scaled out by a ``ka + kb`` barrel shift.
+    """
+    builder = Builder()
+    a = builder.input_bus("a", n)
+    b = builder.input_bus("b", n)
+    ka, xa, nza = _log_front(builder, a)
+    kb, xb, nzb = _log_front(builder, b)
+    xs_a = xa[n - 1 - t :]
+    xs_b = xb[n - 1 - t :]
+
+    fsum = add(builder, xs_a, xs_b)  # t + 1 bits: S = xs_a + xs_b
+    carry = fsum[t]
+    overflow = [builder.and_(fsum[i], carry) for i in range(t)]
+    head = add(builder, fsum, overflow)  # S + max(0, S - 2^t)
+    head = add(builder, head, [builder.false] * t + [builder.true])  # + 2^t
+
+    mantissa = [builder.false] * t + head[: t + 2]
+    lb_width = max(int(v) for v in lut).bit_length()
+    if lb_width:
+        select = xs_b[t - c :] + xs_a[t - c :]
+        comp = const_select(builder, select, [int(v) for v in lut], lb_width)
+        mantissa = add(builder, mantissa, comp)
+
+    shift = add(builder, ka, kb)  # <= 2 (n - 1), never negative
+    shifted = shift_left_var(builder, mantissa, shift, 2 * (n - 1))
+    product = shifted[2 * t : 2 * t + 2 * n + 1]
+    product = _mask_zero(builder, product, builder.and_(nza, nzb))
+    return Encoding(design, n, "model", "symbolic", builder, a, b, product)
+
+
+def _encode_dnnco(design: str, n: int, l: int) -> Encoding:
+    """DNNCO: exact product minus the OR-column deficits.
+
+    The deficit ``sum_{j<l} 2^j (colsum_j - or_j)`` is assembled from
+    the low-triangle partial products directly (column bit counts as a
+    weighted accumulation, column ORs as a bus), then subtracted from
+    the exact shift-add product — exactly the model's arithmetic, and
+    naturally zero-safe (a zero operand zeroes every term).
+    """
+    builder = Builder()
+    a = builder.input_bus("a", n)
+    b = builder.input_bus("b", n)
+    full = mul(builder, a, b)
+
+    deficit_width = l + 4  # sum_j (j+1) 2^j < l * 2^l <= 2^(l+3)
+    colsum = [builder.false] * deficit_width
+    orsum: list[Node] = []
+    for j in range(min(l, 2 * n - 1)):
+        pps = [
+            builder.and_(a[i], b[j - i])
+            for i in range(max(0, j - n + 1), min(j + 1, n))
+        ]
+        orsum.append(builder.or_many(pps))
+        for pp in pps:
+            colsum = add(builder, colsum, [builder.false] * j + [pp])[
+                :deficit_width
+            ]
+    deficit = _sub(builder, colsum, orsum)
+    product = _sub(builder, full, deficit)
+    return Encoding(design, n, "model", "symbolic", builder, a, b, product)
+
+
 def _encode_accurate(design: str, n: int) -> Encoding:
     builder = Builder()
     a = builder.input_bus("a", n)
@@ -514,6 +601,10 @@ def encode_model(model, design: str = "?") -> Encoding:
             return _encode_segment(
                 design, n, [(model.m + mid, high), (model.m, mid)]
             )
+        if family == "scaleTRIM":
+            return _encode_scaletrim(design, n, model.t, model.c, model.lut)
+        if family == "DNNCO":
+            return _encode_dnnco(design, n, model.l)
         if family == "Accurate":
             return _encode_accurate(design, n)
         from ..kernels.tables import FULL_TABLE_MAX_BITWIDTH, build_full_table

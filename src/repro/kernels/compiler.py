@@ -29,11 +29,13 @@ from ..core.realm import RealmMultiplier
 from ..multipliers.alm import ApproxAdderLogMultiplier
 from ..multipliers.accurate import AccurateMultiplier
 from ..multipliers.base import Multiplier
+from ..multipliers.dnnco import DnnCoMultiplier
 from ..multipliers.drum import DrumMultiplier
 from ..multipliers.implm import ImpLmMultiplier
 from ..multipliers.mbm import MbmMultiplier
 from ..multipliers.mitchell import MitchellMultiplier
 from ..multipliers.registry import fingerprint
+from ..multipliers.scaletrim import ScaleTrimMultiplier
 from ..multipliers.ssm import EssmMultiplier, SsmMultiplier
 from . import tables
 
@@ -122,6 +124,8 @@ _SPECIALIZERS: tuple[tuple[type, Callable], ...] = (
     (DrumMultiplier, tables.compile_drum),
     (SsmMultiplier, tables.compile_segment),
     (EssmMultiplier, tables.compile_segment),
+    (ScaleTrimMultiplier, tables.compile_scaletrim),
+    (DnnCoMultiplier, tables.compile_dnnco),
 )
 
 

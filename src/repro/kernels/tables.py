@@ -39,8 +39,10 @@ __all__ = [
     "compile_full_table",
     "compile_implm",
     "compile_mbm",
+    "compile_dnnco",
     "compile_mitchell",
     "compile_realm",
+    "compile_scaletrim",
     "compile_segment",
 ]
 
@@ -296,6 +298,111 @@ def _compile_realm_unpacked(model):
 
     tables = k.nbytes + xt.nbytes + seg.nbytes + seg_row.nbytes
     return evaluate, "table", tables + s_full.nbytes + s_half.nbytes
+
+
+def compile_scaletrim(model):
+    """scaleTRIM: packed ``(bucket, k, xs)`` operand tables + LB gather.
+
+    Field layout per operand word (mirroring the REALM packing):
+
+    ========================  =======================================
+    bits ``[0, t]``           scaled fraction ``xs`` (+1 headroom bit
+                              so the fraction-sum carry stays inside)
+    bits ``[t+1, +7]``        ``k`` (sums stay under 128)
+    bits ``[t+8, ...]``       bucket — ``ia * 2^c`` on the left table,
+                              ``ib`` on the right
+    ========================  =======================================
+
+    One add sums every field; the bucket field lands directly on the
+    flattened compensation-LUT index ``ia * 2^c + ib``.  The carry out
+    of the fraction field selects the linearization overflow term
+    (``carry`` set means ``S - 2^t`` is exactly ``S``'s low ``t``
+    bits).  Falls back to separate tables if the packed fields would
+    overflow int64 (extreme ``t``/``c`` only).
+    """
+    from ..multipliers.scaletrim import scaled_fraction
+
+    n = model.bitwidth
+    t, c = model.t, model.c
+    lut = np.ascontiguousarray(model.lut, dtype=np.int64)
+    one_2t = np.int64(1) << (2 * t)
+
+    v = _operand_space(n)
+    safe = np.where(v > 0, v, 1)
+    k, _, x, _, _ = log_operands(safe, safe, n)
+    xs = scaled_fraction(x, n, t)
+    bucket = xs >> (t - c)
+    bucket_shift = t + 8
+    fraction_mask = mask(t + 1)
+    low_mask = mask(t)
+    k_mask = np.int64(0x7F)
+
+    if bucket_shift + 2 * c < 63:
+        left = ((bucket << c) << bucket_shift) | (k << (t + 1)) | xs
+        right = (bucket << bucket_shift) | (k << (t + 1)) | xs
+
+        def evaluate(a, b):
+            s = left[a] + right[b]
+            total = s & fraction_mask
+            carry = total >> t
+            mantissa = (
+                one_2t
+                + (total << t)
+                + ((total & low_mask) * carry << t)
+                + lut[s >> bucket_shift]
+            )
+            product = shift_value(mantissa, ((s >> (t + 1)) & k_mask) - 2 * t)
+            return np.where((a > 0) & (b > 0), product, 0)
+
+        return evaluate, "table", left.nbytes + right.nbytes + lut.nbytes
+
+    def evaluate(a, b):  # pragma: no cover - extreme t/c only
+        total = xs[a] + xs[b]
+        carry = total >> t
+        mantissa = (
+            one_2t
+            + (total << t)
+            + ((total & low_mask) * carry << t)
+            + lut[(bucket[a] << c) | bucket[b]]
+        )
+        product = shift_value(mantissa, k[a] + k[b] - 2 * t)
+        return np.where((a > 0) & (b > 0), product, 0)
+
+    tables_bytes = k.nbytes + xs.nbytes + bucket.nbytes + lut.nbytes
+    return evaluate, "table", tables_bytes
+
+
+#: widest OR-approximated column window for which the pair-deficit table
+#: is built (``8 * 4**l`` bytes: 512 KB at l=8, matching the full-table
+#: budget; wider windows fall back to the generic ladder)
+DNNCO_TABLE_MAX_COLUMNS = 8
+
+
+def compile_dnnco(model):
+    """DNNCO: exact product minus a low-bits pair-deficit gather.
+
+    The OR-column deficit depends only on ``(a mod 2^l, b mod 2^l)``, so
+    a ``4**l``-entry table indexed by the concatenated low bits turns
+    the kernel into ``a * b - deficit[...]`` — independent of the
+    operand width.  Beyond ``l = 8`` the table budget is exceeded and
+    the compiler's generic ladder takes over.
+    """
+    from ..multipliers.dnnco import column_deficit
+
+    l = model.l
+    if l > DNNCO_TABLE_MAX_COLUMNS:
+        if model.bitwidth <= FULL_TABLE_MAX_BITWIDTH:
+            return compile_full_table(model)
+        return model._multiply, "interpreted", 0
+
+    low = np.arange(np.int64(1) << l, dtype=np.int64)
+    deficit = column_deficit(np.repeat(low, low.size), np.tile(low, low.size), l)
+    low_mask = mask(l)
+
+    def evaluate(a, b):
+        return a * b - deficit[((a & low_mask) << l) | (b & low_mask)]
+
+    return evaluate, "table", deficit.nbytes
 
 
 def compile_drum(model):

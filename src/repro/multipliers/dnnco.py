@@ -1,0 +1,75 @@
+"""Hardware-driven DNN co-optimization multiplier (arXiv 2210.03916).
+
+The co-design replaces the exact column compressors of the low ``l``
+result columns of an array multiplier with single OR gates — the
+cheapest possible "compressor", wrong only when a column holds two or
+more set partial-product bits.  High columns stay exact, so the error is
+bounded by the weight of the approximated columns and concentrates
+where DNN accumulations tolerate it; the retraining loop of the paper
+then absorbs the residual bias.
+
+With ``p_ij = a_i & b_j`` the partial products, column ``j < l``
+contributes ``OR_i p_i,j-i`` instead of ``sum_i p_i,j-i``, so the model
+is the exact product minus the per-column deficits::
+
+    f(a, b) = a*b - sum_{j<l} 2^j (colsum_j - color_j)
+
+Since ``OR <= sum`` the deficit is non-negative: the family never
+overestimates.  Each column's partial-product multiset is symmetric
+under operand swap, so the datapath commutes.  A power-of-two operand
+leaves at most one set bit per column, where OR and sum agree — exact.
+The deficit depends only on ``(a mod 2^l, b mod 2^l)``, which is what
+the kernel compiler's packed low-bits table exploits.  Unlike the log
+families the approximation window is anchored at the LSB, not the
+leading one, so the ``pow2-shift`` relation does *not* hold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Multiplier
+
+__all__ = ["DnnCoMultiplier", "column_deficit"]
+
+
+def column_deficit(a: np.ndarray, b: np.ndarray, l: int) -> np.ndarray:
+    """``sum_{j<l} 2^j (colsum_j - color_j)`` — what the OR columns lose.
+
+    Depends only on the low ``l`` bits of each operand.  Vectorized; the
+    ``O(l^2)`` bit loop mirrors the partial-product diagonals of the
+    hardware array.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    deficit = np.zeros(np.broadcast(a, b).shape, dtype=np.int64)
+    for j in range(l):
+        colsum = np.zeros_like(deficit)
+        color = np.zeros_like(deficit)
+        for i in range(j + 1):
+            bit = ((a >> i) & 1) & ((b >> (j - i)) & 1)
+            colsum += bit
+            color |= bit
+        deficit += (colsum - color) << j
+    return deficit
+
+
+class DnnCoMultiplier(Multiplier):
+    """Array multiplier with OR-approximated low ``l`` result columns."""
+
+    family = "DNNCO"
+
+    def __init__(self, bitwidth: int = 16, l: int = 6):
+        super().__init__(bitwidth)
+        if not 1 <= l <= bitwidth:
+            raise ValueError(
+                f"approximated column count l must be in [1, {bitwidth}], got {l}"
+            )
+        self.l = l
+
+    @property
+    def name(self) -> str:
+        return f"DNNCO (l={self.l})"
+
+    def _multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a * b - column_deficit(a, b, self.l)

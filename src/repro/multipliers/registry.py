@@ -24,11 +24,13 @@ from .accurate import AccurateMultiplier
 from .alm import AlmMaa, AlmSoa
 from .am import Am1Multiplier, Am2Multiplier
 from .base import Multiplier
+from .dnnco import DnnCoMultiplier
 from .drum import DrumMultiplier
 from .implm import ImpLmMultiplier
 from .intalp import IntAlpMultiplier
 from .mbm import MbmMultiplier
 from .mitchell import MitchellMultiplier
+from .scaletrim import ScaleTrimMultiplier
 from .ssm import EssmMultiplier, SsmMultiplier
 
 __all__ = [
@@ -77,6 +79,14 @@ def _build_registry() -> dict[str, Factory]:
     for m in (10, 9, 8):
         registry[f"ssm-m{m}"] = lambda n, m=m: SsmMultiplier(n, m=m)
     registry["essm8"] = lambda n: EssmMultiplier(n, m=8)
+    for t, c in ((3, 2), (4, 0), (4, 2), (6, 3)):
+        registry[f"scaletrim-t{t}-c{c}"] = lambda n, t=t, c=c: ScaleTrimMultiplier(
+            n, t=t, c=c
+        )
+    for level in (4, 6, 8):
+        registry[f"dnnco-l{level}"] = lambda n, level=level: DnnCoMultiplier(
+            n, l=level
+        )
     return registry
 
 

@@ -1,0 +1,109 @@
+"""scaleTRIM: truncation + linearization + error compensation (arXiv 2303.02495).
+
+scaleTRIM scales each operand's Mitchell fraction down to ``t`` bits
+(truncation for wide operands, exact scaling for narrow ones — the
+left-aligned fraction of :func:`~repro.multipliers.mitchell.log_operands`
+gives both cases as one shift), multiplies the two ``1.t`` mantissas with
+a *linearized* product, and adds back a LUT compensation term indexed by
+the top ``c`` bits of each scaled fraction.
+
+With ``x, y`` the scaled fractions as ``t``-bit integers, the exact
+mantissa product is::
+
+    (2^t + x)(2^t + y) = 2^2t + (x + y) 2^t + x*y
+
+and the linearization replaces ``x*y`` by Mitchell's lower bound
+``2^t * max(0, x + y - 2^t)``.  The residual
+
+    R(x, y) = x*y - 2^t max(0, x + y - 2^t) = min(x*y, (2^t - x)(2^t - y))
+
+is non-negative, so the linearized product never overestimates.  The
+compensation LUT stores, per ``(top-c-bits(x), top-c-bits(y))`` bucket,
+a *safe lower bound* of ``R`` over the bucket::
+
+    LB[i, j] = min(lo_i * lo_j, (2^t - hi_i)(2^t - hi_j))
+
+with ``lo/hi`` the bucket's fraction range.  Because ``LB <= R``
+pointwise, the compensated product still never overestimates, and
+because ``LB >= 0`` it never lands farther from the exact product than
+the uncompensated one — compensation monotonicity, the family's
+signature metamorphic property.  ``c = 0`` degenerates to a single
+bucket with ``LB = 0``: pure linearized truncation.
+
+The datapath depends on the operands only through ``(k, fraction)`` and
+a final barrel shift, so doubling an operand shifts the result:
+``f(2a, b) >> 1 == f(a, b)`` (the conformance ``pow2-shift`` relation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bitops import shift_value
+from .base import Multiplier
+from .mitchell import log_operands
+
+__all__ = ["ScaleTrimMultiplier", "compensation_lut", "scaled_fraction"]
+
+
+def compensation_lut(t: int, c: int) -> np.ndarray:
+    """The ``2^c x 2^c`` bucket table of safe residual lower bounds.
+
+    Returned flattened row-major (``LB[i * 2^c + j]``) to match both the
+    hardware ``constant_lut`` select ordering and the kernel's packed
+    index.  Symmetric in ``(i, j)``, zero in row/column 0 (so power-of-two
+    operands stay exact), and identically zero when ``c == 0``.
+    """
+    if not 0 <= c <= t:
+        raise ValueError(f"compensation bits c must be in [0, t={t}], got {c}")
+    buckets = np.arange(1 << c, dtype=np.int64)
+    lo = buckets << (t - c)
+    hi = ((buckets + 1) << (t - c)) - 1
+    low_product = lo[:, None] * lo[None, :]
+    high_product = ((1 << t) - hi)[:, None] * ((1 << t) - hi)[None, :]
+    return np.minimum(low_product, high_product).ravel()
+
+
+def scaled_fraction(x: np.ndarray, bitwidth: int, t: int) -> np.ndarray:
+    """Top ``t`` bits of the left-aligned Mitchell fraction.
+
+    For operands with ``k >= t`` this is truncation of the fraction; for
+    narrower operands the left alignment already multiplied the fraction
+    up, so the same shift implements scaleTRIM's exact-scaling case.
+    """
+    return x >> (bitwidth - 1 - t)
+
+
+class ScaleTrimMultiplier(Multiplier):
+    """scaleTRIM with ``t`` fraction bits and ``c`` compensation index bits."""
+
+    family = "scaleTRIM"
+
+    def __init__(self, bitwidth: int = 16, t: int = 4, c: int = 2):
+        super().__init__(bitwidth)
+        if not 1 <= t <= bitwidth - 1:
+            raise ValueError(
+                f"truncated fraction width t must be in [1, {bitwidth - 1}], got {t}"
+            )
+        if not 0 <= c <= t:
+            raise ValueError(f"compensation bits c must be in [0, t={t}], got {c}")
+        self.t = t
+        self.c = c
+        self.lut = compensation_lut(t, c)
+
+    @property
+    def name(self) -> str:
+        return f"scaleTRIM (t={self.t}, c={self.c})"
+
+    def _multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        t, c = self.t, self.c
+        ka, kb, xa, xb, nonzero = log_operands(a, b, self.bitwidth)
+        xs_a = scaled_fraction(xa, self.bitwidth, t)
+        xs_b = scaled_fraction(xb, self.bitwidth, t)
+        total = xs_a + xs_b
+        linear = (np.int64(1) << (2 * t)) + (total << t)
+        overflow = np.maximum(total - (np.int64(1) << t), 0) << t
+        index = (xs_a >> (t - c)) * (1 << c) + (xs_b >> (t - c))
+        mantissa = linear + overflow + self.lut[index]
+        product = shift_value(mantissa, ka + kb - 2 * t)
+        return np.where(nonzero, product, 0)

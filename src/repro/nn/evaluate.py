@@ -1,4 +1,4 @@
-"""Accuracy evaluation of approximate multipliers on the glyph MLP."""
+"""Accuracy evaluation of approximate multipliers on the glyph networks."""
 
 from __future__ import annotations
 
@@ -7,10 +7,18 @@ import functools
 import numpy as np
 
 from ..multipliers.registry import build
+from .cnn import CnnParams, FixedPointCnn, float_cnn_logits, train_cnn
 from .dataset import GlyphData, make_dataset
 from .mlp import FixedPointMlp, MlpParams, float_logits, train_mlp
 
-__all__ = ["trained_setup", "evaluate_multipliers", "float_accuracy"]
+__all__ = [
+    "trained_setup",
+    "trained_cnn_setup",
+    "evaluate_multipliers",
+    "evaluate_cnn_multipliers",
+    "float_accuracy",
+    "float_cnn_accuracy",
+]
 
 
 @functools.lru_cache(maxsize=1)
@@ -34,6 +42,44 @@ def evaluate_multipliers(names, seed: int = 2020) -> dict[str, float]:
     for name in names:
         model = FixedPointMlp(params, build(name))
         results[name] = model.accuracy(data.test_x, data.test_y)
+    return results
+
+
+@functools.lru_cache(maxsize=1)
+def trained_cnn_setup(seed: int = 2020) -> tuple[GlyphData, CnnParams]:
+    """Dataset + trained float CNN parameters (cached; deterministic)."""
+    data = make_dataset(seed=seed)
+    params = train_cnn(data.train_x, data.train_y)
+    return data, params
+
+
+def float_cnn_accuracy(data: GlyphData, params: CnnParams) -> float:
+    """Test accuracy of the float CNN reference."""
+    predictions = np.argmax(float_cnn_logits(params, data.test_x), axis=1)
+    return float(np.mean(predictions == data.test_y))
+
+
+def evaluate_cnn_multipliers(names, seed: int = 2020) -> dict[str, float]:
+    """Test accuracy of the quantized CNN per multiplier configuration."""
+    data, params = trained_cnn_setup(seed)
+    results = {}
+    for name in names:
+        model = FixedPointCnn(params, build(name))
+        results[name] = model.accuracy(data.test_x, data.test_y)
+    return results
+
+
+def cnn_logit_distortion(names, seed: int = 2020) -> dict[str, float]:
+    """Mean relative CNN logit error vs. the accurate fixed-point path,
+    in percent of the accurate logits' RMS magnitude (the sensitive
+    metric once classification accuracy saturates)."""
+    data, params = trained_cnn_setup(seed)
+    reference = FixedPointCnn(params, build("accurate")).logits(data.test_x)
+    rms = float(np.sqrt(np.mean(reference.astype(np.float64) ** 2)))
+    results = {}
+    for name in names:
+        logits = FixedPointCnn(params, build(name)).logits(data.test_x)
+        results[name] = float(np.abs(logits - reference).mean() / rms * 100.0)
     return results
 
 

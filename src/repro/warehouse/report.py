@@ -76,6 +76,23 @@ def _error_fields(data: dict) -> dict | None:
     }
 
 
+def _accuracy_fields(data: dict) -> dict | None:
+    """Extract application-accuracy fields from a result row (CNN/MLP
+    study runs), or ``None`` when the row carries no accuracy column."""
+    if not isinstance(data, dict):
+        return None
+    accuracy = data.get("accuracy")
+    if not isinstance(accuracy, (int, float)) or isinstance(accuracy, bool):
+        return None
+    fields = {"accuracy": accuracy}
+    for column in ("accuracy_drop", "logit_distortion", "area_reduction",
+                   "power_reduction"):
+        value = data.get(column)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            fields[column] = value
+    return fields
+
+
 def _run_entry(run: RunRow, results: list[ResultRow]) -> dict:
     recomputed = sum(1 for r in results if not r.reused)
     reused = len(results) - recomputed
@@ -116,6 +133,7 @@ def build_trends(
     run_ids = {run.id for run in runs}
     by_run: dict[int, list[ResultRow]] = {run.id: [] for run in runs}
     trajectories: dict[str, list[dict]] = {}
+    applications: dict[str, list[dict]] = {}
     for row in warehouse.results(design=design):
         if row.run_id not in run_ids:
             continue
@@ -128,10 +146,18 @@ def build_trends(
                 if isinstance(value, (int, float)) and not isinstance(value, bool):
                     point[column] = value
             trajectories.setdefault(row.design, []).append(point)
+        accuracy = _accuracy_fields(row.data)
+        if accuracy is not None:
+            applications.setdefault(row.design, []).append(
+                {"run": row.run_id, "reused": row.reused, **accuracy}
+            )
     return {
         "schema_version": warehouse.schema_version,
         "runs": [_run_entry(run, by_run[run.id]) for run in runs],
         "designs": {name: trajectories[name] for name in sorted(trajectories)},
+        "applications": {
+            name: applications[name] for name in sorted(applications)
+        },
     }
 
 
@@ -206,4 +232,29 @@ def render_text(trends: dict) -> str:
         )
         if any(points[-1]["certified"] for points in designs.values()):
             lines.append("* formally certified worst-case peak (repro formal)")
+    applications = trends.get("applications", {})
+    if applications:
+        rows = []
+        for name, points in applications.items():
+            first, last = points[0], points[-1]
+            rows.append(
+                (
+                    name,
+                    len(points),
+                    _fmt(first["accuracy"], 3),
+                    _fmt(last["accuracy"], 3),
+                    f"{last['accuracy'] - first['accuracy']:+.3f}",
+                    _fmt(last.get("logit_distortion"), 2),
+                    _fmt(last.get("area_reduction"), 1),
+                )
+            )
+        lines.append("")
+        lines.append(f"application accuracy trajectories ({len(applications)}):")
+        lines.append(
+            _table(
+                ["design", "runs", "first acc", "last acc", "dAcc",
+                 "logitD%", "areaR%"],
+                rows,
+            )
+        )
     return "\n".join(lines) + "\n"

@@ -40,25 +40,32 @@ COMMUTATIVE_IDS = [
 # designs for which 2^i * 2^j is computed exactly: a power of two has a
 # zero Mitchell fraction, so pure log designs (cALM, ImpLM, IntALP) are
 # exact there, as are the segment/broken-array designs that keep the
-# leading one (SSM/ESSM, AM, ALM-MAA) and the accurate baseline.  REALM
-# and MBM are excluded — their correction LUT / round-up bit perturbs
-# even zero-fraction operands — as are DRUM (unbiasing set bit) and
-# ALM-SOA (set-once approximate adder).
+# leading one (SSM/ESSM, AM, ALM-MAA) and the accurate baseline.
+# scaleTRIM qualifies (its compensation LUT is zero on the zero-fraction
+# row/column) and DNNCO does too (a power of two contributes one partial
+# product per column, so the OR equals the column sum).  REALM and MBM
+# are excluded — their correction LUT / round-up bit perturbs even
+# zero-fraction operands — as are DRUM (unbiasing set bit) and ALM-SOA
+# (set-once approximate adder).
 POW2_EXACT_IDS = [
     n
     for n in ALL_IDS
     if n == "accurate"
-    or n.startswith(("alm-maa", "am1", "am2", "calm", "essm", "implm", "intalp", "ssm"))
+    or n.startswith(("alm-maa", "am1", "am2", "calm", "dnnco", "essm",
+                     "implm", "intalp", "scaletrim", "ssm"))
 ]
 
 # designs the paper guarantees never overestimate: truncation-only
 # datapaths (SSM/ESSM segment truncation, AM broken arrays, cALM's
-# floor-log) always drop weight.  REALM/MBM add correction terms and
-# DRUM rounds up, so they can exceed the exact product.
+# floor-log) always drop weight, scaleTRIM compensates with a provable
+# lower bound of the dropped term, and DNNCO replaces column sums by ORs
+# (OR <= sum).  REALM/MBM add correction terms and DRUM rounds up, so
+# they can exceed the exact product.
 UNDERESTIMATE_IDS = [
     n
     for n in ALL_IDS
-    if n == "accurate" or n.startswith(("am1", "am2", "calm", "essm", "ssm"))
+    if n == "accurate"
+    or n.startswith(("am1", "am2", "calm", "dnnco", "essm", "scaletrim", "ssm"))
 ]
 
 

@@ -121,8 +121,11 @@ class TestExtensionCommands:
         assert "REALM" in out
 
     def test_explore_infeasible(self, capsys):
+        # DNNCO's near-exact windows satisfy ME <= 0.0001 on their own,
+        # so pin an area floor no near-exact design can also clear
         code, out = run_cli(
-            capsys, "explore", "--max-me", "0.0001", "--quick"
+            capsys,
+            "explore", "--max-me", "0.0001", "--min-area", "50", "--quick",
         )
         assert code == 1
         assert "no feasible" in out

@@ -75,6 +75,37 @@ class TestModelKernelEquivalence:
         kernel = kernel_for(model)
         assert np.array_equal(kernel(a, b), model._multiply(a, b))
 
+    @pytest.mark.parametrize("bitwidth", [4, 8, 16])
+    @pytest.mark.parametrize(
+        "name",
+        ["scaletrim-t3-c2", "scaletrim-t4-c0", "scaletrim-t4-c2",
+         "scaletrim-t6-c3", "dnnco-l4", "dnnco-l6", "dnnco-l8"],
+    )
+    def test_new_family_specializers_are_tables(self, name, bitwidth):
+        # the scaleTRIM/DNNCO specializers must actually engage (kind
+        # "table", bounded precomputed bytes), not fall through to the
+        # generic full-table/interpreted ladder
+        model = build_or_skip(name, bitwidth)
+        if model is None:
+            pytest.skip(f"{name} unbuildable at N={bitwidth}")
+        kernel = kernel_for(model)
+        assert kernel.kind == "table"
+        assert 0 < kernel.table_bytes <= 2 << 20
+
+    def test_dnnco_wide_window_falls_back_interpreted(self):
+        # beyond l = 8 the 4**l deficit table would blow the budget; the
+        # specializer hands the model back to the interpreted path and
+        # stays bit-identical
+        from repro.multipliers.dnnco import DnnCoMultiplier
+
+        model = DnnCoMultiplier(16, l=10)
+        kernel = compile_kernel(model)
+        assert kernel.kind == "interpreted"
+        rng = np.random.default_rng(4)
+        a = rng.integers(0, 1 << 16, 4096).astype(np.int64)
+        b = rng.integers(0, 1 << 16, 4096).astype(np.int64)
+        assert np.array_equal(kernel(a, b), model._multiply(a, b))
+
     def test_blocked_evaluation_matches_single_sweep(self):
         # batches beyond the cache-blocking threshold split internally;
         # the seams must be invisible

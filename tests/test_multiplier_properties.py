@@ -134,6 +134,24 @@ class TestRegistryInvariants:
         multiplier = build(name)
         assert int(multiplier.multiply(a, b)) <= a * b
 
+    @given(
+        st.sampled_from([n for n in ALL_IDS if n.startswith("scaletrim")]),
+        operand,
+        operand,
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_compensation_never_increases_absolute_error(self, name, a, b):
+        # scaleTRIM's LUT is a provable lower bound of the dropped
+        # cross-term, so switching compensation on moves every product
+        # toward (never past) the exact value: the compensated result
+        # dominates the c=0 sibling and stays an underestimate
+        from repro.multipliers.scaletrim import ScaleTrimMultiplier
+
+        compensated = build(name)
+        plain = ScaleTrimMultiplier(16, t=compensated.t, c=0)
+        got = int(compensated.multiply(a, b))
+        assert int(plain.multiply(a, b)) <= got <= a * b
+
 
 class TestScalarArrayConsistency:
     @given(

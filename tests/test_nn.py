@@ -116,3 +116,137 @@ class TestApproximateInference:
 
     def test_accurate_distortion_zero(self):
         assert logit_distortion(["accurate"])["accurate"] == 0.0
+
+
+class TestCnn:
+    def test_float_cnn_learns(self):
+        from repro.nn.evaluate import float_cnn_accuracy, trained_cnn_setup
+
+        data, params = trained_cnn_setup()
+        assert float_cnn_accuracy(data, params) > 0.95
+
+    def test_cnn_weights_fit_q8(self):
+        from repro.nn.evaluate import trained_cnn_setup
+
+        _, params = trained_cnn_setup()
+        # conv filters train a little hotter than the MLP's dense rows;
+        # 4.0 still leaves the Q8 magnitudes (< 1024) far inside the
+        # 16-bit operand range the datapath requires
+        assert max(abs(params.conv_w).max(), abs(params.fc_w).max()) < 4.0
+
+    def test_cnn_training_deterministic(self):
+        from repro.nn.cnn import train_cnn
+
+        data = make_dataset(train_per_class=10, test_per_class=5)
+        first = train_cnn(data.train_x, data.train_y, epochs=2)
+        second = train_cnn(data.train_x, data.train_y, epochs=2)
+        assert np.array_equal(first.conv_w, second.conv_w)
+        assert np.array_equal(first.fc_w, second.fc_w)
+
+    def test_accurate_cnn_quantization_matches_float(self):
+        from repro.nn.cnn import FixedPointCnn
+        from repro.nn.evaluate import float_cnn_accuracy, trained_cnn_setup
+
+        data, params = trained_cnn_setup()
+        model = FixedPointCnn(params, AccurateMultiplier())
+        fixed = model.accuracy(data.test_x, data.test_y)
+        assert abs(fixed - float_cnn_accuracy(data, params)) < 0.03
+
+    def test_cnn_pool_is_exact_comparison_only(self):
+        # pooling commutes with the fixed-point clip: the pooled fixed
+        # activations equal pooling applied to the unpooled ones
+        from repro.nn.cnn import _pool_forward
+
+        rng = np.random.default_rng(5)
+        act = rng.integers(0, 4096, (3, 36, 8)).astype(np.int64)
+        pooled, _ = _pool_forward(act)
+        grid = act.reshape(3, 6, 6, 8)
+        want = np.stack(
+            [
+                grid[:, 2 * i : 2 * i + 2, 2 * j : 2 * j + 2, :].max(axis=(1, 2))
+                for i in range(3)
+                for j in range(3)
+            ],
+            axis=1,
+        )
+        assert np.array_equal(pooled, want)
+
+    def test_cnn_rejects_narrow_multiplier(self):
+        from repro.nn.cnn import FixedPointCnn
+        from repro.nn.evaluate import trained_cnn_setup
+
+        _, params = trained_cnn_setup()
+        with pytest.raises(ValueError):
+            FixedPointCnn(params, AccurateMultiplier(bitwidth=8))
+
+    def test_cnn_operands_stay_in_sixteen_bits(self):
+        # the FC layer sees conv activations rescaled to the input
+        # scale; they must remain valid 16-bit multiplier operands
+        from repro.nn.cnn import FixedPointCnn
+        from repro.nn.evaluate import trained_cnn_setup
+        from repro.nn.mlp import WEIGHT_FRACTION_BITS
+
+        data, params = trained_cnn_setup()
+        model = FixedPointCnn(params, AccurateMultiplier())
+        patches = np.asarray(data.test_x, dtype=np.int64)
+        acc = model._matmul(
+            np.lib.stride_tricks.sliding_window_view(
+                patches.reshape(-1, 8, 8), (3, 3), axis=(1, 2)
+            ).reshape(len(patches), 36, 9),
+            model.conv_w_q,
+        ) + model.conv_b_q
+        hidden = np.maximum(acc, 0) >> WEIGHT_FRACTION_BITS
+        assert hidden.max() < (1 << 16)
+
+    def test_approximate_cnn_accuracy(self):
+        from repro.nn.evaluate import evaluate_cnn_multipliers
+
+        results = evaluate_cnn_multipliers(
+            ["accurate", "scaletrim-t4-c2", "dnnco-l6"]
+        )
+        assert results["scaletrim-t4-c2"] >= results["accurate"] - 0.05
+        assert results["dnnco-l6"] >= results["accurate"] - 0.02
+
+    def test_accurate_cnn_distortion_zero(self):
+        from repro.nn.evaluate import cnn_logit_distortion
+
+        assert cnn_logit_distortion(["accurate"])["accurate"] == 0.0
+
+
+class TestCnnStudy:
+    def test_rows_and_pareto(self):
+        from repro.experiments import cnn_study
+
+        rows = cnn_study(["accurate", "realm16-t0", "scaletrim-t4-c2"])
+        by_name = {row["name"]: row for row in rows}
+        assert set(by_name) == {"accurate", "realm16-t0", "scaletrim-t4-c2"}
+        for row in rows:
+            assert 0.0 <= row["accuracy"] <= 1.0
+            assert isinstance(row["pareto"], bool)
+        # accurate is dominated by any design with area savings and no
+        # accuracy loss beyond it; at minimum the front is non-empty
+        assert any(row["pareto"] for row in rows)
+        assert by_name["accurate"]["area_reduction"] == 0.0
+
+    def test_warehouse_roundtrip_feeds_report(self, tmp_path):
+        from repro.experiments import cnn_study
+        from repro.warehouse import build_trends, open_warehouse
+
+        ids = ["accurate", "scaletrim-t4-c2"]
+        first = cnn_study(ids, warehouse=tmp_path)
+        second = cnn_study(ids, warehouse=tmp_path)
+        assert [r["accuracy"] for r in first] == [r["accuracy"] for r in second]
+        wh = open_warehouse(tmp_path)
+        try:
+            trends = build_trends(wh, kind="cnn")
+        finally:
+            wh.close()
+        assert len(trends["runs"]) == 2
+        # the second campaign must be served from the store
+        assert trends["runs"][1]["reused"] == len(ids)
+        apps = trends["applications"]
+        assert set(apps) == set(ids)
+        for name in ids:
+            assert len(apps[name]) == 2
+            assert apps[name][0]["accuracy"] == apps[name][1]["accuracy"]
+            assert "area_reduction" in apps[name][0]

@@ -48,8 +48,9 @@ class TestRegistry:
 
     def test_design_count_matches_table1(self):
         # 30 REALM + 1 cALM + 1 ImpLM + 6 MBM + 10 ALM + 2 IntALP +
-        # 6 AM + 5 DRUM + 3 SSM + 1 ESSM = 65 approximate designs
-        assert len(TABLE1_IDS) == 65
+        # 6 AM + 5 DRUM + 3 SSM + 1 ESSM = 65 paper designs, plus the
+        # 4 scaleTRIM + 3 DNNCO configurations from the related work
+        assert len(TABLE1_IDS) == 72
 
     def test_iter_multipliers(self):
         pairs = list(iter_multipliers(("calm", "drum-k8")))
@@ -65,7 +66,15 @@ class TestRegistry:
 
 class TestPaperData:
     def test_table1_covers_all_registry_designs(self):
-        assert set(paper.TABLE1) == set(TABLE1_IDS)
+        # every published row maps to a registry id; ids beyond the
+        # paper's Table I come only from the related-work families
+        assert set(paper.TABLE1) <= set(TABLE1_IDS)
+        extras = set(TABLE1_IDS) - set(paper.TABLE1)
+        assert extras == {
+            name
+            for name in TABLE1_IDS
+            if name.startswith(("scaletrim", "dnnco"))
+        }
 
     def test_reference_point(self):
         assert paper.ACCURATE_AREA_UM2 == pytest.approx(1898.1)

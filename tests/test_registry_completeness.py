@@ -1,0 +1,95 @@
+"""Every registry id must be a full citizen of every structure table.
+
+A new multiplier family touches half a dozen layers: the functional
+registry, the netlist catalog, the coverage segment table, the kernel
+compiler, the exhaustive-metrics sweep and the formal encoders.  Each of
+those used to discover missing entries lazily (a silent 4x4 coverage
+fallback, a KeyError deep inside a sweep).  This module makes the
+contract explicit: adding a registry id without declaring its structure
+everywhere is a loud, attributable test failure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.exhaustive import exhaustive_metrics
+from repro.circuits.catalog import NETLISTS
+from repro.conformance.coverage import FAMILY_SEGMENTS, default_segments
+from repro.formal.encode import UnsupportedDesignError, encode_model
+from repro.kernels.compiler import kernel_for
+from repro.multipliers.registry import REGISTRY, build
+
+SMALL_BITWIDTH = 8
+
+
+def _build_any(name):
+    """Build at 16 bits, falling back to 8 for narrow-only configs."""
+    try:
+        return build(name, 16)
+    except ValueError:
+        return build(name, SMALL_BITWIDTH)
+
+
+ALL_IDS = sorted(REGISTRY)
+
+
+def test_catalog_and_registry_agree():
+    assert set(NETLISTS) == set(REGISTRY)
+
+
+def test_every_family_has_a_segment_entry():
+    families = {_build_any(name).family for name in ALL_IDS}
+    missing = families - set(FAMILY_SEGMENTS)
+    assert not missing, f"families without FAMILY_SEGMENTS entry: {missing}"
+
+
+def test_segment_entries_are_powers_of_two():
+    for family, m in FAMILY_SEGMENTS.items():
+        assert m >= 1 and (m & (m - 1)) == 0, (family, m)
+
+
+def test_unknown_family_raises_not_falls_back():
+    class Stranger:
+        family = "NoSuchFamily"
+
+    with pytest.raises(KeyError, match="NoSuchFamily"):
+        default_segments(Stranger())
+
+
+@pytest.mark.parametrize("name", ALL_IDS)
+def test_id_resolves_across_structure_tables(name):
+    model = _build_any(name)
+    # coverage structure is declared, not defaulted
+    assert default_segments(model) >= 1
+    # a netlist factory exists under the same id
+    assert name in NETLISTS
+    # the kernel compiler produces an evaluator of some kind
+    kernel = kernel_for(model)
+    assert kernel.kind in ("table", "full-table", "direct", "interpreted")
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["scaletrim-t3-c2", "scaletrim-t4-c0", "scaletrim-t4-c2",
+     "scaletrim-t6-c3", "dnnco-l4", "dnnco-l6", "dnnco-l8"],
+)
+def test_new_family_ids_full_stack_smoke(name):
+    """The two new families clear model/kernel/metrics/formal at 8 bits."""
+    model = build(name, SMALL_BITWIDTH)
+    kernel = kernel_for(model)
+    a = np.arange(256, dtype=np.int64).repeat(4)
+    b = np.tile(np.arange(0, 1024, 4, dtype=np.int64) % 256, 4)[: a.size]
+    np.testing.assert_array_equal(kernel(a, b), model.multiply(a, b))
+    metrics = exhaustive_metrics(model)
+    assert np.isfinite(metrics.nmed)
+    try:
+        encoding = encode_model(model)
+    except UnsupportedDesignError as exc:
+        pytest.skip(f"no symbolic encoding: {exc}")
+    pairs = np.array([(0, 0), (1, 1), (255, 255), (170, 85), (128, 3)],
+                     dtype=np.int64)
+    got = encoding.eval_pairs(pairs[:, 0], pairs[:, 1])
+    want = model.multiply(pairs[:, 0], pairs[:, 1])
+    np.testing.assert_array_equal(got, want)

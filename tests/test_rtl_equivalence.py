@@ -146,6 +146,7 @@ def test_every_eightbit_family_is_covered():
     covered |= {model.family for _, model, _ in EXTRA_8BIT_PAIRS}
     targets = {
         "cALM", "REALM", "DRUM", "SSM", "ESSM", "ImpLM", "IntALP", "AM1", "AM2",
+        "scaleTRIM", "DNNCO",
     }
     missing = targets - covered
     assert not missing, f"families without 8-bit equivalence coverage: {missing}"
